@@ -1,0 +1,45 @@
+//! Criterion benches for the nested-dissection partitioner.
+
+use apsp_graph::generators::{self, WeightKind};
+use apsp_partition::{bisect, grid_nd, nested_dissection, BisectOptions, NdOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_bisection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bisect");
+    for side in [16usize, 32, 48] {
+        let g = generators::grid2d(side, side, WeightKind::Unit, 0);
+        group.bench_with_input(BenchmarkId::new("mesh", side * side), &g, |b, g| {
+            b.iter(|| bisect(g, &BisectOptions::default()));
+        });
+    }
+    let er = generators::connected_gnp(1024, 0.008, WeightKind::Unit, 1);
+    group.bench_function("gnp_1024", |b| {
+        b.iter(|| bisect(&er, &BisectOptions::default()));
+    });
+    group.finish();
+}
+
+fn bench_nd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_dissection");
+    for (side, h) in [(16usize, 3u32), (32, 4)] {
+        let g = generators::grid2d(side, side, WeightKind::Unit, 0);
+        group.bench_with_input(
+            BenchmarkId::new("multilevel_mesh", format!("{side}x{side}_h{h}")),
+            &g,
+            |b, g| {
+                b.iter(|| nested_dissection(g, h, &NdOptions::default()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("geometric_mesh", format!("{side}x{side}_h{h}")),
+            &side,
+            |b, &side| {
+                b.iter(|| grid_nd(side, side, h));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bisection, bench_nd);
+criterion_main!(benches);

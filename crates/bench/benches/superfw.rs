@@ -1,0 +1,42 @@
+//! Criterion benches: shared-memory SuperFW vs the dense alternatives —
+//! the wall-clock counterpart of the E7 operation-count experiment.
+
+use apsp_core::superfw::{superfw_apsp, superfw_parallel};
+use apsp_core::SupernodalLayout;
+use apsp_graph::generators::{self, WeightKind};
+use apsp_graph::oracle;
+use apsp_partition::grid_nd;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_superfw_vs_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apsp_shared_memory");
+    for side in [12usize, 16, 20] {
+        let g = generators::grid2d(side, side, WeightKind::Unit, 0);
+        let nd = grid_nd(side, side, 4);
+        group.bench_with_input(BenchmarkId::new("superfw", side * side), &g, |b, g| {
+            b.iter(|| superfw_apsp(g, &nd));
+        });
+        let layout = SupernodalLayout::from_ordering(&nd);
+        let gp = g.permuted(&nd.perm);
+        group.bench_with_input(
+            BenchmarkId::new("superfw_parallel", side * side),
+            &gp,
+            |b, gp| {
+                b.iter(|| {
+                    let mut blocks = layout.extract_all_blocks(gp);
+                    superfw_parallel(&layout, &mut blocks)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("classical_fw", side * side), &g, |b, g| {
+            b.iter(|| oracle::floyd_warshall(g));
+        });
+        group.bench_with_input(BenchmarkId::new("dijkstra_apsp", side * side), &g, |b, g| {
+            b.iter(|| oracle::apsp_dijkstra(g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_superfw_vs_dense);
+criterion_main!(benches);

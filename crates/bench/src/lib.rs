@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # apsp-bench
+//!
+//! The reproduction harness: one runner per experiment of the DESIGN.md
+//! index (E1–E17), shared by the `paper_report` binary (which regenerates
+//! every table/figure artifact of the paper) and by the crate's tests.
+//!
+//! Every runner **verifies distances against the Dijkstra oracle before
+//! reporting costs** — a cost table from a wrong answer is worthless.
+
+pub mod experiments;
+pub mod figures;
+pub mod table;
+pub mod workloads;
+
+pub use experiments::*;
+pub use table::Table;

@@ -1,0 +1,391 @@
+//! Shared-memory supernodal Floyd–Warshall (SuperFW \[22\], §4).
+//!
+//! The sequential reference point of the paper: blocked FW driven by the
+//! elimination tree, eliminating supernodes bottom-up and skipping every
+//! block update whose operands are structurally empty (cousin blocks).
+//! Compared with classical FW's `n³` scalar operations, the supernodal
+//! elimination performs `O(n²|S|)`-ish work — a reduction of `Θ(n/|S|)` —
+//! which [`superfw_opcount_comparison`] measures for the E7 experiment.
+
+use crate::supernodal::SupernodalLayout;
+use apsp_graph::{Csr, DenseDist};
+use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
+
+/// Operation statistics of a [`superfw`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SuperFwStats {
+    /// Scalar min-plus relaxations performed.
+    pub ops: u64,
+    /// Block updates executed.
+    pub block_updates: u64,
+    /// Block updates skipped because an operand was structurally empty.
+    pub block_skips: u64,
+}
+
+/// Runs supernodal FW on the blocks of an eliminated-order graph.
+///
+/// `blocks` is the row-major `N × N` block matrix (see
+/// [`SupernodalLayout::extract_all_blocks`]); it is updated in place to the
+/// all-pairs distances. Empty-operand updates are skipped, which is exactly
+/// the §4.1/§4.2 saving (legitimate because fill is confined to related
+/// supernode pairs under the ND order).
+pub fn superfw(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix]) -> SuperFwStats {
+    let t = *layout.tree();
+    let n_super = layout.n_super();
+    assert_eq!(blocks.len(), n_super * n_super, "one block per grid cell");
+    let at = |i: usize, j: usize| layout.rank_of_block(i, j);
+    let mut stats = SuperFwStats::default();
+
+    for l in 1..=t.height() {
+        for k in t.level_nodes(l) {
+            if layout.size(k) == 0 {
+                continue;
+            }
+            // R1: diagonal closure
+            stats.ops += fw_in_place(&mut blocks[at(k, k)]);
+            stats.block_updates += 1;
+            let akk = blocks[at(k, k)].clone();
+
+            // R2: panels over related supernodes only
+            let related: Vec<usize> = t.descendants(k).chain(t.ancestors(k)).collect();
+            for &i in &related {
+                if layout.size(i) == 0 {
+                    continue;
+                }
+                let col = blocks[at(i, k)].clone();
+                if col.is_empty_block() {
+                    stats.block_skips += 1;
+                } else {
+                    stats.ops += gemm(&mut blocks[at(i, k)], &col, &akk);
+                    stats.block_updates += 1;
+                }
+                let row = blocks[at(k, i)].clone();
+                if row.is_empty_block() {
+                    stats.block_skips += 1;
+                } else {
+                    stats.ops += gemm(&mut blocks[at(k, i)], &akk, &row);
+                    stats.block_updates += 1;
+                }
+            }
+
+            // R3/R4: outer products over related × related
+            for &i in &related {
+                if layout.size(i) == 0 {
+                    continue;
+                }
+                let aik = blocks[at(i, k)].clone();
+                if aik.is_empty_block() {
+                    stats.block_skips += related.len() as u64;
+                    continue;
+                }
+                for &j in &related {
+                    if layout.size(j) == 0 {
+                        continue;
+                    }
+                    let akj = blocks[at(k, j)].clone();
+                    if akj.is_empty_block() {
+                        stats.block_skips += 1;
+                        continue;
+                    }
+                    stats.ops += gemm(&mut blocks[at(i, j)], &aik, &akj);
+                    stats.block_updates += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Level-parallel shared-memory SuperFW: same-level supernodes are cousins,
+/// so their `R¹/R²/R³` updates touch pairwise disjoint blocks and run on
+/// worker threads concurrently (the elimination-tree parallelism Sao et
+/// al. exploit on shared memory); the overlapping `R⁴` ancestor blocks
+/// serialize behind per-block locks, whose `⊕`-accumulation is
+/// order-independent. Bit-identical results to [`superfw`] in exact
+/// arithmetic paths (min/plus of the same operand sets).
+pub fn superfw_parallel(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix]) -> SuperFwStats {
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let t = *layout.tree();
+    let n_super = layout.n_super();
+    assert_eq!(blocks.len(), n_super * n_super, "one block per grid cell");
+    let at = |i: usize, j: usize| layout.rank_of_block(i, j);
+
+    // move the blocks behind per-block locks for the parallel phase
+    let cells: Vec<Mutex<MinPlusMatrix>> =
+        blocks.iter().map(|b| Mutex::new(b.clone())).collect();
+    let ops = AtomicU64::new(0);
+    let updates = AtomicU64::new(0);
+    let skips = AtomicU64::new(0);
+
+    for l in 1..=t.height() {
+        let pivots: Vec<usize> = t.level_nodes(l).collect();
+        apsp_par::par_for_indexed(pivots.len(), |pi| {
+            let k = pivots[pi];
+            if layout.size(k) == 0 {
+                return;
+            }
+            let mut local_ops = 0u64;
+            let mut local_updates = 0u64;
+            let mut local_skips = 0u64;
+            // R1: diagonal closure (this pivot's own block — uncontended)
+            let akk = {
+                let mut diag = cells[at(k, k)].lock();
+                local_ops += fw_in_place(&mut diag);
+                local_updates += 1;
+                diag.clone()
+            };
+            let related: Vec<usize> = t.descendants(k).chain(t.ancestors(k)).collect();
+            // R2 panels: blocks (i,k)/(k,i) belong to this pivot alone
+            for &i in &related {
+                if layout.size(i) == 0 {
+                    continue;
+                }
+                {
+                    let mut col = cells[at(i, k)].lock();
+                    if col.is_empty_block() {
+                        local_skips += 1;
+                    } else {
+                        let snapshot = col.clone();
+                        local_ops += gemm(&mut col, &snapshot, &akk);
+                        local_updates += 1;
+                    }
+                }
+                {
+                    let mut row = cells[at(k, i)].lock();
+                    if row.is_empty_block() {
+                        local_skips += 1;
+                    } else {
+                        let snapshot = row.clone();
+                        local_ops += gemm(&mut row, &akk, &snapshot);
+                        local_updates += 1;
+                    }
+                }
+            }
+            // R3/R4 outer products; ancestor×ancestor targets are shared
+            // between same-level pivots and serialize on their locks
+            for &i in &related {
+                if layout.size(i) == 0 {
+                    continue;
+                }
+                let aik = cells[at(i, k)].lock().clone();
+                if aik.is_empty_block() {
+                    local_skips += related.len() as u64;
+                    continue;
+                }
+                for &j in &related {
+                    if layout.size(j) == 0 {
+                        continue;
+                    }
+                    let akj = cells[at(k, j)].lock().clone();
+                    if akj.is_empty_block() {
+                        local_skips += 1;
+                        continue;
+                    }
+                    let mut target = cells[at(i, j)].lock();
+                    local_ops += gemm(&mut target, &aik, &akj);
+                    local_updates += 1;
+                }
+            }
+            ops.fetch_add(local_ops, Ordering::Relaxed);
+            updates.fetch_add(local_updates, Ordering::Relaxed);
+            skips.fetch_add(local_skips, Ordering::Relaxed);
+        });
+    }
+
+    for (cell, out) in cells.into_iter().zip(blocks.iter_mut()) {
+        *out = cell.into_inner();
+    }
+    SuperFwStats {
+        ops: ops.into_inner(),
+        block_updates: updates.into_inner(),
+        block_skips: skips.into_inner(),
+    }
+}
+
+/// End-to-end shared-memory sparse APSP: permute by `nd`, run [`superfw`],
+/// un-permute. Returns distances (input vertex ids) and the statistics.
+pub fn superfw_apsp(g: &Csr, nd: &apsp_partition::NdOrdering) -> (DenseDist, SuperFwStats) {
+    let layout = SupernodalLayout::from_ordering(nd);
+    let gp = g.permuted(&nd.perm);
+    let mut blocks = layout.extract_all_blocks(&gp);
+    let stats = superfw(&layout, &mut blocks);
+    let dense = layout.assemble_dense(&blocks);
+    (SupernodalLayout::unpermute(&dense, &nd.perm), stats)
+}
+
+/// The E7 experiment row: classical FW ops (`n³`) vs SuperFW ops on the
+/// same graph, plus the separator statistic that predicts the ratio.
+#[derive(Clone, Copy, Debug)]
+pub struct OpcountComparison {
+    /// Vertex count.
+    pub n: usize,
+    /// Top-level separator size.
+    pub top_separator: usize,
+    /// Classical FW scalar ops (`n³`).
+    pub classical_ops: u64,
+    /// SuperFW scalar ops.
+    pub superfw_ops: u64,
+}
+
+impl OpcountComparison {
+    /// Measured reduction factor `classical / superfw`.
+    pub fn reduction(&self) -> f64 {
+        self.classical_ops as f64 / self.superfw_ops.max(1) as f64
+    }
+
+    /// The paper's predicted reduction `Θ(n / |S|)`.
+    pub fn predicted_reduction(&self) -> f64 {
+        self.n as f64 / self.top_separator.max(1) as f64
+    }
+}
+
+/// Measures classical-vs-supernodal operation counts for a graph/ordering.
+pub fn superfw_opcount_comparison(
+    g: &Csr,
+    nd: &apsp_partition::NdOrdering,
+) -> OpcountComparison {
+    let (_, stats) = superfw_apsp(g, nd);
+    OpcountComparison {
+        n: g.n(),
+        top_separator: nd.max_separator(),
+        classical_ops: apsp_graph::oracle::classical_fw_opcount(g.n()),
+        superfw_ops: stats.ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{self, WeightKind};
+    use apsp_graph::oracle;
+    use apsp_partition::{grid_nd, nested_dissection, NdOptions};
+
+    #[test]
+    fn fig1_graph_correct() {
+        let g = generators::paper_fig1();
+        let nd = nested_dissection(&g, 2, &NdOptions::default());
+        let (dist, stats) = superfw_apsp(&g, &nd);
+        let oracle = oracle::apsp_dijkstra(&g);
+        assert!(dist.first_mismatch(&oracle, 1e-9).is_none());
+        assert!(stats.block_updates > 0);
+    }
+
+    #[test]
+    fn deep_tree_skips_empty_blocks() {
+        // with h = 3 on a path, leaf-to-cousin-panel products are skipped
+        let g = generators::path(16, WeightKind::Unit, 0);
+        let nd = nested_dissection(&g, 3, &NdOptions::default());
+        let (dist, stats) = superfw_apsp(&g, &nd);
+        let oracle = oracle::apsp_dijkstra(&g);
+        assert!(dist.first_mismatch(&oracle, 1e-9).is_none());
+        assert!(stats.block_skips > 0, "sparsity should be exploited: {stats:?}");
+    }
+
+    #[test]
+    fn grids_correct_across_heights() {
+        let g = generators::grid2d(6, 6, WeightKind::Integer { max: 8 }, 2);
+        let oracle = oracle::apsp_dijkstra(&g);
+        for h in 1..=4 {
+            let nd = nested_dissection(&g, h, &NdOptions::default());
+            let (dist, _) = superfw_apsp(&g, &nd);
+            assert!(
+                dist.first_mismatch(&oracle, 1e-9).is_none(),
+                "h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_graphs_correct() {
+        for seed in 0..6 {
+            let g = generators::connected_gnp(40, 0.08, WeightKind::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let nd = nested_dissection(&g, 3, &NdOptions::default());
+            let (dist, _) = superfw_apsp(&g, &nd);
+            let oracle = oracle::apsp_dijkstra(&g);
+            assert!(dist.first_mismatch(&oracle, 1e-9).is_none(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_keeps_infinities() {
+        let mut b = apsp_graph::GraphBuilder::new(8);
+        for i in 0..3 {
+            b.add_edge(i, i + 1, 1.0);
+        }
+        for i in 4..7 {
+            b.add_edge(i, i + 1, 1.0);
+        }
+        let g = b.build();
+        let nd = nested_dissection(&g, 2, &NdOptions::default());
+        let (dist, _) = superfw_apsp(&g, &nd);
+        let oracle = oracle::apsp_dijkstra(&g);
+        assert!(dist.first_mismatch(&oracle, 1e-9).is_none());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        for (seed, h) in [(0u64, 3u32), (1, 4), (2, 2)] {
+            let g = generators::grid2d(10, 10, WeightKind::Integer { max: 7 }, seed);
+            let nd = grid_nd(10, 10, h);
+            let layout = SupernodalLayout::from_ordering(&nd);
+            let gp = g.permuted(&nd.perm);
+            let mut seq_blocks = layout.extract_all_blocks(&gp);
+            let seq_stats = superfw(&layout, &mut seq_blocks);
+            let mut par_blocks = layout.extract_all_blocks(&gp);
+            let par_stats = superfw_parallel(&layout, &mut par_blocks);
+            assert_eq!(seq_stats.ops, par_stats.ops, "h={h}");
+            assert_eq!(seq_stats.block_updates, par_stats.block_updates);
+            for (a, b) in seq_blocks.iter().zip(&par_blocks) {
+                assert!(a.max_diff(b) == 0.0, "h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_correct_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::connected_gnp(50, 0.07, WeightKind::Uniform { lo: 0.3, hi: 2.0 }, seed);
+            let nd = nested_dissection(&g, 3, &NdOptions::default());
+            let layout = SupernodalLayout::from_ordering(&nd);
+            let gp = g.permuted(&nd.perm);
+            let mut blocks = layout.extract_all_blocks(&gp);
+            superfw_parallel(&layout, &mut blocks);
+            let dense = layout.assemble_dense(&blocks);
+            let dist = SupernodalLayout::unpermute(&dense, &nd.perm);
+            let reference = oracle::apsp_dijkstra(&g);
+            assert!(dist.first_mismatch(&reference, 1e-9).is_none(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn opcount_reduction_tracks_n_over_s() {
+        // 16×16 grid, geometric dissection: |S| = 16, n = 256 → predicted ~16×
+        let g = generators::grid2d(16, 16, WeightKind::Unit, 0);
+        let nd = grid_nd(16, 16, 4);
+        let cmp = superfw_opcount_comparison(&g, &nd);
+        assert!(cmp.superfw_ops < cmp.classical_ops);
+        // measured reduction within a small constant of the prediction
+        let measured = cmp.reduction();
+        let predicted = cmp.predicted_reduction();
+        assert!(
+            measured > predicted / 8.0,
+            "measured {measured:.2} vs predicted {predicted:.2}"
+        );
+    }
+
+    #[test]
+    fn deeper_trees_skip_more() {
+        let g = generators::grid2d(12, 12, WeightKind::Unit, 0);
+        let shallow = {
+            let nd = grid_nd(12, 12, 2);
+            superfw_apsp(&g, &nd).1
+        };
+        let deep = {
+            let nd = grid_nd(12, 12, 4);
+            superfw_apsp(&g, &nd).1
+        };
+        assert!(deep.ops < shallow.ops, "deep {} vs shallow {}", deep.ops, shallow.ops);
+    }
+}

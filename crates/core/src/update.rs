@@ -1,0 +1,268 @@
+//! Distributed batched distance updates — the incremental-use regime that
+//! motivates FW-structured APSP over re-running per-source searches.
+//!
+//! Given a solved distributed distance matrix (blocks on the `√p × √p`
+//! grid) and a batch of **decreased** edge weights, the classic relaxation
+//!
+//! ```text
+//! D'(x, y) = min(D(x, y), D(x, u) + w' + D(v, y), D(x, v) + w' + D(u, y))
+//! ```
+//!
+//! needs, per changed edge `(u, v)`, the distance *column* of `u` and
+//! *row* of `v` (and symmetrically). On the block layout those live in one
+//! block column / row, so the update costs two broadcasts of
+//! `O(n/√p)`-word vectors per edge — `O(k·log p)` latency and
+//! `O(k·n·log p/√p)` bandwidth for a batch of `k` edges, versus a full
+//! re-solve for the per-source baseline. (Weight *increases* invalidate
+//! paths and need a re-solve; decrease-only is the standard incremental
+//! direction.)
+//!
+//! Chained decreases within one batch are handled by processing the batch
+//! edges sequentially (each edge's broadcast reads post-previous-edge
+//! distances), so a batch whose edges form a new shortcut path is still
+//! exact.
+
+use crate::supernodal::SupernodalLayout;
+use apsp_graph::DenseDist;
+use apsp_minplus::MinPlusMatrix;
+use apsp_simnet::{Comm, Machine, RunReport};
+
+/// One decreased edge, in *eliminated* vertex numbering.
+#[derive(Clone, Copy, Debug)]
+pub struct DecreasedEdge {
+    /// One endpoint (eliminated-order index).
+    pub u: usize,
+    /// Other endpoint.
+    pub v: usize,
+    /// The new, smaller weight.
+    pub new_weight: f64,
+}
+
+/// Result of a batched update run.
+pub struct UpdateResult {
+    /// The updated distance matrix (eliminated ordering).
+    pub dist_eliminated: DenseDist,
+    /// Measured cost of the update alone.
+    pub report: RunReport,
+}
+
+fn tag(edge_idx: usize, phase: u64, aux: usize) -> u64 {
+    0x0BDA_0000_0000 | ((edge_idx as u64) << 20) | (phase << 16) | aux as u64
+}
+
+/// The per-rank program: relax every batch edge against the local block.
+fn rank_program(
+    comm: &mut Comm,
+    layout: &SupernodalLayout,
+    blocks_in: &[MinPlusMatrix],
+    batch: &[DecreasedEdge],
+) -> Vec<f64> {
+    let (bi, bj) = layout.block_of_rank(comm.rank());
+    let rank_of = |i: usize, j: usize| layout.rank_of_block(i, j);
+    let n_super = layout.n_super();
+    let mut block = blocks_in[comm.rank()].clone();
+    comm.alloc(block.words());
+
+    for (e_idx, edge) in batch.iter().enumerate() {
+        // supernode and in-block offset of each endpoint
+        let locate = |x: usize| {
+            let mut k = 1;
+            while layout.offset(k) + layout.size(k) <= x {
+                k += 1;
+            }
+            (k, x - layout.offset(k))
+        };
+        let (su, ou) = locate(edge.u);
+        let (sv, ov) = locate(edge.v);
+
+        // Phase 1: block-column su broadcasts each rank's local column of u
+        // along its row; block-row sv broadcasts each rank's local row of v
+        // down its column. Every rank then knows D(x, u) for its block rows
+        // x and D(v, y) for its block cols y.
+        let row_group: Vec<usize> = (1..=n_super).map(|j| rank_of(bi, j)).collect();
+        let col_u = {
+            let root = rank_of(bi, su);
+            let payload = (bj == su)
+                .then(|| (0..block.rows()).map(|r| block.get(r, ou)).collect::<Vec<f64>>());
+            comm.bcast(&row_group, root, tag(e_idx, 1, bi), payload)
+        };
+        let col_group: Vec<usize> = (1..=n_super).map(|i| rank_of(i, bj)).collect();
+        let row_v = {
+            let root = rank_of(sv, bj);
+            let payload = (bi == sv)
+                .then(|| (0..block.cols()).map(|c| block.get(ov, c)).collect::<Vec<f64>>());
+            comm.bcast(&col_group, root, tag(e_idx, 2, bj), payload)
+        };
+        // the symmetric pair: column of v along rows, row of u down columns
+        let col_v = {
+            let root = rank_of(bi, sv);
+            let payload = (bj == sv)
+                .then(|| (0..block.rows()).map(|r| block.get(r, ov)).collect::<Vec<f64>>());
+            comm.bcast(&row_group, root, tag(e_idx, 3, bi), payload)
+        };
+        let row_u = {
+            let root = rank_of(su, bj);
+            let payload = (bi == su)
+                .then(|| (0..block.cols()).map(|c| block.get(ou, c)).collect::<Vec<f64>>());
+            comm.bcast(&col_group, root, tag(e_idx, 4, bj), payload)
+        };
+        comm.alloc(col_u.len() + row_v.len() + col_v.len() + row_u.len());
+
+        // Phase 2: local relaxation through the decreased edge
+        let w = edge.new_weight;
+        let mut ops = 0u64;
+        for r in 0..block.rows() {
+            let through_u = col_u[r] + w;
+            let through_v = col_v[r] + w;
+            for c in 0..block.cols() {
+                let cand = (through_u + row_v[c]).min(through_v + row_u[c]);
+                ops += 2;
+                if cand < block.get(r, c) {
+                    block.set(r, c, cand);
+                }
+            }
+        }
+        comm.compute(ops);
+        comm.release(col_u.len() + row_v.len() + col_v.len() + row_u.len());
+    }
+
+    block.into_vec()
+}
+
+/// Applies a batch of decreased edges to a solved distributed distance
+/// matrix. `blocks` holds each rank's block (eliminated order, row-major
+/// by rank, as produced by `sparse2d`); edges use eliminated vertex
+/// indices. Edges must not create negative cycles (weights stay ≥ 0).
+pub fn apply_decreases(
+    layout: &SupernodalLayout,
+    blocks: &[MinPlusMatrix],
+    batch: &[DecreasedEdge],
+) -> UpdateResult {
+    assert_eq!(blocks.len(), layout.p(), "one block per rank");
+    for e in batch {
+        assert!(e.new_weight >= 0.0, "negative weights form negative cycles");
+        assert!(e.u < layout.n() && e.v < layout.n(), "endpoint out of range");
+        assert_ne!(e.u, e.v, "self loops carry no distance information");
+    }
+    let (out, report) = Machine::run(layout.p(), |comm| {
+        rank_program(comm, layout, blocks, batch)
+    });
+    let new_blocks: Vec<MinPlusMatrix> = out
+        .into_iter()
+        .enumerate()
+        .map(|(rank, data)| {
+            let (i, j) = layout.block_of_rank(rank);
+            MinPlusMatrix::from_raw(layout.size(i), layout.size(j), data)
+        })
+        .collect();
+    UpdateResult { dist_eliminated: layout.assemble_dense(&new_blocks), report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse2d::{sparse2d, R4Strategy};
+    use apsp_graph::generators::{self, WeightKind};
+    use apsp_graph::oracle;
+    use apsp_partition::grid_nd;
+
+    /// Solve, decrease some edges, update, and check against a re-solved
+    /// oracle on the modified graph.
+    fn check(side: usize, h: u32, decreases: &[(usize, usize, f64)]) -> (RunReport, RunReport) {
+        let g = generators::grid2d(side, side, WeightKind::Integer { max: 9 }, 3);
+        let nd = grid_nd(side, side, h);
+        let layout = SupernodalLayout::from_ordering(&nd);
+        let gp = g.permuted(&nd.perm);
+        let solved = sparse2d(&layout, &gp, R4Strategy::OneToOne);
+
+        // recover each rank's block from the solved dense matrix
+        let blocks: Vec<MinPlusMatrix> = (0..layout.p())
+            .map(|rank| {
+                let (i, j) = layout.block_of_rank(rank);
+                let (ri, rj) = (layout.range(i), layout.range(j));
+                MinPlusMatrix::from_fn(ri.len(), rj.len(), |r, c| {
+                    solved.dist_eliminated.get(ri.start + r, rj.start + c)
+                })
+            })
+            .collect();
+
+        // batch in eliminated coordinates; build the modified graph too
+        let mut b = apsp_graph::GraphBuilder::new(g.n());
+        for (u, v, w) in g.edges() {
+            b.add_edge(u, v, w);
+        }
+        let batch: Vec<DecreasedEdge> = decreases
+            .iter()
+            .map(|&(u, v, w)| {
+                b.add_edge(u, v, w); // builder keeps the minimum
+                DecreasedEdge {
+                    u: nd.perm.to_new(u),
+                    v: nd.perm.to_new(v),
+                    new_weight: w,
+                }
+            })
+            .collect();
+        let modified = b.build();
+
+        let updated = apply_decreases(&layout, &blocks, &batch);
+        let dist = SupernodalLayout::unpermute(&updated.dist_eliminated, &nd.perm);
+        let reference = oracle::apsp_dijkstra(&modified);
+        if let Some((i, j, a, bb)) = dist.first_mismatch(&reference, 1e-9) {
+            panic!("mismatch at ({i},{j}): got {a}, expected {bb}");
+        }
+        (updated.report, solved.report)
+    }
+
+    #[test]
+    fn single_shortcut_edge() {
+        // a diagonal shortcut across the mesh
+        check(8, 2, &[(0, 63, 1.0)]);
+    }
+
+    #[test]
+    fn batch_of_three_edges() {
+        check(8, 3, &[(0, 63, 2.0), (7, 56, 1.0), (27, 36, 0.5)]);
+    }
+
+    #[test]
+    fn chained_batch_forms_a_new_path() {
+        // two edges that only help *together*: 0→30 and 30→63
+        check(8, 2, &[(0, 30, 0.5), (30, 63, 0.5)]);
+    }
+
+    #[test]
+    fn no_op_decrease_changes_nothing() {
+        // "decreasing" to a weight larger than current distances is a no-op
+        let (update_report, _) = check(6, 2, &[(0, 35, 1000.0)]);
+        assert!(update_report.total_messages() > 0, "broadcasts still happen");
+    }
+
+    #[test]
+    fn update_is_much_cheaper_than_resolve() {
+        let (update_report, solve_report) = check(12, 3, &[(0, 143, 1.0)]);
+        assert!(
+            update_report.critical_bandwidth() * 2 < solve_report.critical_bandwidth(),
+            "update {} vs solve {}",
+            update_report.critical_bandwidth(),
+            solve_report.critical_bandwidth()
+        );
+        assert!(update_report.critical_latency() < solve_report.critical_latency());
+    }
+
+    #[test]
+    fn zero_weight_decrease() {
+        check(6, 2, &[(0, 1, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weights")]
+    fn negative_decrease_rejected() {
+        let layout = SupernodalLayout::new(apsp_etree::SchedTree::new(1), vec![2]);
+        let blocks = vec![MinPlusMatrix::identity(2)];
+        let _ = apply_decreases(
+            &layout,
+            &blocks,
+            &[DecreasedEdge { u: 0, v: 1, new_weight: -1.0 }],
+        );
+    }
+}

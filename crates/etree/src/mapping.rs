@@ -1,0 +1,233 @@
+//! The Lemma 5.4 / Corollary 5.5 one-to-one placement of `R⁴` computing
+//! units onto the `√p × √p` processor grid.
+//!
+//! At level `l`, the unit `A(i,k) ⊗ A(k,j)` — where `a = level(i)`,
+//! `c = level(j)`, `a ≤ c`, `k ∈ Q_l ∩ 𝒟(i)` — executes on processor
+//! `(f, g)` with
+//!
+//! ```text
+//! f = Σ_{b = h+a−c}^{h−1} 2^b + (a − l)        g = k − Σ_{b = h−l+1}^{h−1} 2^b
+//! ```
+//!
+//! Both coordinates are 1-based like the supernode labels (`P_{1,1}` is the
+//! top-left processor). The map is injective over all units of a level
+//! (Lemma 5.4 + Lemma 5.3), which this crate's tests verify exhaustively
+//! for `h ≤ 6`.
+
+use crate::regions::{r4_unit_pivots, r4_upper};
+use crate::tree::SchedTree;
+
+/// One computing unit of `R⁴_l` with its processor placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UnitAssignment {
+    /// Block row (`a = level(i)` is the smaller level of the pair).
+    pub i: usize,
+    /// Block column (ancestor-or-self of `i`).
+    pub j: usize,
+    /// Pivot supernode `k ∈ Q_l ∩ 𝒟(i)`.
+    pub k: usize,
+    /// Grid row of the executing processor (1-based).
+    pub f: usize,
+    /// Grid column of the executing processor (1-based).
+    pub g: usize,
+}
+
+/// Grid row hosting the units of subset `R⁴_l(a, c)`:
+/// `f = Σ_{b=h+a−c}^{h−1} 2^b + (a − l)`.
+///
+/// # Panics
+/// Debug-asserts `l < a ≤ c ≤ h`.
+pub fn unit_row(t: &SchedTree, l: u32, a: u32, c: u32) -> usize {
+    let h = t.height();
+    debug_assert!(l < a && a <= c && c <= h, "invalid subset (l={l}, a={a}, c={c}, h={h})");
+    // Σ_{b=h+a−c}^{h−1} 2^b = 2^h − 2^{h+a−c}  (empty when a == c)
+    let prefix = if c == a { 0 } else { (1usize << h) - (1usize << (h + a - c)) };
+    prefix + (a - l) as usize
+}
+
+/// Grid column of pivot `k ∈ Q_l`: `g = k − offset(Q_l)`.
+pub fn unit_col(t: &SchedTree, l: u32, k: usize) -> usize {
+    debug_assert_eq!(t.level(k), l, "pivot {k} is not at level {l}");
+    k - t.level_offset(l)
+}
+
+/// The processor `(f, g)` executing unit `(i, j, k)` at level `l`
+/// (Corollary 5.5).
+pub fn unit_processor(t: &SchedTree, l: u32, i: usize, j: usize, k: usize) -> (usize, usize) {
+    let (a, c) = (t.level(i), t.level(j));
+    (unit_row(t, l, a, c), unit_col(t, l, k))
+}
+
+/// Inverse of [`unit_row`]: which `(a, c)` subset does grid row `f` host at
+/// level `l`? `None` when the row hosts no units. `O(h²)` search — `h ≤ 32`.
+pub fn decode_row(t: &SchedTree, l: u32, f: usize) -> Option<(u32, u32)> {
+    let h = t.height();
+    for a in (l + 1)..=h {
+        for c in a..=h {
+            if unit_row(t, l, a, c) == f {
+                return Some((a, c));
+            }
+        }
+    }
+    None
+}
+
+/// Every unit of level `l`, with placements — the full Corollary 5.5
+/// assignment. Ordered by block then pivot.
+pub fn level_units(t: &SchedTree, l: u32) -> Vec<UnitAssignment> {
+    let mut out = Vec::new();
+    for b in r4_upper(t, l) {
+        for k in r4_unit_pivots(t, l, b) {
+            let (f, g) = unit_processor(t, l, b.i, b.j, k);
+            out.push(UnitAssignment { i: b.i, j: b.j, k, f, g });
+        }
+    }
+    out
+}
+
+/// The unit assigned to processor `(f, g)` at level `l`, if any — what a
+/// rank consults to learn its worker role. O(h²).
+pub fn units_for_processor(t: &SchedTree, l: u32, f: usize, g: usize) -> Option<UnitAssignment> {
+    if g == 0 || g > t.level_count(l) {
+        return None;
+    }
+    let (a, c) = decode_row(t, l, f)?;
+    let k = t.level_offset(l) + g;
+    let i = t.ancestor_at(k, a);
+    let j = t.ancestor_at(k, c);
+    Some(UnitAssignment { i, j, k, f, g })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rows_stay_on_the_grid_lemma_5_4_part1() {
+        for h in 2..=6u32 {
+            let t = SchedTree::new(h);
+            let n = t.num_supernodes();
+            for l in 1..h {
+                for a in (l + 1)..=h {
+                    for c in a..=h {
+                        let f = unit_row(&t, l, a, c);
+                        assert!(f >= 1 && f <= n, "h={h} l={l} a={a} c={c}: f={f}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_distinct_lemma_5_4_part2() {
+        for h in 2..=6u32 {
+            let t = SchedTree::new(h);
+            for l in 1..h {
+                let mut seen = BTreeSet::new();
+                for a in (l + 1)..=h {
+                    for c in a..=h {
+                        let f = unit_row(&t, l, a, c);
+                        assert!(seen.insert(f), "h={h} l={l}: row {f} reused at (a={a}, c={c})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_to_processor_map_is_injective_corollary_5_5() {
+        for h in 2..=6u32 {
+            let t = SchedTree::new(h);
+            let n = t.num_supernodes();
+            for l in 1..h {
+                let units = level_units(&t, l);
+                let mut procs = BTreeSet::new();
+                for u in &units {
+                    assert!(u.f >= 1 && u.f <= n, "f off grid: {u:?}");
+                    assert!(u.g >= 1 && u.g <= n, "g off grid: {u:?}");
+                    assert!(procs.insert((u.f, u.g)), "processor reused: {u:?}");
+                }
+                // Lemma 5.3: each (a,c) subset has exactly 2^{h−l} units
+                for a in (l + 1)..=h {
+                    for c in a..=h {
+                        let f = unit_row(&t, l, a, c);
+                        let count = units.iter().filter(|u| u.f == f).count();
+                        assert_eq!(count, 1usize << (h - l), "h={h} l={l} a={a} c={c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_row_inverts_unit_row() {
+        for h in 2..=6u32 {
+            let t = SchedTree::new(h);
+            for l in 1..h {
+                for a in (l + 1)..=h {
+                    for c in a..=h {
+                        let f = unit_row(&t, l, a, c);
+                        assert_eq!(decode_row(&t, l, f), Some((a, c)));
+                    }
+                }
+                // a row with no units decodes to None
+                let used: BTreeSet<usize> = level_units(&t, l).iter().map(|u| u.f).collect();
+                for f in 1..=t.num_supernodes() {
+                    if !used.contains(&f) {
+                        assert_eq!(decode_row(&t, l, f), None, "h={h} l={l} f={f}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn units_for_processor_matches_level_units() {
+        for h in 2..=5u32 {
+            let t = SchedTree::new(h);
+            let n = t.num_supernodes();
+            for l in 1..h {
+                let by_proc: std::collections::BTreeMap<(usize, usize), UnitAssignment> =
+                    level_units(&t, l).into_iter().map(|u| ((u.f, u.g), u)).collect();
+                for f in 1..=n {
+                    for g in 1..=n {
+                        assert_eq!(
+                            units_for_processor(&t, l, f, g),
+                            by_proc.get(&(f, g)).copied(),
+                            "h={h} l={l} ({f},{g})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_grid_example_h4_l2() {
+        // h = 4, l = 2, √p = 15: subsets (a,c) ∈ {(3,3), (3,4), (4,4)}.
+        let t = SchedTree::new(4);
+        assert_eq!(unit_row(&t, 2, 3, 3), 1); // a − l = 1
+        assert_eq!(unit_row(&t, 2, 4, 4), 2); // a − l = 2
+        assert_eq!(unit_row(&t, 2, 3, 4), 8 + 1); // 2^4 − 2^3 + 1
+        // pivots Q_2 = {9..12} map to columns 1..4
+        assert_eq!(unit_col(&t, 2, 9), 1);
+        assert_eq!(unit_col(&t, 2, 12), 4);
+        // unit (13, 15, 10) sits at (9, 2)
+        assert_eq!(unit_processor(&t, 2, 13, 15, 10), (9, 2));
+    }
+
+    #[test]
+    fn level_one_units_cover_all_ancestor_pairs() {
+        let t = SchedTree::new(3);
+        let units = level_units(&t, 1);
+        // blocks: levels 2,3 related pairs upper side: (5,5),(5,7),(6,6),(6,7),(7,7)
+        let blocks: BTreeSet<(usize, usize)> = units.iter().map(|u| (u.i, u.j)).collect();
+        let expected: BTreeSet<(usize, usize)> =
+            [(5, 5), (5, 7), (6, 6), (6, 7), (7, 7)].into_iter().collect();
+        assert_eq!(blocks, expected);
+        // (7,7) has 4 units (all leaves), (5,5) has 2
+        assert_eq!(units.iter().filter(|u| u.i == 7 && u.j == 7).count(), 4);
+        assert_eq!(units.iter().filter(|u| u.i == 5 && u.j == 5).count(), 2);
+    }
+}

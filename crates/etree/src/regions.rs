@@ -1,0 +1,299 @@
+//! The per-level update regions `R¹_l … R⁴_l` of §5.2.
+//!
+//! For the elimination of level `l` the paper partitions the touched blocks
+//! `R_l = ⋃_{k∈Q_l} (rel(k) × rel(k))` (where `rel(k) = {k} ∪ 𝒜(k) ∪ 𝒟(k)`)
+//! into:
+//!
+//! * `R¹_l` — diagonal pivot blocks `(k, k)`;
+//! * `R²_l` — pivot panels `(i, k)`, `(k, i)` with `i ∈ 𝒜(k) ∪ 𝒟(k)`;
+//! * `R³_l` — blocks with **exactly one** computing unit: `(i, j)` with
+//!   `i, j ∈ rel(k) \ {k}` and not both ancestors of `k`;
+//! * `R⁴_l` — ancestor × ancestor blocks, each needing `2^{a−l}` computing
+//!   units (`a` = min level); these get the Corollary 5.5 placement.
+//!
+//! All functions return blocks as 1-based supernode label pairs.
+
+use crate::tree::SchedTree;
+
+/// An `R³` update: `A(i,j) ⊕= A(i,k) ⊗ A(k,j)` for the unique pivot `k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct R3Update {
+    /// Block row (supernode label).
+    pub i: usize,
+    /// Block column (supernode label).
+    pub j: usize,
+    /// The unique level-`l` pivot relating `i` and `j`.
+    pub k: usize,
+}
+
+/// An `R⁴` block on the computed side (`level(i) ≤ level(j)`, i.e.
+/// `j ∈ {i} ∪ 𝒜(i)`); the mirror `(j, i)` is filled by a transpose send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct R4Block {
+    /// Block row; `a = level(i)` is the smaller level.
+    pub i: usize,
+    /// Block column; ancestor of `i` (or `i` itself).
+    pub j: usize,
+}
+
+/// `R¹_l`: the diagonal pivot blocks, one per `k ∈ Q_l`.
+pub fn r1(t: &SchedTree, l: u32) -> Vec<(usize, usize)> {
+    t.level_nodes(l).map(|k| (k, k)).collect()
+}
+
+/// `R²_l`: pivot column and row panels `(i, k)` and `(k, i)` for every
+/// `k ∈ Q_l` and `i ∈ 𝒜(k) ∪ 𝒟(k)`.
+pub fn r2(t: &SchedTree, l: u32) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for k in t.level_nodes(l) {
+        for i in t.descendants(k).chain(t.ancestors(k)) {
+            out.push((i, k));
+            out.push((k, i));
+        }
+    }
+    out
+}
+
+/// `R³_l`: every block with exactly one computing unit, together with its
+/// unique pivot `k`. Includes descendant diagonal blocks `(i, i)`,
+/// `i ∈ 𝒟(k)` — internal distances improve through ancestor separators.
+pub fn r3(t: &SchedTree, l: u32) -> Vec<R3Update> {
+    let mut out = Vec::new();
+    for k in t.level_nodes(l) {
+        let desc: Vec<usize> = t.descendants(k).collect();
+        let anc: Vec<usize> = t.ancestors(k).collect();
+        // (𝒟 ∪ 𝒜) × 𝒟  and  𝒟 × 𝒜
+        for &i in desc.iter().chain(anc.iter()) {
+            for &j in &desc {
+                out.push(R3Update { i, j, k });
+            }
+        }
+        for &i in &desc {
+            for &j in &anc {
+                out.push(R3Update { i, j, k });
+            }
+        }
+    }
+    out
+}
+
+/// `R⁴_l`, computed side only: blocks `(i, j)` with both endpoints strictly
+/// above level `l`, related, and `level(i) ≤ level(j)`. Empty when `l = h`
+/// (the root has no ancestors).
+pub fn r4_upper(t: &SchedTree, l: u32) -> Vec<R4Block> {
+    let mut out = Vec::new();
+    for a in (l + 1)..=t.height() {
+        for i in t.level_nodes(a) {
+            out.push(R4Block { i, j: i });
+            for j in t.ancestors(i) {
+                out.push(R4Block { i, j });
+            }
+        }
+    }
+    out
+}
+
+/// The mirror blocks `(j, i)` of [`r4_upper`] with `i ≠ j`.
+pub fn r4_mirror(t: &SchedTree, l: u32) -> Vec<(usize, usize)> {
+    r4_upper(t, l)
+        .into_iter()
+        .filter(|b| b.i != b.j)
+        .map(|b| (b.j, b.i))
+        .collect()
+}
+
+/// The pivots of the computing units updating an `R⁴` block `(i, j)`:
+/// `Q_l ∩ 𝒟(i) ∩ 𝒟(j)`, which (since `j` is an ancestor-or-self of `i`)
+/// equals the contiguous label range `𝒟(i) ∩ Q_l` of size `2^{a−l}`.
+pub fn r4_unit_pivots(t: &SchedTree, l: u32, block: R4Block) -> std::ops::Range<usize> {
+    debug_assert!(t.level(block.i) <= t.level(block.j));
+    debug_assert!(block.i == block.j || t.is_ancestor(block.j, block.i));
+    t.descendants_at(block.i, l)
+}
+
+/// Total number of computing units needed to update all of `R⁴_l`
+/// (Lemma 5.2 proves this is `O(p)`).
+pub fn unit_count(t: &SchedTree, l: u32) -> usize {
+    r4_upper(t, l)
+        .into_iter()
+        .map(|b| r4_unit_pivots(t, l, b).len())
+        .sum()
+}
+
+/// Every block `(i, j)` (unordered region union `R_l`) touched by the
+/// elimination of level `l` — the reference definition
+/// `⋃_{k∈Q_l} rel(k) × rel(k)` used to cross-check the partition.
+pub fn full_region(t: &SchedTree, l: u32) -> std::collections::BTreeSet<(usize, usize)> {
+    let mut out = std::collections::BTreeSet::new();
+    for k in t.level_nodes(l) {
+        let rel: Vec<usize> = std::iter::once(k)
+            .chain(t.descendants(k))
+            .chain(t.ancestors(k))
+            .collect();
+        for &i in &rel {
+            for &j in &rel {
+                out.insert((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// First-principles membership predicates straight from §5.2's set
+    /// notation, used to validate the fast enumerations.
+    fn rel_sets(t: &SchedTree, k: usize) -> (BTreeSet<usize>, BTreeSet<usize>) {
+        (t.ancestors(k).collect(), t.descendants(k).collect())
+    }
+
+    #[test]
+    fn partition_covers_full_region_exactly_once() {
+        for h in 2..=5 {
+            let t = SchedTree::new(h);
+            for l in 1..=h {
+                let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+                let mut insert_unique = |b: (usize, usize)| {
+                    assert!(seen.insert(b), "h={h} l={l}: block {b:?} appears twice");
+                };
+                for b in r1(&t, l) {
+                    insert_unique(b);
+                }
+                for b in r2(&t, l) {
+                    insert_unique(b);
+                }
+                for u in r3(&t, l) {
+                    insert_unique((u.i, u.j));
+                }
+                for b in r4_upper(&t, l) {
+                    insert_unique((b.i, b.j));
+                }
+                for b in r4_mirror(&t, l) {
+                    insert_unique(b);
+                }
+                assert_eq!(seen, full_region(&t, l), "h={h} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn r3_pivot_is_the_unique_relating_pivot() {
+        for h in 2..=5 {
+            let t = SchedTree::new(h);
+            for l in 1..=h {
+                for u in r3(&t, l) {
+                    // count level-l pivots relating both endpoints
+                    let count = t
+                        .level_nodes(l)
+                        .filter(|&k| {
+                            let (anc, desc) = rel_sets(&t, k);
+                            let in_rel = |x: usize| anc.contains(&x) || desc.contains(&x);
+                            in_rel(u.i) && in_rel(u.j)
+                        })
+                        .count();
+                    assert_eq!(count, 1, "h={h} l={l} {u:?}");
+                    let (anc, desc) = rel_sets(&t, u.k);
+                    let in_rel = |x: usize| anc.contains(&x) || desc.contains(&x);
+                    assert!(in_rel(u.i) && in_rel(u.j));
+                    // not both ancestors (that would be R4)
+                    assert!(
+                        !(anc.contains(&u.i) && anc.contains(&u.j)),
+                        "h={h} l={l} {u:?} is an R4 block"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r4_block_count_matches_lemma_5_2() {
+        // |R4(a)| with min-level a: (2h − 2a + 1)·2^{h−a} blocks (both sides,
+        // diagonal counted once); our upper side: (h − a + 1)·2^{h−a}.
+        for h in 2..=6u32 {
+            let t = SchedTree::new(h);
+            for l in 1..h {
+                let blocks = r4_upper(&t, l);
+                for a in (l + 1)..=h {
+                    let count = blocks.iter().filter(|b| t.level(b.i) == a).count();
+                    assert_eq!(
+                        count,
+                        (h - a + 1) as usize * (1usize << (h - a)),
+                        "h={h} l={l} a={a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r4_units_per_block_match_lemma_5_2() {
+        // each block with min-level a needs 2^{a−l} units
+        for h in 2..=6u32 {
+            let t = SchedTree::new(h);
+            for l in 1..h {
+                for b in r4_upper(&t, l) {
+                    let a = t.level(b.i);
+                    let pivots = r4_unit_pivots(&t, l, b);
+                    assert_eq!(pivots.len(), 1usize << (a - l), "h={h} l={l} {b:?}");
+                    for k in pivots {
+                        assert_eq!(t.level(k), l);
+                        assert!(b.i == k || t.is_ancestor(b.i, k));
+                        assert!(b.j == k || t.is_ancestor(b.j, k));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_units_bounded_by_p() {
+        // Lemma 5.2: the number of computing units for R4 is O(p) = O(N²);
+        // mechanically: ≤ N² for every h and l.
+        for h in 2..=7u32 {
+            let t = SchedTree::new(h);
+            let p = t.num_supernodes() * t.num_supernodes();
+            for l in 1..h {
+                let units = unit_count(&t, l);
+                assert!(units <= p, "h={h} l={l}: {units} > p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn r4_empty_at_root_level() {
+        for h in 1..=5 {
+            let t = SchedTree::new(h);
+            assert!(r4_upper(&t, h).is_empty());
+            assert_eq!(unit_count(&t, h), 0);
+        }
+    }
+
+    #[test]
+    fn fig3b_level2_regions() {
+        // Paper Fig. 3b: h = 4, l = 2. Q_2 = {9, 10, 11, 12}.
+        let t = SchedTree::new(4);
+        let r1v = r1(&t, 2);
+        assert_eq!(r1v, vec![(9, 9), (10, 10), (11, 11), (12, 12)]);
+        // R2 panels of pivot 9: ancestors {13, 15}, descendants {1, 2}
+        let r2v = r2(&t, 2);
+        for i in [1, 2, 13, 15] {
+            assert!(r2v.contains(&(i, 9)) && r2v.contains(&(9, i)));
+        }
+        assert!(!r2v.contains(&(3, 9)), "cousins do not join the panel");
+        // R4 upper blocks: (13,13), (13,15), (14,14), (14,15), (15,15)
+        let r4v: BTreeSet<(usize, usize)> =
+            r4_upper(&t, 2).into_iter().map(|b| (b.i, b.j)).collect();
+        let expected: BTreeSet<(usize, usize)> =
+            [(13, 13), (13, 15), (14, 14), (14, 15), (15, 15)].into_iter().collect();
+        assert_eq!(r4v, expected);
+        // units of (13, 15): pivots Q_2 ∩ 𝒟(13) = {9, 10}
+        assert_eq!(
+            r4_unit_pivots(&t, 2, R4Block { i: 13, j: 15 }),
+            9..11
+        );
+        assert_eq!(r4_unit_pivots(&t, 2, R4Block { i: 15, j: 15 }), 9..13);
+    }
+}

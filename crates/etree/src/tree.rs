@@ -1,0 +1,447 @@
+//! The complete binary elimination tree with bottom-up level-order labels.
+
+/// A complete binary elimination tree of height `h ≥ 1` whose
+/// `N = 2^h − 1` supernodes are labeled `1..=N` bottom-up, level by level
+/// (paper Fig. 3a): the `2^{h−1}` leaves are `1..=2^{h−1}`, the next level
+/// continues from there, and the root is `N`.
+///
+/// Levels are `1` (leaves) through `h` (root). All label arithmetic is
+/// O(1); descendant sets at a fixed level are contiguous label ranges.
+///
+/// This labeling satisfies the elimination partial order of §4.2 —
+/// descendants always carry smaller labels than their ancestors — so
+/// eliminating supernodes in label order is a valid sparse pivot order,
+/// and eliminating *level by level* exposes the paper's parallelism
+/// (same-level supernodes are cousins, hence independent).
+///
+/// ```
+/// use apsp_etree::SchedTree;
+///
+/// // the paper's Fig. 3a tree: h = 4, leaves 1..=8, root 15
+/// let t = SchedTree::new(4);
+/// assert_eq!(t.num_supernodes(), 15);
+/// assert_eq!(t.level_nodes(2).collect::<Vec<_>>(), vec![9, 10, 11, 12]);
+/// assert_eq!(t.parent(3), Some(10));
+/// assert_eq!(t.ancestors(1).collect::<Vec<_>>(), vec![9, 13, 15]);
+/// assert!(t.cousins(9, 11));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedTree {
+    h: u32,
+}
+
+impl SchedTree {
+    /// Tree of height `h ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics when `h == 0` or the node count would overflow label space.
+    pub fn new(h: u32) -> Self {
+        assert!(h >= 1, "tree height must be at least 1");
+        assert!(h <= 32, "tree height {h} unreasonably large");
+        SchedTree { h }
+    }
+
+    /// Tree with exactly `n` supernodes, when `n = 2^h − 1` for some `h`.
+    pub fn with_supernodes(n: usize) -> Option<Self> {
+        let h = (n + 1).trailing_zeros();
+        if n >= 1 && (n + 1).is_power_of_two() {
+            Some(SchedTree::new(h))
+        } else {
+            None
+        }
+    }
+
+    /// Height `h` (number of levels).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.h
+    }
+
+    /// Total supernode count `N = 2^h − 1` (also the grid side `√p`).
+    #[inline]
+    pub fn num_supernodes(&self) -> usize {
+        (1usize << self.h) - 1
+    }
+
+    /// Number of supernodes at level `l`: `2^{h−l}`.
+    #[inline]
+    pub fn level_count(&self, l: u32) -> usize {
+        debug_assert!((1..=self.h).contains(&l));
+        1usize << (self.h - l)
+    }
+
+    /// Labels preceding level `l`: `Σ_{b=h−l+1}^{h−1} 2^b = 2^h − 2^{h−l+1}`.
+    #[inline]
+    pub fn level_offset(&self, l: u32) -> usize {
+        debug_assert!((1..=self.h).contains(&l));
+        (1usize << self.h) - (1usize << (self.h - l + 1))
+    }
+
+    /// The labels of level `l` — the paper's `Q_l` — as an inclusive-start,
+    /// exclusive-end range.
+    #[inline]
+    pub fn level_nodes(&self, l: u32) -> std::ops::Range<usize> {
+        let off = self.level_offset(l);
+        (off + 1)..(off + 1 + self.level_count(l))
+    }
+
+    /// Level of supernode `k` (1 = leaf, `h` = root).
+    #[inline]
+    pub fn level(&self, k: usize) -> u32 {
+        debug_assert!((1..=self.num_supernodes()).contains(&k), "label {k} out of range");
+        // level l begins at 2^h − 2^{h−l+1} + 1; solve for l
+        let rem = (1usize << self.h) - k; // ∈ [1, 2^h − 1]
+        // rem ∈ (2^{h−l−1}, 2^{h−l+1} − ... ]: level = h − floor(log2(rem + ... ))
+        // simpler: nodes at level ≥ l are the top 2^{h−l+1} − 1 labels.
+        let h = self.h;
+        h - (usize::BITS - 1 - rem.leading_zeros()).min(h - 1)
+    }
+
+    /// 0-based index of `k` within its level.
+    #[inline]
+    pub fn index_in_level(&self, k: usize) -> usize {
+        k - self.level_offset(self.level(k)) - 1
+    }
+
+    /// Parent label, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, k: usize) -> Option<usize> {
+        let l = self.level(k);
+        if l == self.h {
+            return None;
+        }
+        let t = self.index_in_level(k);
+        Some(self.level_offset(l + 1) + t / 2 + 1)
+    }
+
+    /// Child labels, or `None` for leaves.
+    #[inline]
+    pub fn children(&self, k: usize) -> Option<(usize, usize)> {
+        let l = self.level(k);
+        if l == 1 {
+            return None;
+        }
+        let t = self.index_in_level(k);
+        let off = self.level_offset(l - 1);
+        Some((off + 2 * t + 1, off + 2 * t + 2))
+    }
+
+    /// The ancestor of `k` at level `lvl ≥ level(k)` (which is `k` itself
+    /// when `lvl == level(k)`).
+    #[inline]
+    pub fn ancestor_at(&self, k: usize, lvl: u32) -> usize {
+        let l = self.level(k);
+        debug_assert!(lvl >= l && lvl <= self.h);
+        let t = self.index_in_level(k);
+        self.level_offset(lvl) + (t >> (lvl - l)) + 1
+    }
+
+    /// Strict ancestors of `k`, bottom-up — the paper's `𝒜(k)`.
+    pub fn ancestors(&self, k: usize) -> impl Iterator<Item = usize> + '_ {
+        let l = self.level(k);
+        ((l + 1)..=self.h).map(move |lvl| self.ancestor_at(k, lvl))
+    }
+
+    /// `|𝒜(k)| = h − level(k)`.
+    #[inline]
+    pub fn num_ancestors(&self, k: usize) -> usize {
+        (self.h - self.level(k)) as usize
+    }
+
+    /// The labels of `k`'s descendants at level `lvl ≤ level(k)` — a
+    /// contiguous range (equals `k..k+1` when `lvl == level(k)`).
+    #[inline]
+    pub fn descendants_at(&self, k: usize, lvl: u32) -> std::ops::Range<usize> {
+        let l = self.level(k);
+        debug_assert!(lvl >= 1 && lvl <= l);
+        let t = self.index_in_level(k);
+        let off = self.level_offset(lvl);
+        let width = 1usize << (l - lvl);
+        (off + t * width + 1)..(off + (t + 1) * width + 1)
+    }
+
+    /// Strict descendants of `k`, bottom-up level by level — the paper's
+    /// `𝒟(k)`.
+    pub fn descendants(&self, k: usize) -> impl Iterator<Item = usize> + '_ {
+        let l = self.level(k);
+        (1..l).flat_map(move |lvl| self.descendants_at(k, lvl))
+    }
+
+    /// `|𝒟(k)| = 2^{level(k)} − 2`.
+    #[inline]
+    pub fn num_descendants(&self, k: usize) -> usize {
+        (1usize << self.level(k)) - 2
+    }
+
+    /// `true` when `anc` is a **strict** ancestor of `node`.
+    #[inline]
+    pub fn is_ancestor(&self, anc: usize, node: usize) -> bool {
+        let (la, ln) = (self.level(anc), self.level(node));
+        la > ln && self.ancestor_at(node, la) == anc
+    }
+
+    /// `true` when `i` and `j` lie on a common root path (ancestor,
+    /// descendant, or equal) — the blocks `(i, j)` that can ever hold
+    /// finite entries under the ND ordering (§4.1 fill confinement).
+    #[inline]
+    pub fn related(&self, i: usize, j: usize) -> bool {
+        let (li, lj) = (self.level(i), self.level(j));
+        if li <= lj {
+            self.ancestor_at(i, lj) == j
+        } else {
+            self.ancestor_at(j, li) == i
+        }
+    }
+
+    /// `true` when `i` and `j` are cousins (distinct and unrelated) — the
+    /// paper's `𝒞` relation; cousin blocks stay structurally empty.
+    #[inline]
+    pub fn cousins(&self, i: usize, j: usize) -> bool {
+        !self.related(i, j)
+    }
+
+    /// Converts a bottom-up level-order label to the paper's *recursive
+    /// nested-dissection* label (Fig. 2b): within every subtree, left
+    /// subtree < right subtree < root — i.e. post-order. The paper
+    /// relabels from this order to level order in §5.2 ("we relabel the
+    /// supernodes in this order"); this is the inverse view.
+    pub fn post_order_label(&self, k: usize) -> usize {
+        // nodes preceding k in post-order: all strict descendants of k,
+        // plus the whole left-sibling subtree at every root-path edge
+        // where the path goes through a right child.
+        let l = self.level(k);
+        let mut before = (1usize << l) - 2; // strict descendants
+        let mut node = k;
+        for lvl in l..self.h {
+            if self.index_in_level(node) % 2 == 1 {
+                before += (1usize << lvl) - 1; // left sibling subtree
+            }
+            match self.parent(node) {
+                Some(p) => node = p,
+                None => break,
+            }
+        }
+        before + 1
+    }
+
+    /// The lowest level `L` such that the level-`L` ancestor of `i` and of
+    /// `j` coincide (the supernode LCA level; `level(i)` when `i == j`).
+    pub fn lca_level(&self, i: usize, j: usize) -> u32 {
+        let (li, lj) = (self.level(i), self.level(j));
+        let lo = li.max(lj);
+        (lo..=self.h)
+            .find(|&lvl| self.ancestor_at(i, lvl) == self.ancestor_at(j, lvl))
+            .expect("the root is a common ancestor of everything")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference built from the parent function alone.
+    struct Brute {
+        parent: Vec<usize>, // 0 = none; labels 1-based
+    }
+
+    impl Brute {
+        fn new(t: &SchedTree) -> Self {
+            let n = t.num_supernodes();
+            let mut parent = vec![0; n + 1];
+            for (k, slot) in parent.iter_mut().enumerate().skip(1) {
+                *slot = t.parent(k).unwrap_or(0);
+            }
+            Brute { parent }
+        }
+
+        fn ancestors(&self, mut k: usize) -> Vec<usize> {
+            let mut out = Vec::new();
+            while self.parent[k] != 0 {
+                k = self.parent[k];
+                out.push(k);
+            }
+            out
+        }
+
+        fn descendants(&self, k: usize) -> Vec<usize> {
+            let mut out: Vec<usize> = (1..self.parent.len())
+                .filter(|&x| x != k && self.ancestors(x).contains(&k))
+                .collect();
+            out.sort_unstable();
+            out
+        }
+    }
+
+    #[test]
+    fn paper_fig3a_labels() {
+        // h = 4: leaves 1..8, then 9..12, then 13..14, root 15.
+        let t = SchedTree::new(4);
+        assert_eq!(t.num_supernodes(), 15);
+        assert_eq!(t.level_nodes(1), 1..9);
+        assert_eq!(t.level_nodes(2), 9..13);
+        assert_eq!(t.level_nodes(3), 13..15);
+        assert_eq!(t.level_nodes(4), 15..16);
+        assert_eq!(t.parent(1), Some(9));
+        assert_eq!(t.parent(2), Some(9));
+        assert_eq!(t.parent(3), Some(10));
+        assert_eq!(t.parent(8), Some(12));
+        assert_eq!(t.parent(9), Some(13));
+        assert_eq!(t.parent(12), Some(14));
+        assert_eq!(t.parent(15), None);
+        assert_eq!(t.children(13), Some((9, 10)));
+        assert_eq!(t.children(15), Some((13, 14)));
+        assert_eq!(t.children(5), None);
+    }
+
+    #[test]
+    fn paper_fig2b_relations() {
+        // Fig. 2b is a 3-level tree; the paper states (with its labels)
+        // 𝒜(3) = {7}, 𝒟(3) = {1, 2}... but Fig. 2b uses the *recursive ND*
+        // labels. With our bottom-up labels the same tree has node 5 as the
+        // parent of leaves 1, 2 and node 7 as root.
+        let t = SchedTree::new(3);
+        assert_eq!(t.ancestors(5).collect::<Vec<_>>(), vec![7]);
+        assert_eq!(t.descendants(5).collect::<Vec<_>>(), vec![1, 2]);
+        // cousins of 5: everything not on its root path: {3, 4, 6}
+        let cousins: Vec<usize> =
+            (1..=7).filter(|&x| x != 5 && t.cousins(5, x)).collect();
+        assert_eq!(cousins, vec![3, 4, 6]);
+    }
+
+    #[test]
+    fn levels_and_counts_match_formulas() {
+        for h in 1..=6 {
+            let t = SchedTree::new(h);
+            let n = t.num_supernodes();
+            let mut count_per_level = vec![0usize; h as usize + 1];
+            for k in 1..=n {
+                count_per_level[t.level(k) as usize] += 1;
+            }
+            for l in 1..=h {
+                assert_eq!(count_per_level[l as usize], t.level_count(l), "h={h} l={l}");
+                assert_eq!(
+                    t.level_nodes(l).len(),
+                    t.level_count(l),
+                    "h={h} l={l} range"
+                );
+            }
+            // levels partition labels and are monotone in label order
+            for l in 1..h {
+                assert!(t.level_nodes(l).end == t.level_nodes(l + 1).start);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_descendants_match_bruteforce() {
+        for h in 1..=6 {
+            let t = SchedTree::new(h);
+            let b = Brute::new(&t);
+            for k in 1..=t.num_supernodes() {
+                let anc: Vec<usize> = t.ancestors(k).collect();
+                assert_eq!(anc, b.ancestors(k), "h={h} k={k}");
+                assert_eq!(anc.len(), t.num_ancestors(k));
+                let mut desc: Vec<usize> = t.descendants(k).collect();
+                desc.sort_unstable();
+                assert_eq!(desc, b.descendants(k), "h={h} k={k}");
+                assert_eq!(desc.len(), t.num_descendants(k));
+            }
+        }
+    }
+
+    #[test]
+    fn related_and_cousins_consistent() {
+        let t = SchedTree::new(5);
+        let n = t.num_supernodes();
+        for i in 1..=n {
+            for j in 1..=n {
+                let rel = t.related(i, j);
+                let expected = i == j || t.is_ancestor(i, j) || t.is_ancestor(j, i);
+                assert_eq!(rel, expected, "({i},{j})");
+                assert_eq!(t.cousins(i, j), !expected);
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_at_and_descendants_at_agree() {
+        let t = SchedTree::new(5);
+        for k in 1..=t.num_supernodes() {
+            let l = t.level(k);
+            for lvl in 1..=l {
+                for d in t.descendants_at(k, lvl) {
+                    assert_eq!(t.ancestor_at(d, l), k, "k={k} lvl={lvl} d={d}");
+                }
+            }
+            assert_eq!(t.descendants_at(k, l), k..k + 1);
+        }
+    }
+
+    #[test]
+    fn lca_levels() {
+        let t = SchedTree::new(4);
+        assert_eq!(t.lca_level(1, 2), 2); // siblings meet at their parent
+        assert_eq!(t.lca_level(1, 3), 3);
+        assert_eq!(t.lca_level(1, 8), 4);
+        assert_eq!(t.lca_level(1, 9), 2); // 9 is 1's parent
+        assert_eq!(t.lca_level(5, 5), 1);
+        assert_eq!(t.lca_level(13, 14), 4);
+    }
+
+    #[test]
+    fn post_order_matches_paper_fig2b() {
+        // Fig. 2b (3-level tree, recursive ND labels): leaves 1,2 under 3;
+        // leaves 4,5 under 6; root 7. Our level-order labels: leaves 1..4,
+        // level-2 nodes 5,6, root 7.
+        let t = SchedTree::new(3);
+        assert_eq!(t.post_order_label(1), 1);
+        assert_eq!(t.post_order_label(2), 2);
+        assert_eq!(t.post_order_label(5), 3); // parent of leaves 1,2
+        assert_eq!(t.post_order_label(3), 4);
+        assert_eq!(t.post_order_label(4), 5);
+        assert_eq!(t.post_order_label(6), 6);
+        assert_eq!(t.post_order_label(7), 7);
+    }
+
+    #[test]
+    fn post_order_is_a_bijection_respecting_elimination_order() {
+        for h in 1..=6 {
+            let t = SchedTree::new(h);
+            let n = t.num_supernodes();
+            let mut seen = vec![false; n + 1];
+            for k in 1..=n {
+                let po = t.post_order_label(k);
+                assert!((1..=n).contains(&po), "h={h} k={k}: {po}");
+                assert!(!seen[po], "h={h}: label {po} duplicated");
+                seen[po] = true;
+                // descendants precede ancestors in post-order too
+                for a in t.ancestors(k) {
+                    assert!(t.post_order_label(a) > po, "h={h} k={k} anc={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_supernodes_accepts_only_valid_counts() {
+        assert_eq!(SchedTree::with_supernodes(1).map(|t| t.height()), Some(1));
+        assert_eq!(SchedTree::with_supernodes(3).map(|t| t.height()), Some(2));
+        assert_eq!(SchedTree::with_supernodes(7).map(|t| t.height()), Some(3));
+        assert_eq!(SchedTree::with_supernodes(15).map(|t| t.height()), Some(4));
+        assert!(SchedTree::with_supernodes(0).is_none());
+        assert!(SchedTree::with_supernodes(4).is_none());
+        assert!(SchedTree::with_supernodes(6).is_none());
+    }
+
+    #[test]
+    fn height_one_degenerate_tree() {
+        let t = SchedTree::new(1);
+        assert_eq!(t.num_supernodes(), 1);
+        assert_eq!(t.level(1), 1);
+        assert_eq!(t.parent(1), None);
+        assert_eq!(t.children(1), None);
+        assert_eq!(t.ancestors(1).count(), 0);
+        assert_eq!(t.descendants(1).count(), 0);
+        assert!(t.related(1, 1));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests over random tree heights, levels, and node pairs —
+//! the randomized counterpart of the exhaustive lemma checks in the unit
+//! tests (which stop at `h = 6`; these push to `h = 9`, i.e. √p = 511).
+
+use apsp_etree::{mapping, regions, SchedTree};
+use proptest::prelude::*;
+
+fn arb_tree() -> impl Strategy<Value = SchedTree> {
+    (1u32..10).prop_map(SchedTree::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn labels_roundtrip_between_level_and_index(t in arb_tree(), pick in 0usize..10_000) {
+        let n = t.num_supernodes();
+        let k = pick % n + 1;
+        let l = t.level(k);
+        let idx = t.index_in_level(k);
+        prop_assert_eq!(t.level_offset(l) + idx + 1, k);
+        prop_assert!(t.level_nodes(l).contains(&k));
+    }
+
+    #[test]
+    fn parent_child_inverse(t in arb_tree(), pick in 0usize..10_000) {
+        let n = t.num_supernodes();
+        let k = pick % n + 1;
+        if let Some((a, b)) = t.children(k) {
+            prop_assert_eq!(t.parent(a), Some(k));
+            prop_assert_eq!(t.parent(b), Some(k));
+            prop_assert_eq!(b, a + 1);
+        }
+        if let Some(par) = t.parent(k) {
+            let (a, b) = t.children(par).expect("internal node has children");
+            prop_assert!(k == a || k == b);
+        }
+    }
+
+    #[test]
+    fn ancestor_descendant_duality(t in arb_tree(), pa in 0usize..10_000, pb in 0usize..10_000) {
+        let n = t.num_supernodes();
+        let (x, y) = (pa % n + 1, pb % n + 1);
+        prop_assert_eq!(t.is_ancestor(x, y), t.descendants(x).any(|d| d == y));
+        prop_assert_eq!(t.related(x, y), t.related(y, x));
+        if x != y {
+            prop_assert_eq!(
+                t.related(x, y),
+                t.is_ancestor(x, y) || t.is_ancestor(y, x)
+            );
+        }
+    }
+
+    #[test]
+    fn unit_placements_remain_injective_at_scale(h in 2u32..9, lpick in 0u32..8) {
+        let t = SchedTree::new(h);
+        let l = lpick % (h - 1) + 1; // 1..h
+        let units = mapping::level_units(&t, l);
+        let n = t.num_supernodes();
+        let mut seen = std::collections::HashSet::new();
+        for u in &units {
+            prop_assert!(u.f >= 1 && u.f <= n);
+            prop_assert!(u.g >= 1 && u.g <= n);
+            prop_assert!(seen.insert((u.f, u.g)), "processor reused at h={h} l={l}");
+            // the inverse lookup agrees
+            prop_assert_eq!(mapping::units_for_processor(&t, l, u.f, u.g), Some(*u));
+        }
+        prop_assert_eq!(units.len(), regions::unit_count(&t, l));
+        prop_assert!(units.len() <= n * n, "Lemma 5.2");
+    }
+
+    #[test]
+    fn region_sizes_match_closed_forms(h in 2u32..9, lpick in 0u32..8) {
+        let t = SchedTree::new(h);
+        let l = lpick % h + 1;
+        // |R1| = |Q_l| = 2^{h−l}
+        prop_assert_eq!(regions::r1(&t, l).len(), 1usize << (h - l));
+        // |R2| = 2·|Q_l|·(|𝒜| + |𝒟|) = 2·2^{h−l}·(h − l + 2^l − 2)
+        let rel = (h - l) as usize + (1usize << l) - 2;
+        prop_assert_eq!(regions::r2(&t, l).len(), 2 * (1usize << (h - l)) * rel);
+        // |R4 upper| = Σ_{a=l+1..h} (h−a+1)·2^{h−a}
+        let expected_r4: usize = ((l + 1)..=h)
+            .map(|a| (h - a + 1) as usize * (1usize << (h - a)))
+            .sum();
+        prop_assert_eq!(regions::r4_upper(&t, l).len(), expected_r4);
+    }
+
+    #[test]
+    fn lca_level_is_minimal_common_ancestor_level(t in arb_tree(), pa in 0usize..10_000, pb in 0usize..10_000) {
+        let n = t.num_supernodes();
+        let (x, y) = (pa % n + 1, pb % n + 1);
+        let lvl = t.lca_level(x, y);
+        prop_assert_eq!(t.ancestor_at(x, lvl), t.ancestor_at(y, lvl));
+        if lvl > t.level(x).max(t.level(y)) {
+            prop_assert!(t.ancestor_at(x, lvl - 1) != t.ancestor_at(y, lvl - 1));
+        }
+    }
+}

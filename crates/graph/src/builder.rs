@@ -1,0 +1,178 @@
+//! Mutable edge-list builder producing validated [`Csr`] graphs.
+
+use crate::csr::Csr;
+use crate::weight::Weight;
+
+/// Accumulates undirected edges and finalizes them into a [`Csr`].
+///
+/// * self loops are ignored;
+/// * duplicate edges are merged keeping the **minimum** weight (the natural
+///   `(min, +)` semantics);
+/// * NaN weights are rejected at insertion.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, Weight)>,
+}
+
+impl GraphBuilder {
+    /// New builder over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an undirected edge; chainable.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or NaN weight.
+    pub fn edge(mut self, u: usize, v: usize, w: Weight) -> Self {
+        self.add_edge(u, v, w);
+        self
+    }
+
+    /// Adds an undirected edge in place.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: Weight) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range n={}", self.n);
+        assert!(!w.is_nan(), "NaN edge weight");
+        if u == v {
+            return; // self loops carry no shortest-path information
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a as u32, b as u32, w));
+    }
+
+    /// Adds every edge from an iterator of `(u, v, w)` triples.
+    pub fn extend_edges<I: IntoIterator<Item = (usize, usize, Weight)>>(&mut self, iter: I) {
+        for (u, v, w) in iter {
+            self.add_edge(u, v, w);
+        }
+    }
+
+    /// Number of (possibly duplicate) edges buffered so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a CSR: sorts, merges duplicates by minimum weight,
+    /// symmetrizes, and sorts neighbour lists.
+    pub fn build(mut self) -> Csr {
+        // Merge duplicates on the canonical (u < v) representation.
+        self.edges
+            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        self.edges.dedup_by(|next, keep| {
+            if next.0 == keep.0 && next.1 == keep.1 {
+                // list is sorted so `keep` already has the smaller weight
+                true
+            } else {
+                false
+            }
+        });
+
+        let n = self.n;
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for i in 0..n {
+            xadj[i + 1] = xadj[i] + deg[i];
+        }
+        let mut adj = vec![0u32; xadj[n]];
+        let mut weights = vec![0.0; xadj[n]];
+        let mut cursor = xadj.clone();
+        // edges are sorted by (u, v); pushing u->v in this order keeps each
+        // row's "forward" half sorted, and v->u arrivals for a fixed v come
+        // in increasing u as well, but the two halves interleave — so we
+        // sort rows afterwards.
+        for &(u, v, w) in &self.edges {
+            let (u, v) = (u as usize, v as usize);
+            adj[cursor[u]] = v as u32;
+            weights[cursor[u]] = w;
+            cursor[u] += 1;
+            adj[cursor[v]] = u as u32;
+            weights[cursor[v]] = w;
+            cursor[v] += 1;
+        }
+        for u in 0..n {
+            let (lo, hi) = (xadj[u], xadj[u + 1]);
+            let mut pairs: Vec<(u32, Weight)> = adj[lo..hi]
+                .iter()
+                .copied()
+                .zip(weights[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(v, _)| v);
+            for (k, (v, w)) in pairs.into_iter().enumerate() {
+                adj[lo + k] = v;
+                weights[lo + k] = w;
+            }
+        }
+        let g = Csr::from_raw(xadj, adj, weights);
+        debug_assert!(g.validate().is_ok(), "builder produced invalid CSR");
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_keep_minimum_weight() {
+        let g = GraphBuilder::new(2)
+            .edge(0, 1, 5.0)
+            .edge(1, 0, 2.0)
+            .edge(0, 1, 9.0)
+            .build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 1, 7.0);
+        b.add_edge(0, 2, 1.0);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = GraphBuilder::new(2).edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_weight_panics() {
+        let _ = GraphBuilder::new(2).edge(0, 1, f64::NAN);
+    }
+
+    #[test]
+    fn extend_edges_works() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1, 1.0), (2, 3, 2.0)]);
+        assert_eq!(b.pending_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn neighbour_lists_are_sorted() {
+        let g = GraphBuilder::new(5)
+            .edge(4, 2, 1.0)
+            .edge(4, 0, 1.0)
+            .edge(4, 3, 1.0)
+            .edge(4, 1, 1.0)
+            .build();
+        assert_eq!(g.neighbors(4), &[0, 1, 2, 3]);
+    }
+}

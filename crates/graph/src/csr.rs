@@ -1,0 +1,336 @@
+//! Immutable compressed-sparse-row (CSR) undirected weighted graph.
+
+use crate::perm::Permutation;
+use crate::weight::Weight;
+
+/// An immutable undirected weighted graph in CSR form.
+///
+/// Invariants (enforced by [`crate::GraphBuilder`] and checked by
+/// [`Csr::validate`]):
+///
+/// * the adjacency structure is symmetric: `v ∈ adj(u) ⟺ u ∈ adj(v)` with
+///   equal weights;
+/// * no self loops and no duplicate edges;
+/// * neighbour lists are sorted by vertex id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    xadj: Vec<usize>,
+    adj: Vec<u32>,
+    weights: Vec<Weight>,
+}
+
+impl Csr {
+    /// Builds a CSR directly from its raw arrays.
+    ///
+    /// # Panics
+    /// Panics when the arrays are structurally inconsistent (lengths,
+    /// monotone offsets). Symmetry is *not* checked here — call
+    /// [`Csr::validate`] for a full audit.
+    pub fn from_raw(xadj: Vec<usize>, adj: Vec<u32>, weights: Vec<Weight>) -> Self {
+        assert!(!xadj.is_empty(), "xadj must hold n+1 offsets");
+        assert_eq!(*xadj.last().unwrap(), adj.len(), "xadj/adj mismatch");
+        assert_eq!(adj.len(), weights.len(), "adj/weights mismatch");
+        assert!(xadj.windows(2).all(|w| w[0] <= w[1]), "xadj not monotone");
+        Csr { xadj, adj, weights }
+    }
+
+    /// An edgeless graph on `n` vertices.
+    pub fn edgeless(n: usize) -> Self {
+        Csr {
+            xadj: vec![0; n + 1],
+            adj: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of undirected edges (each stored twice internally).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.xadj[u + 1] - self.xadj[u]
+    }
+
+    /// Neighbour ids of `u`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[self.xadj[u]..self.xadj[u + 1]]
+    }
+
+    /// Weights aligned with [`Csr::neighbors`].
+    #[inline]
+    pub fn weights_of(&self, u: usize) -> &[Weight] {
+        &self.weights[self.xadj[u]..self.xadj[u + 1]]
+    }
+
+    /// Iterator over `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    pub fn edges_of(&self, u: usize) -> impl Iterator<Item = (usize, Weight)> + '_ {
+        self.neighbors(u)
+            .iter()
+            .zip(self.weights_of(u))
+            .map(|(&v, &w)| (v as usize, w))
+    }
+
+    /// Iterator over every undirected edge `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, Weight)> + '_ {
+        (0..self.n()).flat_map(move |u| {
+            self.edges_of(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+
+    /// Weight of edge `(u, v)` if present (binary search on the sorted list).
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<Weight> {
+        let nbrs = self.neighbors(u);
+        nbrs.binary_search(&(v as u32))
+            .ok()
+            .map(|i| self.weights_of(u)[i])
+    }
+
+    /// `true` when all edge weights are non-negative.
+    pub fn has_nonnegative_weights(&self) -> bool {
+        self.weights.iter().all(|&w| w >= 0.0)
+    }
+
+    /// Total weight of all undirected edges.
+    pub fn total_weight(&self) -> Weight {
+        self.weights.iter().sum::<Weight>() / 2.0
+    }
+
+    /// Full structural audit of the CSR invariants; returns a description of
+    /// the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        for u in 0..n {
+            let nbrs = self.neighbors(u);
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("vertex {u}: neighbours not strictly sorted"));
+            }
+            for (v, w) in self.edges_of(u) {
+                if v >= n {
+                    return Err(format!("vertex {u}: neighbour {v} out of range"));
+                }
+                if v == u {
+                    return Err(format!("vertex {u}: self loop"));
+                }
+                if w.is_nan() {
+                    return Err(format!("edge ({u},{v}): NaN weight"));
+                }
+                match self.edge_weight(v, u) {
+                    Some(back) if back == w => {}
+                    Some(back) => {
+                        return Err(format!("edge ({u},{v}): asymmetric weight {w} vs {back}"))
+                    }
+                    None => return Err(format!("edge ({u},{v}): missing reverse edge")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Connected components; returns `(component id per vertex, #components)`.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.n();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = next;
+            stack.push(s);
+            while let Some(u) = stack.pop() {
+                for (v, _) in self.edges_of(u) {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next)
+    }
+
+    /// `true` when the graph is connected (the empty graph is connected).
+    pub fn is_connected(&self) -> bool {
+        self.n() == 0 || self.components().1 == 1
+    }
+
+    /// Returns the graph with vertices relabelled by `perm`: vertex `u` of
+    /// `self` becomes vertex `perm.to_new(u)` of the result.
+    pub fn permuted(&self, perm: &Permutation) -> Csr {
+        assert_eq!(perm.len(), self.n(), "permutation size mismatch");
+        let n = self.n();
+        let mut deg = vec![0usize; n];
+        for u in 0..n {
+            deg[perm.to_new(u)] = self.degree(u);
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for i in 0..n {
+            xadj[i + 1] = xadj[i] + deg[i];
+        }
+        let mut adj = vec![0u32; self.adj.len()];
+        let mut weights = vec![0.0; self.weights.len()];
+        let mut cursor = xadj.clone();
+        for u in 0..n {
+            let nu = perm.to_new(u);
+            for (v, w) in self.edges_of(u) {
+                let c = cursor[nu];
+                adj[c] = perm.to_new(v) as u32;
+                weights[c] = w;
+                cursor[nu] += 1;
+            }
+        }
+        // restore per-vertex sorted order
+        for u in 0..n {
+            let (lo, hi) = (xadj[u], xadj[u + 1]);
+            let mut pairs: Vec<(u32, Weight)> = adj[lo..hi]
+                .iter()
+                .copied()
+                .zip(weights[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(v, _)| v);
+            for (k, (v, w)) in pairs.into_iter().enumerate() {
+                adj[lo + k] = v;
+                weights[lo + k] = w;
+            }
+        }
+        Csr::from_raw(xadj, adj, weights)
+    }
+
+    /// Extracts the subgraph induced by `vertices` (which must be distinct).
+    /// Returns the subgraph and the mapping `local index -> original id`.
+    pub fn induced_subgraph(&self, vertices: &[usize]) -> (Csr, Vec<usize>) {
+        let mut local = vec![usize::MAX; self.n()];
+        for (i, &v) in vertices.iter().enumerate() {
+            assert!(local[v] == usize::MAX, "duplicate vertex {v}");
+            local[v] = i;
+        }
+        let mut xadj = vec![0usize; vertices.len() + 1];
+        let mut adj = Vec::new();
+        let mut weights = Vec::new();
+        for (i, &v) in vertices.iter().enumerate() {
+            for (nbr, w) in self.edges_of(v) {
+                if local[nbr] != usize::MAX {
+                    adj.push(local[nbr] as u32);
+                    weights.push(w);
+                }
+            }
+            xadj[i + 1] = adj.len();
+        }
+        (Csr::from_raw(xadj, adj, weights), vertices.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Csr {
+        GraphBuilder::new(3)
+            .edge(0, 1, 1.0)
+            .edge(1, 2, 2.0)
+            .edge(0, 2, 4.0)
+            .build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.edge_weight(0, 2), Some(4.0));
+        assert_eq!(g.edge_weight(2, 0), Some(4.0));
+        assert_eq!(g.edge_weight(1, 1), None);
+        assert!(g.validate().is_ok());
+        assert!(g.has_nonnegative_weights());
+        assert_eq!(g.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0)]);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = Csr::edgeless(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.components().1, 5);
+        assert!(!g.is_connected());
+        assert!(Csr::edgeless(0).is_connected());
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let g = GraphBuilder::new(6)
+            .edge(0, 1, 1.0)
+            .edge(1, 2, 1.0)
+            .edge(0, 2, 1.0)
+            .edge(3, 4, 1.0)
+            .edge(4, 5, 1.0)
+            .edge(3, 5, 1.0)
+            .build();
+        let (comp, k) = g.components();
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[3], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let g = triangle();
+        // reverse the labels
+        let p = Permutation::from_to_new(vec![2, 1, 0]);
+        let gp = g.permuted(&p);
+        assert!(gp.validate().is_ok());
+        assert_eq!(gp.edge_weight(2, 1), Some(1.0)); // was (0,1)
+        assert_eq!(gp.edge_weight(0, 2), Some(4.0)); // was (2,0)
+        assert_eq!(gp.edge_weight(1, 0), Some(2.0)); // was (1,2)
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        let g = triangle();
+        let (sub, ids) = g.induced_subgraph(&[0, 2]);
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.m(), 1);
+        assert_eq!(sub.edge_weight(0, 1), Some(4.0));
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let g = Csr::from_raw(vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]);
+        assert!(g.validate().unwrap_err().contains("asymmetric"));
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let g = Csr::from_raw(vec![0, 1], vec![0], vec![1.0]);
+        assert!(g.validate().unwrap_err().contains("self loop"));
+    }
+}

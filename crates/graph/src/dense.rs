@@ -1,0 +1,166 @@
+//! Dense `n × n` distance matrices (oracle outputs, verification).
+
+use crate::weight::{is_inf, w_eq_tol, Weight, INF};
+
+/// A dense square distance matrix in row-major order.
+///
+/// This is the exchange format between oracles, the distributed algorithms'
+/// gathered results, and the verification helpers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseDist {
+    n: usize,
+    data: Vec<Weight>,
+}
+
+impl DenseDist {
+    /// A matrix full of `∞` with a zero diagonal ("no paths known yet").
+    pub fn unconnected(n: usize) -> Self {
+        let mut data = vec![INF; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        DenseDist { n, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != n*n`.
+    pub fn from_raw(n: usize, data: Vec<Weight>) -> Self {
+        assert_eq!(data.len(), n * n, "buffer is not n×n");
+        DenseDist { n, data }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance from `i` to `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Weight {
+        self.data[i * self.n + j]
+    }
+
+    /// Sets the distance from `i` to `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, w: Weight) {
+        self.data[i * self.n + j] = w;
+    }
+
+    /// `min`-assigns the distance from `i` to `j`.
+    #[inline]
+    pub fn relax(&mut self, i: usize, j: usize, w: Weight) {
+        let cell = &mut self.data[i * self.n + j];
+        if w < *cell {
+            *cell = w;
+        }
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Weight] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[Weight] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [Weight] {
+        &mut self.data
+    }
+
+    /// `true` when the matrix is symmetric within tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if !w_eq_tol(self.get(i, j), self.get(j, i), tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of finite off-diagonal entries (reachable ordered pairs).
+    pub fn finite_pairs(&self) -> usize {
+        let mut k = 0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && !is_inf(self.get(i, j)) {
+                    k += 1;
+                }
+            }
+        }
+        k
+    }
+
+    /// Compares against another matrix; returns the first mismatch as
+    /// `(i, j, self_value, other_value)`.
+    pub fn first_mismatch(&self, other: &DenseDist, tol: f64) -> Option<(usize, usize, Weight, Weight)> {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let (a, b) = (self.get(i, j), other.get(i, j));
+                if !w_eq_tol(a, b, tol) {
+                    return Some((i, j, a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconnected_has_zero_diagonal() {
+        let d = DenseDist::unconnected(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j {
+                    assert_eq!(d.get(i, j), 0.0);
+                } else {
+                    assert!(is_inf(d.get(i, j)));
+                }
+            }
+        }
+        assert_eq!(d.finite_pairs(), 0);
+    }
+
+    #[test]
+    fn relax_only_improves() {
+        let mut d = DenseDist::unconnected(2);
+        d.relax(0, 1, 5.0);
+        d.relax(0, 1, 7.0);
+        assert_eq!(d.get(0, 1), 5.0);
+        d.relax(0, 1, 2.0);
+        assert_eq!(d.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut d = DenseDist::unconnected(2);
+        d.set(0, 1, 1.0);
+        assert!(!d.is_symmetric(1e-9));
+        d.set(1, 0, 1.0);
+        assert!(d.is_symmetric(1e-9));
+    }
+
+    #[test]
+    fn mismatch_detection() {
+        let mut a = DenseDist::unconnected(2);
+        let mut b = DenseDist::unconnected(2);
+        assert!(a.first_mismatch(&b, 1e-9).is_none());
+        a.set(0, 1, 1.0);
+        b.set(0, 1, 2.0);
+        let (i, j, x, y) = a.first_mismatch(&b, 1e-9).unwrap();
+        assert_eq!((i, j, x, y), (0, 1, 1.0, 2.0));
+    }
+}

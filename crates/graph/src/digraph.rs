@@ -1,0 +1,465 @@
+//! Directed graphs with a structurally symmetric pattern.
+//!
+//! The supernodal machinery (fill confinement, elimination trees, the
+//! block schedule) depends only on the *pattern* of the matrix; the
+//! numeric weights may be asymmetric. This module provides the directed
+//! counterpart of [`Csr`]: every arc `u → v` coexists with the reverse
+//! arc `v → u` (possibly with a different weight, possibly `∞` — a one-way
+//! street keeps the pattern symmetric with an infinite reverse weight),
+//! so nested dissection of the underlying pattern applies unchanged.
+
+use crate::csr::Csr;
+use crate::perm::Permutation;
+use crate::weight::{Weight, INF};
+
+/// A directed graph whose arc pattern is symmetric (each stored neighbour
+/// pair carries independent forward/backward weights, `∞` allowed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiCsr {
+    xadj: Vec<usize>,
+    adj: Vec<u32>,
+    /// weight of `u → adj[k]` aligned with `adj`.
+    weights: Vec<Weight>,
+}
+
+/// Builder for [`DiCsr`]: collects directed arcs, symmetrizes the pattern.
+#[derive(Clone, Debug)]
+pub struct DiGraphBuilder {
+    n: usize,
+    arcs: Vec<(u32, u32, Weight)>,
+}
+
+impl DiGraphBuilder {
+    /// New builder over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraphBuilder { n, arcs: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed arc `u → v` (duplicates keep the minimum weight;
+    /// the reverse direction stays `∞` unless added explicitly).
+    pub fn add_arc(&mut self, u: usize, v: usize, w: Weight) {
+        assert!(u < self.n && v < self.n, "arc ({u},{v}) out of range n={}", self.n);
+        assert!(!w.is_nan(), "NaN arc weight");
+        if u != v {
+            self.arcs.push((u as u32, v as u32, w));
+        }
+    }
+
+    /// Adds both directions with independent weights; chainable.
+    pub fn arc_pair(mut self, u: usize, v: usize, forward: Weight, backward: Weight) -> Self {
+        self.add_arc(u, v, forward);
+        self.add_arc(v, u, backward);
+        self
+    }
+
+    /// Finalizes: pattern-symmetrizes (missing reverse arcs get `∞`),
+    /// merges duplicates by minimum, sorts neighbour lists.
+    pub fn build(self) -> DiCsr {
+        let n = self.n;
+        // collect per-ordered-pair minimum weight
+        let mut best: std::collections::HashMap<(u32, u32), Weight> = std::collections::HashMap::new();
+        for &(u, v, w) in &self.arcs {
+            let e = best.entry((u, v)).or_insert(INF);
+            if w < *e {
+                *e = w;
+            }
+        }
+        // symmetrize the pattern
+        let pairs: Vec<(u32, u32)> = best.keys().copied().collect();
+        for (u, v) in pairs {
+            best.entry((v, u)).or_insert(INF);
+        }
+        // build CSR
+        let mut per_vertex: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n];
+        for (&(u, v), &w) in &best {
+            per_vertex[u as usize].push((v, w));
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0);
+        let mut adj = Vec::new();
+        let mut weights = Vec::new();
+        for list in &mut per_vertex {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            for &(v, w) in list.iter() {
+                adj.push(v);
+                weights.push(w);
+            }
+            xadj.push(adj.len());
+        }
+        DiCsr { xadj, adj, weights }
+    }
+}
+
+impl DiCsr {
+    /// A directed view of an undirected graph (equal weights both ways).
+    pub fn from_undirected(g: &Csr) -> Self {
+        let mut b = DiGraphBuilder::new(g.n());
+        for (u, v, w) in g.edges() {
+            b.add_arc(u, v, w);
+            b.add_arc(v, u, w);
+        }
+        b.build()
+    }
+
+    /// Vertex count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Number of stored neighbour slots (pattern entries; finite + `∞`).
+    pub fn pattern_entries(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Out-neighbours of `u` (the symmetric pattern), sorted.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[self.xadj[u]..self.xadj[u + 1]]
+    }
+
+    /// `(neighbor, forward weight)` pairs of `u`; `∞` marks a missing
+    /// direction of a pattern-symmetric pair.
+    pub fn arcs_of(&self, u: usize) -> impl Iterator<Item = (usize, Weight)> + '_ {
+        self.neighbors(u)
+            .iter()
+            .zip(&self.weights[self.xadj[u]..self.xadj[u + 1]])
+            .map(|(&v, &w)| (v as usize, w))
+    }
+
+    /// Weight of arc `u → v`, or `None` when the pair is not in the pattern.
+    pub fn arc_weight(&self, u: usize, v: usize) -> Option<Weight> {
+        let nbrs = self.neighbors(u);
+        nbrs.binary_search(&(v as u32))
+            .ok()
+            .map(|i| self.weights[self.xadj[u] + i])
+    }
+
+    /// `true` when all finite weights are non-negative.
+    pub fn has_nonnegative_weights(&self) -> bool {
+        self.weights.iter().all(|&w| w >= 0.0 || w == INF)
+    }
+
+    /// The underlying undirected pattern (unit weights) — the graph nested
+    /// dissection runs on.
+    pub fn underlying_pattern(&self) -> Csr {
+        let mut b = crate::builder::GraphBuilder::new(self.n());
+        for u in 0..self.n() {
+            for &v in self.neighbors(u) {
+                if u < v as usize {
+                    b.add_edge(u, v as usize, 1.0);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Relabels vertices: `u` becomes `perm.to_new(u)`.
+    pub fn permuted(&self, perm: &Permutation) -> DiCsr {
+        assert_eq!(perm.len(), self.n());
+        let mut b = DiGraphBuilder::new(self.n());
+        for u in 0..self.n() {
+            for (v, w) in self.arcs_of(u) {
+                if w != INF {
+                    b.add_arc(perm.to_new(u), perm.to_new(v), w);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Structural audit: pattern symmetry, sorted lists, no self loops.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        for u in 0..n {
+            let nbrs = self.neighbors(u);
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("vertex {u}: neighbours not sorted"));
+            }
+            for (v, w) in self.arcs_of(u) {
+                if v >= n {
+                    return Err(format!("vertex {u}: neighbour {v} out of range"));
+                }
+                if v == u {
+                    return Err(format!("vertex {u}: self loop"));
+                }
+                if w.is_nan() {
+                    return Err(format!("arc ({u},{v}): NaN weight"));
+                }
+                if self.arc_weight(v, u).is_none() {
+                    return Err(format!("arc ({u},{v}): pattern not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Johnson re-weighting for directed graphs with negative arcs (§3.2 of
+/// the paper allows negative weights without negative cycles — meaningful
+/// precisely in the directed setting).
+///
+/// Computes Bellman–Ford potentials `h` from a virtual super-source and
+/// returns the re-weighted graph with `w'(u→v) = w + h(u) − h(v) ≥ 0`
+/// plus the potentials; distances in the re-weighted graph convert back
+/// via `d(u, v) = d'(u, v) − h(u) + h(v)`. Errors on a negative cycle.
+pub fn johnson_reweight(g: &DiCsr) -> Result<(DiCsr, Vec<Weight>), String> {
+    let n = g.n();
+    // super-source BF: h starts at 0 everywhere (edge weight 0 from the
+    // virtual source to every vertex)
+    let mut h = vec![0.0; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for u in 0..n {
+            for (v, w) in g.arcs_of(u) {
+                if w == INF {
+                    continue;
+                }
+                let nd = h[u] + w;
+                if nd < h[v] - 1e-15 {
+                    h[v] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == n {
+            return Err("negative cycle detected".into());
+        }
+    }
+    let mut b = DiGraphBuilder::new(n);
+    for u in 0..n {
+        for (v, w) in g.arcs_of(u) {
+            if w != INF {
+                let wp = (w + h[u] - h[v]).max(0.0); // clamp float dust
+                b.add_arc(u, v, wp);
+            }
+        }
+    }
+    Ok((b.build(), h))
+}
+
+/// Single-source Bellman–Ford over directed arcs — the negative-weight
+/// oracle. Errors when a negative cycle is reachable from `source`.
+pub fn bellman_ford_directed(g: &DiCsr, source: usize) -> Result<Vec<Weight>, String> {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    dist[source] = 0.0;
+    for round in 0..=n {
+        let mut changed = false;
+        for u in 0..n {
+            if dist[u] == INF {
+                continue;
+            }
+            for (v, w) in g.arcs_of(u) {
+                if w == INF {
+                    continue;
+                }
+                let nd = dist[u] + w;
+                if nd < dist[v] - 1e-15 {
+                    dist[v] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Ok(dist);
+        }
+        if round == n {
+            return Err("negative cycle reachable from source".into());
+        }
+    }
+    Ok(dist)
+}
+
+/// Single-source Dijkstra over directed arcs (forward distances).
+pub fn dijkstra_directed(g: &DiCsr, source: usize) -> Vec<Weight> {
+    assert!(g.has_nonnegative_weights(), "Dijkstra requires non-negative weights");
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut done = vec![false; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push((std::cmp::Reverse(ordered(0.0)), source));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        if done[u] {
+            continue;
+        }
+        done[u] = true;
+        let d = d.0;
+        for (v, w) in g.arcs_of(u) {
+            if w == INF {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push((std::cmp::Reverse(ordered(nd)), v));
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs directed distances via `n` Dijkstra runs — the directed
+/// ground truth.
+pub fn apsp_dijkstra_directed(g: &DiCsr) -> crate::dense::DenseDist {
+    let n = g.n();
+    let mut out = crate::dense::DenseDist::unconnected(n);
+    for s in 0..n {
+        for (t, &d) in dijkstra_directed(g, s).iter().enumerate() {
+            out.set(s, t, d);
+        }
+    }
+    out
+}
+
+/// Total-ordered f64 wrapper for the heap.
+#[derive(PartialEq)]
+struct Ordered(f64);
+impl Eq for Ordered {}
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+fn ordered(x: f64) -> Ordered {
+    Ordered(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+
+    fn one_way_triangle() -> DiCsr {
+        // 0 → 1 → 2 → 0 (cycle), no reverse arcs
+        let mut b = DiGraphBuilder::new(3);
+        b.add_arc(0, 1, 1.0);
+        b.add_arc(1, 2, 2.0);
+        b.add_arc(2, 0, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn builder_symmetrizes_pattern() {
+        let g = one_way_triangle();
+        g.validate().unwrap();
+        assert_eq!(g.arc_weight(0, 1), Some(1.0));
+        assert_eq!(g.arc_weight(1, 0), Some(INF), "reverse exists as ∞");
+        assert_eq!(g.arc_weight(0, 2), Some(INF));
+        assert_eq!(g.pattern_entries(), 6);
+    }
+
+    #[test]
+    fn directed_dijkstra_follows_arcs() {
+        let g = one_way_triangle();
+        let d = dijkstra_directed(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0]);
+        let d = dijkstra_directed(&g, 2);
+        assert_eq!(d, vec![4.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn asymmetric_weights_roundtrip() {
+        let g = DiGraphBuilder::new(2).arc_pair(0, 1, 3.0, 7.0).build();
+        assert_eq!(g.arc_weight(0, 1), Some(3.0));
+        assert_eq!(g.arc_weight(1, 0), Some(7.0));
+        let d = apsp_dijkstra_directed(&g);
+        assert_eq!(d.get(0, 1), 3.0);
+        assert_eq!(d.get(1, 0), 7.0);
+    }
+
+    #[test]
+    fn from_undirected_agrees_with_undirected_oracle() {
+        let ug = generators::grid2d(4, 4, WeightKind::Integer { max: 5 }, 2);
+        let dg = DiCsr::from_undirected(&ug);
+        dg.validate().unwrap();
+        let a = crate::oracle::apsp_dijkstra(&ug);
+        let b = apsp_dijkstra_directed(&dg);
+        assert!(a.first_mismatch(&b, 1e-9).is_none());
+    }
+
+    #[test]
+    fn underlying_pattern_is_undirected() {
+        let g = one_way_triangle();
+        let pattern = g.underlying_pattern();
+        assert_eq!(pattern.m(), 3);
+        assert!(pattern.validate().is_ok());
+    }
+
+    #[test]
+    fn permuted_preserves_arc_weights() {
+        let g = one_way_triangle();
+        let p = Permutation::from_to_new(vec![2, 0, 1]);
+        let gp = g.permuted(&p);
+        gp.validate().unwrap();
+        assert_eq!(gp.arc_weight(2, 0), Some(1.0)); // was 0→1
+        assert_eq!(gp.arc_weight(0, 2), Some(INF));
+    }
+
+    fn negative_dag() -> DiCsr {
+        // 0 → 1 (−2), 1 → 2 (3), 0 → 2 (2): best 0→2 is via the negative arc
+        let mut b = DiGraphBuilder::new(3);
+        b.add_arc(0, 1, -2.0);
+        b.add_arc(1, 2, 3.0);
+        b.add_arc(0, 2, 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn reweighting_preserves_shortest_paths() {
+        let g = negative_dag();
+        let (rg, h) = johnson_reweight(&g).unwrap();
+        assert!(rg.has_nonnegative_weights());
+        // solve on the re-weighted graph, convert back, compare to BF
+        for s in 0..3 {
+            let reweighted = dijkstra_directed(&rg, s);
+            let truth = bellman_ford_directed(&g, s).unwrap();
+            for t in 0..3 {
+                let back = if reweighted[t] == INF {
+                    INF
+                } else {
+                    reweighted[t] - h[s] + h[t]
+                };
+                assert!(
+                    (back - truth[t]).abs() < 1e-12 || (back == INF && truth[t] == INF),
+                    "({s},{t}): {back} vs {}",
+                    truth[t]
+                );
+            }
+        }
+        assert_eq!(bellman_ford_directed(&g, 0).unwrap(), vec![0.0, -2.0, 1.0]);
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let mut b = DiGraphBuilder::new(2);
+        b.add_arc(0, 1, 1.0);
+        b.add_arc(1, 0, -2.0);
+        let g = b.build();
+        assert!(johnson_reweight(&g).is_err());
+        assert!(bellman_ford_directed(&g, 0).is_err());
+    }
+
+    #[test]
+    fn duplicate_arcs_keep_minimum() {
+        let mut b = DiGraphBuilder::new(2);
+        b.add_arc(0, 1, 5.0);
+        b.add_arc(0, 1, 2.0);
+        let g = b.build();
+        assert_eq!(g.arc_weight(0, 1), Some(2.0));
+    }
+}

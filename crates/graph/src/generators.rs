@@ -1,0 +1,492 @@
+//! Deterministic workload generators.
+//!
+//! The paper's algorithm is most effective on graphs with small balanced
+//! vertex separators (planar-ish meshes: `|S| = Θ(√n)`), and degrades
+//! towards the dense behaviour on expander-like graphs. The generators here
+//! cover both regimes plus the usual pathological shapes used in tests:
+//!
+//! * separator-friendly: [`grid2d`], [`grid3d`], [`random_geometric`],
+//!   [`balanced_tree`], [`path`], [`caterpillar`];
+//! * separator-hostile: [`gnp`] (Erdős–Rényi), [`rmat`] (power-law),
+//!   [`complete`];
+//! * weight assigners: [`WeightKind`] applied by every generator.
+//!
+//! All generators are deterministic given the seed.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::weight::Weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How edge weights are drawn.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightKind {
+    /// Every edge has weight 1.
+    Unit,
+    /// Uniform in `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: Weight,
+        /// Exclusive upper bound.
+        hi: Weight,
+    },
+    /// Uniform integer in `[1, max]`, stored as `f64` (exact min-plus sums).
+    Integer {
+        /// Inclusive maximum weight.
+        max: u32,
+    },
+}
+
+impl WeightKind {
+    fn draw(self, rng: &mut StdRng) -> Weight {
+        match self {
+            WeightKind::Unit => 1.0,
+            WeightKind::Uniform { lo, hi } => rng.random_range(lo..hi),
+            WeightKind::Integer { max } => rng.random_range(1..=max) as Weight,
+        }
+    }
+}
+
+fn weighted(mut b: GraphBuilder, edges: Vec<(usize, usize)>, kind: WeightKind, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_0001);
+    for (u, v) in edges {
+        let w = kind.draw(&mut rng);
+        b.add_edge(u, v, w);
+    }
+    b.build()
+}
+
+/// `rows × cols` 4-neighbour mesh. Vertex `(r, c)` has id `r * cols + c`.
+/// Separators: `Θ(min(rows, cols))`, i.e. `Θ(√n)` for square grids.
+pub fn grid2d(rows: usize, cols: usize, kind: WeightKind, seed: u64) -> Csr {
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                edges.push((u, u + 1));
+            }
+            if r + 1 < rows {
+                edges.push((u, u + cols));
+            }
+        }
+    }
+    weighted(GraphBuilder::new(rows * cols), edges, kind, seed)
+}
+
+/// `nx × ny × nz` 6-neighbour mesh; separators `Θ(n^{2/3})`.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, kind: WeightKind, seed: u64) -> Csr {
+    let id = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    let mut edges = Vec::new();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y, z), id(x + 1, y, z)));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y, z), id(x, y + 1, z)));
+                }
+                if z + 1 < nz {
+                    edges.push((id(x, y, z), id(x, y, z + 1)));
+                }
+            }
+        }
+    }
+    weighted(GraphBuilder::new(nx * ny * nz), edges, kind, seed)
+}
+
+/// Simple path `0 - 1 - … - (n-1)`; separator size 1.
+pub fn path(n: usize, kind: WeightKind, seed: u64) -> Csr {
+    let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Cycle on `n ≥ 3` vertices.
+pub fn cycle(n: usize, kind: WeightKind, seed: u64) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Star with centre 0 and `n - 1` leaves.
+pub fn star(n: usize, kind: WeightKind, seed: u64) -> Csr {
+    let edges = (1..n).map(|i| (0, i)).collect();
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Complete graph `K_n` (the dense extreme: `|S| = Θ(n)`).
+pub fn complete(n: usize, kind: WeightKind, seed: u64) -> Csr {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Complete binary tree with `levels` levels (`2^levels − 1` vertices).
+pub fn balanced_tree(levels: u32, kind: WeightKind, seed: u64) -> Csr {
+    let n = (1usize << levels) - 1;
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n {
+        edges.push(((i - 1) / 2, i));
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// A path of `spine` vertices with `legs` pendant vertices on each spine
+/// vertex — a shape with tiny separators but very unbalanced BFS layers.
+pub fn caterpillar(spine: usize, legs: usize, kind: WeightKind, seed: u64) -> Csr {
+    let n = spine * (1 + legs);
+    let mut edges = Vec::new();
+    for s in 0..spine {
+        if s + 1 < spine {
+            edges.push((s, s + 1));
+        }
+        for l in 0..legs {
+            edges.push((s, spine + s * legs + l));
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Erdős–Rényi `G(n, p)`: each pair independently an edge.
+pub fn gnp(n: usize, p: f64, kind: WeightKind, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Erdős–Rényi graph augmented with a Hamiltonian path so it is always
+/// connected — convenient for end-to-end tests that need finite distances.
+pub fn connected_gnp(n: usize, p: f64, kind: WeightKind, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    for u in 0..n {
+        for v in (u + 2)..n {
+            if rng.random::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Random geometric graph: `n` points in the unit square, edge when the
+/// Euclidean distance is below `radius`; weight assigners still apply
+/// (use [`WeightKind::Uniform`] or `Unit`; geometry only decides structure).
+pub fn random_geometric(n: usize, radius: f64, kind: WeightKind, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                edges.push((u, v));
+            }
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// R-MAT power-law generator (Chakrabarti et al.) with the classic
+/// `(a, b, c, d) = (0.57, 0.19, 0.19, 0.05)` quadrant probabilities.
+/// `scale` gives `n = 2^scale`; `edge_factor` target edges per vertex.
+pub fn rmat(scale: u32, edge_factor: usize, kind: WeightKind, seed: u64) -> Csr {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (mut lo_u, mut lo_v) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let r: f64 = rng.random();
+            if r < a {
+                // upper-left: nothing to add
+            } else if r < a + b {
+                lo_v += half;
+            } else if r < a + b + c {
+                lo_u += half;
+            } else {
+                lo_u += half;
+                lo_v += half;
+            }
+            half >>= 1;
+        }
+        if lo_u != lo_v {
+            edges.push((lo_u, lo_v));
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Watts–Strogatz small world: a ring lattice with `k` neighbours per side,
+/// each edge rewired with probability `beta`. Small `beta` keeps locality
+/// (good separators); large `beta` approaches a random graph.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, kind: WeightKind, seed: u64) -> Csr {
+    assert!(n > 2 * k, "ring needs n > 2k");
+    assert!((0.0..=1.0).contains(&beta), "rewiring probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for d in 1..=k {
+            let v = (u + d) % n;
+            if rng.random::<f64>() < beta {
+                // rewire the far endpoint to a uniform non-self target
+                let mut w = rng.random_range(0..n);
+                while w == u {
+                    w = rng.random_range(0..n);
+                }
+                edges.push((u, w));
+            } else {
+                edges.push((u, v));
+            }
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices chosen proportionally to degree (hubs emerge —
+/// the separator-hostile regime).
+pub fn barabasi_albert(n: usize, m: usize, kind: WeightKind, seed: u64) -> Csr {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // endpoint pool: each edge contributes both endpoints, so sampling the
+    // pool uniformly is degree-proportional sampling
+    let mut pool: Vec<usize> = (0..=m).collect(); // seed clique-ish start
+    let mut edges = Vec::new();
+    for u in 0..m {
+        edges.push((u, u + 1));
+        pool.push(u);
+        pool.push(u + 1);
+    }
+    for u in (m + 1)..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            let t = pool[rng.random_range(0..pool.len())];
+            if t != u {
+                chosen.insert(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            edges.push((u, t));
+            pool.push(u);
+            pool.push(t);
+        }
+    }
+    weighted(GraphBuilder::new(n), edges, kind, seed)
+}
+
+/// A triangulated mesh: a `rows × cols` grid with one diagonal per cell —
+/// planar with `Θ(√n)` separators, but higher degree/fill than the
+/// 4-neighbour mesh (a harder "finite element" shape).
+pub fn tri_mesh(rows: usize, cols: usize, kind: WeightKind, seed: u64) -> Csr {
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                // alternate diagonal orientation per cell parity
+                if (r + c) % 2 == 0 {
+                    edges.push((id(r, c), id(r + 1, c + 1)));
+                } else {
+                    edges.push((id(r, c + 1), id(r + 1, c)));
+                }
+            }
+        }
+    }
+    weighted(GraphBuilder::new(rows * cols), edges, kind, seed)
+}
+
+/// The 7-vertex example graph of the paper's Fig. 1a (unit weights).
+///
+/// The nested-dissection separator is `{6}` (paper vertex 7), splitting the
+/// graph into `{0,1,2}` and `{3,4,5}`.
+pub fn paper_fig1() -> Csr {
+    GraphBuilder::new(7)
+        .edge(0, 1, 1.0)
+        .edge(1, 2, 1.0)
+        .edge(0, 2, 1.0)
+        .edge(3, 4, 1.0)
+        .edge(4, 5, 1.0)
+        .edge(3, 5, 1.0)
+        .edge(2, 6, 1.0)
+        .edge(5, 6, 1.0)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_structure() {
+        let g = grid2d(3, 4, WeightKind::Unit, 0);
+        assert_eq!(g.n(), 12);
+        // interior count: edges = rows*(cols-1) + (rows-1)*cols
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert!(g.validate().is_ok());
+        assert!(g.is_connected());
+        // corner degree 2, interior degree 4
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn grid3d_structure() {
+        let g = grid3d(2, 3, 4, WeightKind::Unit, 0);
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.m(), 3 * 4 + 2 * 2 * 4 + 2 * 3 * 3);
+        assert!(g.is_connected());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn path_cycle_star() {
+        assert_eq!(path(5, WeightKind::Unit, 0).m(), 4);
+        assert_eq!(cycle(5, WeightKind::Unit, 0).m(), 5);
+        let s = star(6, WeightKind::Unit, 0);
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.m(), 5);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(6, WeightKind::Integer { max: 9 }, 3);
+        assert_eq!(g.m(), 15);
+        assert!(g.has_nonnegative_weights());
+    }
+
+    #[test]
+    fn balanced_tree_structure() {
+        let g = balanced_tree(4, WeightKind::Unit, 0);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2, WeightKind::Unit, 0);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 + 8);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn gnp_determinism_and_range() {
+        let a = gnp(40, 0.1, WeightKind::Uniform { lo: 0.5, hi: 2.0 }, 7);
+        let b = gnp(40, 0.1, WeightKind::Uniform { lo: 0.5, hi: 2.0 }, 7);
+        assert_eq!(a, b);
+        let c = gnp(40, 0.1, WeightKind::Uniform { lo: 0.5, hi: 2.0 }, 8);
+        assert_ne!(a, c);
+        for (_, _, w) in a.edges() {
+            assert!((0.5..2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        for seed in 0..5 {
+            assert!(connected_gnp(30, 0.02, WeightKind::Unit, seed).is_connected());
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, WeightKind::Unit, 0).m(), 0);
+        assert_eq!(gnp(10, 1.0, WeightKind::Unit, 0).m(), 45);
+    }
+
+    #[test]
+    fn random_geometric_reasonable() {
+        let g = random_geometric(60, 0.3, WeightKind::Unit, 11);
+        assert_eq!(g.n(), 60);
+        assert!(g.m() > 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn rmat_power_law_ish() {
+        let g = rmat(8, 4, WeightKind::Unit, 5);
+        assert_eq!(g.n(), 256);
+        assert!(g.m() > 0);
+        // hubs exist: max degree well above the mean
+        let max_deg = (0..g.n()).map(|u| g.degree(u)).max().unwrap();
+        let mean = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(max_deg as f64 > 3.0 * mean, "max {max_deg} vs mean {mean}");
+    }
+
+    #[test]
+    fn watts_strogatz_structure() {
+        let ring = watts_strogatz(30, 2, 0.0, WeightKind::Unit, 1);
+        assert_eq!(ring.m(), 60, "no rewiring: exact ring lattice");
+        assert!(ring.is_connected());
+        let sw = watts_strogatz(30, 2, 0.3, WeightKind::Unit, 1);
+        assert!(sw.validate().is_ok());
+        assert!(sw.m() <= 60, "rewiring may merge duplicates");
+        assert_ne!(ring, sw);
+    }
+
+    #[test]
+    fn barabasi_albert_grows_hubs() {
+        let g = barabasi_albert(200, 2, WeightKind::Unit, 3);
+        assert_eq!(g.n(), 200);
+        assert!(g.validate().is_ok());
+        let max_deg = (0..g.n()).map(|u| g.degree(u)).max().unwrap();
+        let mean = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(max_deg as f64 > 3.0 * mean, "hub {max_deg} vs mean {mean:.1}");
+    }
+
+    #[test]
+    fn tri_mesh_structure() {
+        let g = tri_mesh(4, 4, WeightKind::Unit, 0);
+        assert_eq!(g.n(), 16);
+        // grid edges + one diagonal per cell
+        assert_eq!(g.m(), (4 * 3 + 3 * 4) + 9);
+        assert!(g.is_connected());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_fig1_matches_figure() {
+        let g = paper_fig1();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 8);
+        // vertex 7 of the paper (our 6) touches both triangles
+        assert_eq!(g.neighbors(6), &[2, 5]);
+        // no edge between the two components once 6 is removed
+        for u in 0..3 {
+            for v in 3..6 {
+                assert!(g.edge_weight(u, v).is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! Text I/O: a simple edge-list format, MatrixMarket coordinate format,
+//! and the 9th-DIMACS-challenge shortest-path format.
+//!
+//! Edge-list format (`.el`):
+//! ```text
+//! # comment
+//! n <vertices>
+//! u v w
+//! ```
+//!
+//! MatrixMarket (`.mtx`): `%%MatrixMarket matrix coordinate real symmetric`
+//! with 1-based indices, one entry per undirected edge.
+//!
+//! DIMACS (`.gr`): `p sp <n> <m>` header, `a <u> <v> <w>` arcs (1-based);
+//! reciprocal arcs collapse into one undirected edge (minimum weight wins,
+//! matching the builder's semantics).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use std::fmt::Write as _;
+
+/// Serializes a graph to the edge-list format.
+pub fn to_edge_list(g: &Csr) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "n {}", g.n());
+    for (u, v, w) in g.edges() {
+        let _ = writeln!(s, "{u} {v} {w}");
+    }
+    s
+}
+
+/// Parses the edge-list format.
+pub fn from_edge_list(text: &str) -> Result<Csr, String> {
+    let mut n: Option<usize> = None;
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let first = it.next().unwrap();
+        if first == "n" {
+            if n.is_some() {
+                return Err(format!("line {}: duplicate n header", lineno + 1));
+            }
+            let v: usize = it
+                .next()
+                .ok_or_else(|| format!("line {}: missing vertex count", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            n = Some(v);
+            builder = Some(GraphBuilder::new(v));
+            continue;
+        }
+        let b = builder
+            .as_mut()
+            .ok_or_else(|| format!("line {}: edge before n header", lineno + 1))?;
+        let u: usize = first.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let v: usize = it
+            .next()
+            .ok_or_else(|| format!("line {}: missing endpoint", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let w: f64 = it
+            .next()
+            .ok_or_else(|| format!("line {}: missing weight", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if u >= b.n() || v >= b.n() {
+            return Err(format!("line {}: endpoint out of range", lineno + 1));
+        }
+        b.add_edge(u, v, w);
+    }
+    builder.map(|b| b.build()).ok_or_else(|| "missing n header".into())
+}
+
+/// Serializes a graph to MatrixMarket symmetric coordinate format.
+pub fn to_matrix_market(g: &Csr) -> String {
+    let mut s = String::from("%%MatrixMarket matrix coordinate real symmetric\n");
+    let _ = writeln!(s, "{} {} {}", g.n(), g.n(), g.m());
+    for (u, v, w) in g.edges() {
+        // MatrixMarket symmetric stores the lower triangle, 1-based.
+        let _ = writeln!(s, "{} {} {}", v + 1, u + 1, w);
+    }
+    s
+}
+
+/// Parses MatrixMarket coordinate format (`real`/`integer` × `symmetric`/
+/// `general`); entries off the diagonal become undirected edges.
+pub fn from_matrix_market(text: &str) -> Result<Csr, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty file")?;
+    if !header.starts_with("%%MatrixMarket") {
+        return Err("missing MatrixMarket banner".into());
+    }
+    let h = header.to_ascii_lowercase();
+    if !h.contains("coordinate") {
+        return Err("only coordinate format is supported".into());
+    }
+    if !(h.contains("real") || h.contains("integer")) {
+        return Err("only real/integer fields are supported".into());
+    }
+    let mut rest = lines.skip_while(|l| l.trim_start().starts_with('%'));
+    let size = rest.next().ok_or("missing size line")?;
+    let mut it = size.split_whitespace();
+    let rows: usize = it.next().ok_or("bad size line")?.parse().map_err(|e| format!("{e}"))?;
+    let cols: usize = it.next().ok_or("bad size line")?.parse().map_err(|e| format!("{e}"))?;
+    let nnz: usize = it.next().ok_or("bad size line")?.parse().map_err(|e| format!("{e}"))?;
+    if rows != cols {
+        return Err("adjacency matrix must be square".into());
+    }
+    let mut b = GraphBuilder::new(rows);
+    let mut seen = 0usize;
+    for line in rest {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let i: usize = it.next().ok_or("bad entry")?.parse().map_err(|e| format!("{e}"))?;
+        let j: usize = it.next().ok_or("bad entry")?.parse().map_err(|e| format!("{e}"))?;
+        let w: f64 = match it.next() {
+            Some(tok) => tok.parse().map_err(|e| format!("{e}"))?,
+            None => 1.0, // pattern-ish fallback
+        };
+        if i == 0 || j == 0 || i > rows || j > cols {
+            return Err(format!("entry ({i},{j}) out of range"));
+        }
+        if i != j {
+            b.add_edge(i - 1, j - 1, w);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(format!("expected {nnz} entries, found {seen}"));
+    }
+    Ok(b.build())
+}
+
+/// Known on-disk formats, selected by file extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    /// `.el` — the simple edge-list format.
+    EdgeList,
+    /// `.mtx` — MatrixMarket coordinate.
+    MatrixMarket,
+    /// `.gr` — DIMACS shortest-path.
+    Dimacs,
+}
+
+impl Format {
+    /// Picks the format from a path's extension (`.el` fallback).
+    pub fn from_path(path: &std::path::Path) -> Format {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("mtx") => Format::MatrixMarket,
+            Some("gr") => Format::Dimacs,
+            _ => Format::EdgeList,
+        }
+    }
+}
+
+/// Reads a graph from a file, picking the format from the extension.
+pub fn read_graph(path: impl AsRef<std::path::Path>) -> Result<Csr, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match Format::from_path(path) {
+        Format::EdgeList => from_edge_list(&text),
+        Format::MatrixMarket => from_matrix_market(&text),
+        Format::Dimacs => from_dimacs(&text),
+    }
+    .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Writes a graph to a file, picking the format from the extension.
+pub fn write_graph(path: impl AsRef<std::path::Path>, g: &Csr) -> Result<(), String> {
+    let path = path.as_ref();
+    let text = match Format::from_path(path) {
+        Format::EdgeList => to_edge_list(g),
+        Format::MatrixMarket => to_matrix_market(g),
+        Format::Dimacs => to_dimacs(g),
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Serializes a graph to the DIMACS shortest-path format (each undirected
+/// edge written as two reciprocal arcs, the convention of the challenge
+/// road networks).
+pub fn to_dimacs(g: &Csr) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "c generated by sparse-apsp");
+    let _ = writeln!(s, "p sp {} {}", g.n(), 2 * g.m());
+    for (u, v, w) in g.edges() {
+        let _ = writeln!(s, "a {} {} {w}", u + 1, v + 1);
+        let _ = writeln!(s, "a {} {} {w}", v + 1, u + 1);
+    }
+    s
+}
+
+/// Serializes a directed graph to DIMACS (only finite arcs are written;
+/// the pattern-symmetrizing `∞` reverses are implicit).
+pub fn to_dimacs_directed(g: &crate::DiCsr) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "c generated by sparse-apsp (directed)");
+    let arcs: Vec<(usize, usize, f64)> = (0..g.n())
+        .flat_map(|u| g.arcs_of(u).filter(|&(_, w)| w.is_finite()).map(move |(v, w)| (u, v, w)))
+        .collect();
+    let _ = writeln!(s, "p sp {} {}", g.n(), arcs.len());
+    for (u, v, w) in arcs {
+        let _ = writeln!(s, "a {} {} {w}", u + 1, v + 1);
+    }
+    s
+}
+
+/// Parses DIMACS as a **directed** graph: arcs keep their orientation,
+/// the pattern is symmetrized with `∞` reverses — the natural reading of
+/// the challenge road networks, which store one-way segments as single
+/// arcs.
+pub fn from_dimacs_directed(text: &str) -> Result<crate::DiCsr, String> {
+    // reuse the line parser by collecting raw arcs
+    let mut builder: Option<crate::DiGraphBuilder> = None;
+    let mut declared = 0usize;
+    let mut seen = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let mut it = line.split_whitespace();
+        match it.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(format!("line {}: duplicate problem line", lineno + 1));
+                }
+                if it.next() != Some("sp") {
+                    return Err(format!("line {}: expected `p sp`", lineno + 1));
+                }
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing n", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                declared = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing m", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                builder = Some(crate::DiGraphBuilder::new(n));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| format!("line {}: arc before problem line", lineno + 1))?;
+                let parse = |tok: Option<&str>, what: &str| -> Result<f64, String> {
+                    tok.ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                        .parse()
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))
+                };
+                let u = parse(it.next(), "tail")? as usize;
+                let v = parse(it.next(), "head")? as usize;
+                let w = parse(it.next(), "weight")?;
+                if u == 0 || v == 0 || u > b.n() || v > b.n() {
+                    return Err(format!("line {}: endpoint out of range", lineno + 1));
+                }
+                b.add_arc(u - 1, v - 1, w);
+                seen += 1;
+            }
+            Some(other) => {
+                return Err(format!("line {}: unknown record type {other:?}", lineno + 1))
+            }
+        }
+    }
+    if seen != declared {
+        return Err(format!("expected {declared} arcs, found {seen}"));
+    }
+    builder.map(|b| b.build()).ok_or_else(|| "missing problem line".into())
+}
+
+/// Parses the DIMACS shortest-path format. Arcs are undirected-ized (the
+/// builder keeps the minimum weight of reciprocal/duplicate arcs).
+pub fn from_dimacs(text: &str) -> Result<Csr, String> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_arcs = 0usize;
+    let mut seen_arcs = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let mut it = line.split_whitespace();
+        match it.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(format!("line {}: duplicate problem line", lineno + 1));
+                }
+                if it.next() != Some("sp") {
+                    return Err(format!("line {}: expected `p sp`", lineno + 1));
+                }
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing n", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                declared_arcs = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing m", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| format!("line {}: arc before problem line", lineno + 1))?;
+                let u: usize = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing tail", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let v: usize = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing head", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let w: f64 = it
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing weight", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                if u == 0 || v == 0 || u > b.n() || v > b.n() {
+                    return Err(format!("line {}: endpoint out of range", lineno + 1));
+                }
+                b.add_edge(u - 1, v - 1, w);
+                seen_arcs += 1;
+            }
+            Some(other) => {
+                return Err(format!("line {}: unknown record type {other:?}", lineno + 1))
+            }
+        }
+    }
+    if seen_arcs != declared_arcs {
+        return Err(format!("expected {declared_arcs} arcs, found {seen_arcs}"));
+    }
+    builder.map(|b| b.build()).ok_or_else(|| "missing problem line".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+
+    #[test]
+    fn file_roundtrip_all_formats() {
+        let g = generators::grid2d(3, 4, WeightKind::Integer { max: 5 }, 1);
+        let dir = std::env::temp_dir().join(format!("apsp-io-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["g.el", "g.mtx", "g.gr"] {
+            let path = dir.join(name);
+            write_graph(&path, &g).unwrap();
+            let h = read_graph(&path).unwrap();
+            assert_eq!(g, h, "{name}");
+        }
+        assert!(read_graph(dir.join("missing.el")).is_err());
+        assert_eq!(Format::from_path(std::path::Path::new("x.mtx")), Format::MatrixMarket);
+        assert_eq!(Format::from_path(std::path::Path::new("x.gr")), Format::Dimacs);
+        assert_eq!(Format::from_path(std::path::Path::new("x")), Format::EdgeList);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = generators::grid2d(4, 5, WeightKind::Integer { max: 9 }, 2);
+        let text = to_dimacs(&g);
+        assert!(text.contains("p sp 20"));
+        let h = from_dimacs(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn dimacs_directed_roundtrip_preserves_orientation() {
+        let mut b = crate::DiGraphBuilder::new(3);
+        b.add_arc(0, 1, 2.0);
+        b.add_arc(1, 0, 5.0);
+        b.add_arc(1, 2, 1.0); // one-way
+        let g = b.build();
+        let text = to_dimacs_directed(&g);
+        let h = from_dimacs_directed(&text).unwrap();
+        assert_eq!(g, h);
+        assert_eq!(h.arc_weight(1, 2), Some(1.0));
+        assert_eq!(h.arc_weight(2, 1), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn dimacs_directed_errors() {
+        assert!(from_dimacs_directed("").is_err());
+        assert!(from_dimacs_directed("p sp 2 1\na 0 1 1\n").is_err());
+        assert!(from_dimacs_directed("p sp 2 2\na 1 2 1\n").is_err());
+    }
+
+    #[test]
+    fn dimacs_asymmetric_arcs_keep_minimum() {
+        let text = "c road\np sp 2 2\na 1 2 5\na 2 1 3\n";
+        let g = from_dimacs(text).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn dimacs_errors() {
+        assert!(from_dimacs("").is_err());
+        assert!(from_dimacs("a 1 2 3\n").is_err());
+        assert!(from_dimacs("p max 2 0\n").is_err());
+        assert!(from_dimacs("p sp 2 1\n").is_err()); // missing arc
+        assert!(from_dimacs("p sp 2 1\na 1 3 1\n").is_err()); // out of range
+        assert!(from_dimacs("p sp 2 1\nq 1 2 1\n").is_err()); // bad record
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = generators::grid2d(3, 3, WeightKind::Integer { max: 5 }, 1);
+        let text = to_edge_list(&g);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn edge_list_with_comments() {
+        let g = from_edge_list("# hi\nn 3\n0 1 2.5\n\n# more\n1 2 1.0\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn edge_list_errors() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("0 1 1.0\n").is_err());
+        assert!(from_edge_list("n 2\n0 5 1.0\n").is_err());
+        assert!(from_edge_list("n 2\n0 1\n").is_err());
+        assert!(from_edge_list("n 2\nn 2\n").is_err());
+    }
+
+    #[test]
+    fn matrix_market_roundtrip() {
+        let g = generators::connected_gnp(12, 0.2, WeightKind::Integer { max: 9 }, 4);
+        let text = to_matrix_market(&g);
+        let h = from_matrix_market(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn matrix_market_errors() {
+        assert!(from_matrix_market("").is_err());
+        assert!(from_matrix_market("junk\n1 1 0\n").is_err());
+        assert!(from_matrix_market("%%MatrixMarket matrix array real general\n2 2\n").is_err());
+        assert!(from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n").is_err());
+        // wrong count
+        assert!(from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n").is_err());
+    }
+
+    #[test]
+    fn matrix_market_ignores_diagonal() {
+        let g = from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 5.0\n2 1 3.0\n").unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3.0));
+    }
+}

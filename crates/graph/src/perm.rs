@@ -1,0 +1,145 @@
+//! Vertex permutations (old ↔ new labelings).
+
+/// A bijection between "old" vertex ids and "new" vertex ids.
+///
+/// Stored both ways so either direction is O(1). The nested-dissection
+/// pipeline produces a `Permutation` mapping input-graph vertices to their
+/// position in the supernodal elimination order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    to_new: Vec<usize>,
+    to_old: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let v: Vec<usize> = (0..n).collect();
+        Permutation { to_new: v.clone(), to_old: v }
+    }
+
+    /// Builds from a `to_new` table: `to_new[old] = new`.
+    ///
+    /// # Panics
+    /// Panics when the table is not a permutation of `0..n`.
+    pub fn from_to_new(to_new: Vec<usize>) -> Self {
+        let n = to_new.len();
+        let mut to_old = vec![usize::MAX; n];
+        for (old, &new) in to_new.iter().enumerate() {
+            assert!(new < n, "target {new} out of range");
+            assert!(to_old[new] == usize::MAX, "duplicate target {new}");
+            to_old[new] = old;
+        }
+        Permutation { to_new, to_old }
+    }
+
+    /// Builds from a `to_old` table (the "order" form): `to_old[new] = old`.
+    ///
+    /// # Panics
+    /// Panics when the table is not a permutation of `0..n`.
+    pub fn from_order(to_old: Vec<usize>) -> Self {
+        let n = to_old.len();
+        let mut to_new = vec![usize::MAX; n];
+        for (new, &old) in to_old.iter().enumerate() {
+            assert!(old < n, "source {old} out of range");
+            assert!(to_new[old] == usize::MAX, "duplicate source {old}");
+            to_new[old] = new;
+        }
+        Permutation { to_new, to_old }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.to_new.len()
+    }
+
+    /// `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.to_new.is_empty()
+    }
+
+    /// New id of old vertex `old`.
+    #[inline]
+    pub fn to_new(&self, old: usize) -> usize {
+        self.to_new[old]
+    }
+
+    /// Old id of new vertex `new`.
+    #[inline]
+    pub fn to_old(&self, new: usize) -> usize {
+        self.to_old[new]
+    }
+
+    /// The inverse bijection.
+    pub fn inverse(&self) -> Permutation {
+        Permutation { to_new: self.to_old.clone(), to_old: self.to_new.clone() }
+    }
+
+    /// Composition: applies `self` first, then `then`.
+    pub fn compose(&self, then: &Permutation) -> Permutation {
+        assert_eq!(self.len(), then.len());
+        let to_new = (0..self.len()).map(|old| then.to_new(self.to_new(old))).collect();
+        Permutation::from_to_new(to_new)
+    }
+
+    /// Reorders `values` (indexed by old ids) into new-id order.
+    pub fn apply_to_values<T: Clone>(&self, values: &[T]) -> Vec<T> {
+        assert_eq!(values.len(), self.len());
+        (0..self.len()).map(|new| values[self.to_old(new)].clone()).collect()
+    }
+
+    /// Raw `to_new` table.
+    pub fn as_to_new(&self) -> &[usize] {
+        &self.to_new
+    }
+
+    /// Raw `to_old` table (elimination order).
+    pub fn as_order(&self) -> &[usize] {
+        &self.to_old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(4);
+        for i in 0..4 {
+            assert_eq!(p.to_new(i), i);
+            assert_eq!(p.to_old(i), i);
+        }
+    }
+
+    #[test]
+    fn from_order_matches_from_to_new() {
+        // order: new 0 is old 2, new 1 is old 0, new 2 is old 1
+        let p = Permutation::from_order(vec![2, 0, 1]);
+        assert_eq!(p.to_new(2), 0);
+        assert_eq!(p.to_new(0), 1);
+        assert_eq!(p.to_new(1), 2);
+        let q = Permutation::from_to_new(vec![1, 2, 0]);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn inverse_and_compose() {
+        let p = Permutation::from_to_new(vec![1, 2, 0]);
+        let id = p.compose(&p.inverse());
+        assert_eq!(id, Permutation::identity(3));
+    }
+
+    #[test]
+    fn apply_to_values_reorders() {
+        let p = Permutation::from_to_new(vec![2, 0, 1]); // old0->new2, old1->new0, old2->new1
+        let vals = p.apply_to_values(&["a", "b", "c"]);
+        assert_eq!(vals, vec!["b", "c", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn non_bijection_rejected() {
+        let _ = Permutation::from_to_new(vec![0, 0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Graph diagnostics: the quick numbers a user wants before choosing a
+//! machine size and tree height (degree profile, connectivity, diameter
+//! estimate) — surfaced by the CLI's `info` command.
+
+use crate::csr::Csr;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Number of connected components.
+    pub components: usize,
+    /// Vertices in the largest component.
+    pub largest_component: usize,
+    /// Lower bound on the diameter of the largest component (double-sweep
+    /// BFS; exact on trees, usually tight on meshes). `0` for empty graphs.
+    pub diameter_lower_bound: usize,
+    /// Minimum / maximum edge weight (`None` when edgeless).
+    pub weight_range: Option<(f64, f64)>,
+}
+
+/// Computes [`GraphStats`] in `O(n + m)`.
+pub fn graph_stats(g: &Csr) -> GraphStats {
+    let n = g.n();
+    let m = g.m();
+    let degrees: Vec<usize> = (0..n).map(|u| g.degree(u)).collect();
+    let (comp, k) = g.components();
+    // largest component + a vertex inside it
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c] += 1;
+    }
+    let (largest_idx, largest) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, &s)| (i, s))
+        .unwrap_or((0, 0));
+    let seed = comp.iter().position(|&c| c == largest_idx);
+
+    // double-sweep BFS for a diameter lower bound
+    let diameter = match seed {
+        Some(s) if largest > 1 => {
+            let (far, _) = bfs_farthest(g, s);
+            let (_, dist) = bfs_farthest(g, far);
+            dist
+        }
+        _ => 0,
+    };
+
+    let mut weight_range: Option<(f64, f64)> = None;
+    for (_, _, w) in g.edges() {
+        weight_range = Some(match weight_range {
+            None => (w, w),
+            Some((lo, hi)) => (lo.min(w), hi.max(w)),
+        });
+    }
+
+    GraphStats {
+        n,
+        m,
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        components: k,
+        largest_component: largest,
+        diameter_lower_bound: diameter,
+        weight_range,
+    }
+}
+
+/// BFS from `s`; returns the farthest vertex and its hop distance.
+fn bfs_farthest(g: &Csr, s: usize) -> (usize, usize) {
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[s] = 0;
+    queue.push_back(s);
+    let (mut far, mut far_d) = (s, 0);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in g.edges_of(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                if dist[v] > far_d {
+                    far = v;
+                    far_d = dist[v];
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    (far, far_d)
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "vertices          {}", self.n)?;
+        writeln!(f, "edges             {}", self.m)?;
+        writeln!(
+            f,
+            "degree            min {} / mean {:.2} / max {}",
+            self.min_degree, self.mean_degree, self.max_degree
+        )?;
+        writeln!(
+            f,
+            "components        {} (largest: {} vertices)",
+            self.components, self.largest_component
+        )?;
+        writeln!(f, "diameter          >= {}", self.diameter_lower_bound)?;
+        match self.weight_range {
+            Some((lo, hi)) => writeln!(f, "edge weights      [{lo}, {hi}]"),
+            None => writeln!(f, "edge weights      (edgeless)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{self, WeightKind};
+
+    #[test]
+    fn mesh_stats() {
+        let g = generators::grid2d(5, 7, WeightKind::Integer { max: 4 }, 2);
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 35);
+        assert_eq!(s.m, 5 * 6 + 4 * 7);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.largest_component, 35);
+        // manhattan diameter of a 5×7 grid is 4 + 6 = 10
+        assert_eq!(s.diameter_lower_bound, 10);
+        let (lo, hi) = s.weight_range.unwrap();
+        assert!(lo >= 1.0 && hi <= 4.0);
+    }
+
+    #[test]
+    fn path_diameter_is_exact() {
+        let g = generators::path(12, WeightKind::Unit, 0);
+        assert_eq!(graph_stats(&g).diameter_lower_bound, 11);
+    }
+
+    #[test]
+    fn disconnected_and_empty() {
+        let g = crate::GraphBuilder::new(5).edge(0, 1, 1.0).build();
+        let s = graph_stats(&g);
+        assert_eq!(s.components, 4);
+        assert_eq!(s.largest_component, 2);
+        assert_eq!(s.diameter_lower_bound, 1);
+
+        let e = crate::Csr::edgeless(3);
+        let s = graph_stats(&e);
+        assert_eq!(s.m, 0);
+        assert_eq!(s.weight_range, None);
+        assert_eq!(s.diameter_lower_bound, 0);
+        let display = s.to_string();
+        assert!(display.contains("edgeless"));
+    }
+}

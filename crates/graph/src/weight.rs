@@ -1,0 +1,98 @@
+//! Edge-weight scalar type and tolerant comparisons.
+//!
+//! All distances in the workspace are `f64` over the `(min, +)` semiring;
+//! a missing edge is [`INF`]. Floating-point sums of shortest paths can
+//! differ in the last ulps between algorithms that add weights in different
+//! orders, so result verification goes through [`w_eq`] / [`w_eq_tol`].
+
+/// Scalar weight / distance type used across the workspace.
+pub type Weight = f64;
+
+/// The semiring additive identity: "no path".
+pub const INF: Weight = f64::INFINITY;
+
+/// Default relative tolerance used by [`w_eq`].
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns `true` when `w` represents "no path".
+#[inline]
+pub fn is_inf(w: Weight) -> bool {
+    w == INF
+}
+
+/// Tolerant equality of two distances with the default tolerance.
+///
+/// Two infinities are equal; finite values are compared with a mixed
+/// absolute/relative tolerance.
+#[inline]
+pub fn w_eq(a: Weight, b: Weight) -> bool {
+    w_eq_tol(a, b, DEFAULT_TOL)
+}
+
+/// Tolerant equality of two distances with an explicit tolerance.
+#[inline]
+pub fn w_eq_tol(a: Weight, b: Weight, tol: f64) -> bool {
+    if is_inf(a) || is_inf(b) {
+        return is_inf(a) && is_inf(b);
+    }
+    let scale = 1.0_f64.max(a.abs()).max(b.abs());
+    (a - b).abs() <= tol * scale
+}
+
+/// Maximum pairwise discrepancy between two distance slices, treating a
+/// finite/∞ mismatch as `∞`. Useful in tests and verification reports.
+pub fn max_abs_diff(a: &[Weight], b: &[Weight]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut worst = 0.0_f64;
+    for (&x, &y) in a.iter().zip(b) {
+        if is_inf(x) || is_inf(y) {
+            if is_inf(x) != is_inf(y) {
+                return f64::INFINITY;
+            }
+        } else {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_is_inf() {
+        assert!(is_inf(INF));
+        assert!(!is_inf(0.0));
+        assert!(!is_inf(1e300));
+    }
+
+    #[test]
+    fn eq_handles_infinities() {
+        assert!(w_eq(INF, INF));
+        assert!(!w_eq(INF, 1.0));
+        assert!(!w_eq(1.0, INF));
+    }
+
+    #[test]
+    fn eq_is_tolerant() {
+        assert!(w_eq(1.0, 1.0 + 1e-12));
+        assert!(!w_eq(1.0, 1.0 + 1e-6));
+        // relative tolerance for big values
+        assert!(w_eq(1e12, 1e12 + 1.0e1));
+        assert!(!w_eq(1e12, 1e12 + 1.0e5));
+    }
+
+    #[test]
+    fn max_diff_reports_mismatch() {
+        assert_eq!(max_abs_diff(&[0.0, 1.0], &[0.0, 1.5]), 0.5);
+        assert_eq!(max_abs_diff(&[INF], &[INF]), 0.0);
+        assert_eq!(max_abs_diff(&[INF], &[3.0]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn max_diff_length_mismatch_panics() {
+        let _ = max_abs_diff(&[0.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the graph substrate.
+
+use apsp_graph::generators::{self, WeightKind};
+use apsp_graph::oracle;
+use apsp_graph::{is_inf, GraphBuilder, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph as (n, edge list with weights).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 1u32..100u32).prop_map(|(u, v, w)| (u, v, w as f64 / 10.0));
+        (Just(n), proptest::collection::vec(edge, 0..(3 * n)))
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, f64)]) -> apsp_graph::Csr {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_always_produces_valid_csr((n, edges) in arb_graph(40)) {
+        let g = build(n, &edges);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn dijkstra_satisfies_triangle_inequality((n, edges) in arb_graph(25)) {
+        let g = build(n, &edges);
+        let d = oracle::apsp_dijkstra(&g);
+        // d(i,j) <= d(i,k) + d(k,j) for all triples
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let (ij, ik, kj) = (d.get(i, j), d.get(i, k), d.get(k, j));
+                    if !is_inf(ik) && !is_inf(kj) {
+                        prop_assert!(ij <= ik + kj + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fw_equals_dijkstra((n, edges) in arb_graph(22)) {
+        let g = build(n, &edges);
+        let a = oracle::apsp_dijkstra(&g);
+        let b = oracle::floyd_warshall(&g);
+        prop_assert!(a.first_mismatch(&b, 1e-9).is_none());
+    }
+
+    #[test]
+    fn apsp_invariant_under_relabeling((n, edges) in arb_graph(18), seed in 0u64..1000) {
+        let g = build(n, &edges);
+        // random permutation from the seed
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut s = seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = Permutation::from_order(order);
+        let gp = g.permuted(&p);
+        let d = oracle::apsp_dijkstra(&g);
+        let dp = oracle::apsp_dijkstra(&gp);
+        for i in 0..n {
+            for j in 0..n {
+                let a = d.get(i, j);
+                let b = dp.get(p.to_new(i), p.to_new(j));
+                prop_assert!(apsp_graph::w_eq(a, b), "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip((n, edges) in arb_graph(30)) {
+        let g = build(n, &edges);
+        let text = apsp_graph::io::to_edge_list(&g);
+        let h = apsp_graph::io::from_edge_list(&text).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn matrix_market_io_roundtrip((n, edges) in arb_graph(30)) {
+        let g = build(n, &edges);
+        let text = apsp_graph::io::to_matrix_market(&g);
+        let h = apsp_graph::io::from_matrix_market(&text).unwrap();
+        prop_assert_eq!(g, h);
+    }
+
+    #[test]
+    fn components_partition_vertices((n, edges) in arb_graph(40)) {
+        let g = build(n, &edges);
+        let (comp, k) = g.components();
+        prop_assert_eq!(comp.len(), n);
+        for &c in &comp {
+            prop_assert!(c < k);
+        }
+        // every edge stays within its component
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(comp[u], comp[v]);
+        }
+        // distances between components are infinite
+        let d = oracle::apsp_dijkstra(&g);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(comp[i] != comp[j], is_inf(d.get(i, j)));
+            }
+        }
+    }
+}
+
+#[test]
+fn generators_are_deterministic() {
+    for kind in [WeightKind::Unit, WeightKind::Integer { max: 7 }] {
+        assert_eq!(generators::grid2d(5, 7, kind, 3), generators::grid2d(5, 7, kind, 3));
+        assert_eq!(generators::rmat(6, 3, kind, 3), generators::rmat(6, 3, kind, 3));
+        assert_eq!(
+            generators::random_geometric(40, 0.25, kind, 3),
+            generators::random_geometric(40, 0.25, kind, 3)
+        );
+    }
+}

@@ -1,0 +1,345 @@
+//! Path algebras (Carré's "algebra for network routing problems", the
+//! paper's reference \[8\]): the semiring abstraction behind APSP.
+//!
+//! The workspace's hot kernels stay specialized to `(min, +)` (the paper's
+//! problem), but this module shows the same three-nested-loop structure
+//! solves any *closed* path problem by swapping the algebra:
+//!
+//! * [`MinPlus`] — shortest paths: `⊕ = min`, `⊗ = +`;
+//! * [`MaxMin`] — bottleneck (widest) paths: `⊕ = max`, `⊗ = min`;
+//! * [`MostReliable`] — maximum-probability paths: `⊕ = max`, `⊗ = ×`.
+//!
+//! All three are idempotent and have no improving cycles on valid inputs
+//! (non-negative lengths / capacities / probabilities in `[0, 1]`), so the
+//! Floyd–Warshall-style closure [`closure_in`] is exact.
+
+/// A path algebra over `f64` values: a semiring `(⊕, ⊗)` whose closure
+/// solves an all-pairs path problem.
+pub trait PathAlgebra: Copy + Send + Sync + 'static {
+    /// The `⊕` identity — "no path".
+    const ZERO: f64;
+    /// The `⊗` identity — "the empty path".
+    const ONE: f64;
+    /// Path choice: combines two alternative path values.
+    fn plus(a: f64, b: f64) -> f64;
+    /// Path extension: concatenates path values.
+    fn times(a: f64, b: f64) -> f64;
+    /// Fast-path test: `a` is the annihilating "no path" value.
+    fn is_zero(a: f64) -> bool {
+        a == Self::ZERO
+    }
+}
+
+/// Shortest paths: `(min, +)` with `∞` as "no path".
+#[derive(Clone, Copy, Debug)]
+pub struct MinPlus;
+
+impl PathAlgebra for MinPlus {
+    const ZERO: f64 = f64::INFINITY;
+    const ONE: f64 = 0.0;
+    #[inline]
+    fn plus(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    #[inline]
+    fn times(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// Bottleneck (widest) paths: `(max, min)` over capacities `≥ 0`;
+/// "no path" carries zero capacity, the empty path infinite capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxMin;
+
+impl PathAlgebra for MaxMin {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = f64::INFINITY;
+    #[inline]
+    fn plus(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    #[inline]
+    fn times(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+}
+
+/// Most-reliable paths: `(max, ×)` over success probabilities in `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct MostReliable;
+
+impl PathAlgebra for MostReliable {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    #[inline]
+    fn plus(a: f64, b: f64) -> f64 {
+        a.max(b)
+    }
+    #[inline]
+    fn times(a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// A dense square matrix over an arbitrary path algebra (row-major).
+/// Thin — the production `(min,+)` kernels live in [`crate::matrix`];
+/// this type exists to demonstrate and test algebra-genericity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgebraMatrix<A: PathAlgebra> {
+    n: usize,
+    data: Vec<f64>,
+    _algebra: std::marker::PhantomData<A>,
+}
+
+impl<A: PathAlgebra> AlgebraMatrix<A> {
+    /// The all-"no path" matrix with an `⊗`-identity diagonal.
+    pub fn identity(n: usize) -> Self {
+        let mut data = vec![A::ZERO; n * n];
+        for i in 0..n {
+            data[i * n + i] = A::ONE;
+        }
+        AlgebraMatrix { n, data, _algebra: std::marker::PhantomData }
+    }
+
+    /// Builds from a closure.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    m.set(i, j, f(i, j));
+                }
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// `⊕`-accumulating product: `C ⊕= A ⊗ B`. Returns scalar-op count.
+    pub fn gemm_into(c: &mut Self, a: &Self, b: &Self) -> u64 {
+        let n = a.n;
+        assert_eq!(n, b.n);
+        assert_eq!(n, c.n);
+        let mut ops = 0;
+        for i in 0..n {
+            for k in 0..n {
+                let aik = a.get(i, k);
+                if A::is_zero(aik) {
+                    continue;
+                }
+                ops += n as u64;
+                for j in 0..n {
+                    let via = A::times(aik, b.get(k, j));
+                    c.set(i, j, A::plus(c.get(i, j), via));
+                }
+            }
+        }
+        ops
+    }
+
+    /// Reference closure by repeated squaring: `(A ⊕ I)^(2^⌈log n⌉)`.
+    pub fn closure_by_squaring(&self) -> Self {
+        let mut d = self.clone();
+        for i in 0..self.n {
+            d.set(i, i, A::plus(d.get(i, i), A::ONE));
+        }
+        let mut steps = 0usize;
+        while (1usize << steps) < self.n.max(1) {
+            steps += 1;
+        }
+        for _ in 0..steps {
+            let mut next = d.clone();
+            Self::gemm_into(&mut next, &d, &d);
+            d = next;
+        }
+        d
+    }
+}
+
+/// Floyd–Warshall-style in-place closure over any path algebra —
+/// the generic form of the paper's `ClassicalFW`. Exact for idempotent
+/// algebras without improving cycles. Returns the scalar-op count.
+///
+/// ```
+/// use apsp_minplus::algebra::{closure_in, AlgebraMatrix, MaxMin, PathAlgebra};
+///
+/// // widest paths: 0-1 wide (10), 1-2 narrow (2), 0-2 medium (5)
+/// let mut caps = AlgebraMatrix::<MaxMin>::identity(3);
+/// for (u, v, c) in [(0, 1, 10.0), (1, 2, 2.0), (0, 2, 5.0)] {
+///     caps.set(u, v, c);
+///     caps.set(v, u, c);
+/// }
+/// closure_in(&mut caps);
+/// assert_eq!(caps.get(1, 2), 5.0); // 1 → 0 → 2 beats the narrow link
+/// ```
+pub fn closure_in<A: PathAlgebra>(a: &mut AlgebraMatrix<A>) -> u64 {
+    let n = a.n();
+    for i in 0..n {
+        let d = A::plus(a.get(i, i), A::ONE);
+        a.set(i, i, d);
+    }
+    let mut ops = 0;
+    for k in 0..n {
+        for i in 0..n {
+            let dik = a.get(i, k);
+            if A::is_zero(dik) {
+                continue;
+            }
+            ops += n as u64;
+            for j in 0..n {
+                let via = A::times(dik, a.get(k, j));
+                a.set(i, j, A::plus(a.get(i, j), via));
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_edges(n: usize, edges: &[(usize, usize, f64)], zero: f64) -> Vec<f64> {
+        let mut m = vec![zero; n * n];
+        for &(u, v, w) in edges {
+            m[u * n + v] = w;
+            m[v * n + u] = w;
+        }
+        m
+    }
+
+    #[test]
+    fn minplus_algebra_matches_specialized_kernel() {
+        let n = 8;
+        let edges =
+            [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 4.0), (0, 4, 20.0), (5, 6, 1.0)];
+        let raw = sym_edges(n, &edges, f64::INFINITY);
+        let mut generic = AlgebraMatrix::<MinPlus>::from_fn(n, |i, j| raw[i * n + j]);
+        closure_in(&mut generic);
+        let mut specialized =
+            crate::MinPlusMatrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { raw[i * n + j] });
+        crate::fw_in_place(&mut specialized);
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (generic.get(i, j), specialized.get(i, j));
+                assert!(a == b || (a.is_infinite() && b.is_infinite()), "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bottleneck_widest_paths() {
+        // capacities: 0-1 wide, 1-2 narrow, 0-2 medium
+        let edges = [(0usize, 1usize, 10.0), (1, 2, 2.0), (0, 2, 5.0)];
+        let raw = sym_edges(3, &edges, 0.0);
+        let mut m = AlgebraMatrix::<MaxMin>::from_fn(3, |i, j| raw[i * 3 + j]);
+        closure_in(&mut m);
+        // widest 0→2: direct 5 beats min(10, 2) = 2
+        assert_eq!(m.get(0, 2), 5.0);
+        // widest 1→2: via 0: min(10, 5) = 5 beats direct 2
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.get(0, 0), f64::INFINITY, "empty path has unbounded capacity");
+    }
+
+    #[test]
+    fn bottleneck_disconnected_is_zero() {
+        let mut m = AlgebraMatrix::<MaxMin>::from_fn(4, |i, j| {
+            if (i, j) == (0, 1) || (i, j) == (1, 0) {
+                3.0
+            } else {
+                0.0
+            }
+        });
+        closure_in(&mut m);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn reliability_multiplies_along_paths() {
+        let edges = [(0usize, 1usize, 0.9), (1, 2, 0.9), (0, 2, 0.5)];
+        let raw = sym_edges(3, &edges, 0.0);
+        let mut m = AlgebraMatrix::<MostReliable>::from_fn(3, |i, j| raw[i * 3 + j]);
+        closure_in(&mut m);
+        // two 0.9 hops (0.81) beat the direct 0.5
+        assert!((m.get(0, 2) - 0.81).abs() < 1e-12);
+        assert_eq!(m.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn closure_matches_squaring_for_all_algebras() {
+        fn check<A: PathAlgebra>(raw: &[f64], n: usize) {
+            let base = AlgebraMatrix::<A>::from_fn(n, |i, j| raw[i * n + j]);
+            let reference = base.closure_by_squaring();
+            let mut fast = base.clone();
+            closure_in(&mut fast);
+            for i in 0..n {
+                for j in 0..n {
+                    let (a, b) = (fast.get(i, j), reference.get(i, j));
+                    assert!(
+                        a == b || (a.is_infinite() && b.is_infinite()),
+                        "({i},{j}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+        let n = 7;
+        let mut state = 5u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 100) as f64 / 100.0
+        };
+        let mut lengths = vec![f64::INFINITY; n * n];
+        let mut caps = vec![0.0; n * n];
+        let mut probs = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rnd() < 0.5 {
+                    let w = rnd();
+                    lengths[i * n + j] = 1.0 + w;
+                    lengths[j * n + i] = 1.0 + w;
+                    caps[i * n + j] = w;
+                    caps[j * n + i] = w;
+                    probs[i * n + j] = w;
+                    probs[j * n + i] = w;
+                }
+            }
+        }
+        check::<MinPlus>(&lengths, n);
+        check::<MaxMin>(&caps, n);
+        check::<MostReliable>(&probs, n);
+    }
+
+    #[test]
+    fn gemm_identity_laws() {
+        let m = AlgebraMatrix::<MaxMin>::from_fn(4, |i, j| ((i + j) % 5) as f64);
+        let id = AlgebraMatrix::<MaxMin>::identity(4);
+        let mut out = AlgebraMatrix::<MaxMin>::from_fn(4, |_, _| MaxMin::ZERO);
+        for i in 0..4 {
+            out.set(i, i, MaxMin::ZERO); // start from the ⊕-identity everywhere
+        }
+        AlgebraMatrix::gemm_into(&mut out, &id, &m);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(out.get(i, j), m.get(i, j), "({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Blocked matrices and the blocked Floyd–Warshall algorithm (§3.3),
+//! with structural-empty block skipping (§4.1).
+
+use crate::kernels::{fw_in_place, gemm};
+use crate::matrix::MinPlusMatrix;
+
+/// A partition of `0..total` into consecutive blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Blocking {
+    sizes: Vec<usize>,
+    offsets: Vec<usize>, // offsets.len() == sizes.len() + 1
+}
+
+impl Blocking {
+    /// Blocking from explicit block sizes (zero-size blocks are allowed —
+    /// they arise from empty separators).
+    pub fn new(sizes: Vec<usize>) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        offsets.push(0);
+        for &s in &sizes {
+            offsets.push(offsets.last().unwrap() + s);
+        }
+        Blocking { sizes, offsets }
+    }
+
+    /// Uniform blocking of `total` into blocks of at most `b`.
+    pub fn uniform(total: usize, b: usize) -> Self {
+        assert!(b > 0, "block size must be positive");
+        let mut sizes = Vec::new();
+        let mut left = total;
+        while left > 0 {
+            let s = left.min(b);
+            sizes.push(s);
+            left -= s;
+        }
+        if sizes.is_empty() {
+            sizes.push(0);
+        }
+        Blocking::new(sizes)
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of block `i`.
+    #[inline]
+    pub fn size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// Start index of block `i`.
+    #[inline]
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Index range of block `i`.
+    #[inline]
+    pub fn range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i]..self.offsets[i + 1]
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn total(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Block containing element `idx`.
+    pub fn block_of(&self, idx: usize) -> usize {
+        assert!(idx < self.total(), "index out of range");
+        // offsets are sorted; find the last offset <= idx
+        match self.offsets.binary_search(&idx) {
+            Ok(mut b) => {
+                // idx is a block start, but zero-size blocks share offsets —
+                // advance to the block that actually contains it.
+                while self.sizes[b] == 0 {
+                    b += 1;
+                }
+                b
+            }
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// The block sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+}
+
+/// Statistics returned by [`BlockedMatrix::blocked_fw`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FwStats {
+    /// Scalar relaxations executed.
+    pub ops: u64,
+    /// Block-level updates performed (diagonal + panel + outer).
+    pub block_updates: u64,
+    /// Block-level updates skipped because an operand was structurally empty.
+    pub block_skips: u64,
+}
+
+/// A square matrix stored as an `N × N` grid of dense blocks, where `None`
+/// is a structurally empty (all-`∞`) block that costs nothing to "update".
+#[derive(Clone, Debug)]
+pub struct BlockedMatrix {
+    blocking: Blocking,
+    blocks: Vec<Option<MinPlusMatrix>>, // row-major N×N
+}
+
+impl BlockedMatrix {
+    /// All-empty blocked matrix.
+    pub fn empty(blocking: Blocking) -> Self {
+        let nb = blocking.num_blocks();
+        BlockedMatrix { blocking, blocks: (0..nb * nb).map(|_| None).collect() }
+    }
+
+    /// Splits a dense square matrix into blocks; all-`∞` blocks become `None`.
+    pub fn from_dense(dense: &MinPlusMatrix, blocking: Blocking) -> Self {
+        assert_eq!(dense.rows(), dense.cols(), "dense matrix must be square");
+        assert_eq!(dense.rows(), blocking.total(), "blocking does not cover the matrix");
+        let nb = blocking.num_blocks();
+        let mut blocks = Vec::with_capacity(nb * nb);
+        for bi in 0..nb {
+            for bj in 0..nb {
+                let (ri, rj) = (blocking.range(bi), blocking.range(bj));
+                let block = MinPlusMatrix::from_fn(ri.len(), rj.len(), |i, j| {
+                    dense.get(ri.start + i, rj.start + j)
+                });
+                blocks.push(if block.is_empty_block() { None } else { Some(block) });
+            }
+        }
+        BlockedMatrix { blocking, blocks }
+    }
+
+    /// Reassembles the dense matrix.
+    pub fn to_dense(&self) -> MinPlusMatrix {
+        let n = self.blocking.total();
+        let nb = self.blocking.num_blocks();
+        let mut out = MinPlusMatrix::empty(n, n);
+        for bi in 0..nb {
+            for bj in 0..nb {
+                if let Some(block) = &self.blocks[bi * nb + bj] {
+                    let (oi, oj) = (self.blocking.offset(bi), self.blocking.offset(bj));
+                    for i in 0..block.rows() {
+                        for j in 0..block.cols() {
+                            out.set(oi + i, oj + j, block.get(i, j));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The blocking.
+    pub fn blocking(&self) -> &Blocking {
+        &self.blocking
+    }
+
+    /// Shared access to block `(i, j)` (`None` = structurally empty).
+    pub fn block(&self, i: usize, j: usize) -> Option<&MinPlusMatrix> {
+        let nb = self.blocking.num_blocks();
+        self.blocks[i * nb + j].as_ref()
+    }
+
+    /// Installs a block.
+    pub fn set_block(&mut self, i: usize, j: usize, b: MinPlusMatrix) {
+        let nb = self.blocking.num_blocks();
+        assert_eq!(b.rows(), self.blocking.size(i), "block row size mismatch");
+        assert_eq!(b.cols(), self.blocking.size(j), "block col size mismatch");
+        self.blocks[i * nb + j] = Some(b);
+    }
+
+    /// Ensures block `(i, j)` is materialized and returns it mutably.
+    pub fn materialize(&mut self, i: usize, j: usize) -> &mut MinPlusMatrix {
+        let nb = self.blocking.num_blocks();
+        let (ri, rj) = (self.blocking.size(i), self.blocking.size(j));
+        self.blocks[i * nb + j].get_or_insert_with(|| MinPlusMatrix::empty(ri, rj))
+    }
+
+    /// Number of materialized (structurally non-empty) blocks.
+    pub fn nonempty_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    fn take(&mut self, i: usize, j: usize) -> Option<MinPlusMatrix> {
+        let nb = self.blocking.num_blocks();
+        self.blocks[i * nb + j].take()
+    }
+
+    fn put(&mut self, i: usize, j: usize, b: Option<MinPlusMatrix>) {
+        let nb = self.blocking.num_blocks();
+        self.blocks[i * nb + j] = b;
+    }
+
+    /// Blocked Floyd–Warshall (§3.3) with an arbitrary pivot order and
+    /// structural-empty skipping (§4.1). Visits each pivot block once:
+    /// diagonal update → panel updates → min-plus outer products.
+    ///
+    /// Correct for any permutation `order` of `0..N` because scalar FW is
+    /// pivot-order independent; the nested-dissection orders from
+    /// `apsp-partition` additionally keep cousin blocks empty, which is what
+    /// the skip counters measure.
+    ///
+    /// # Panics
+    /// Panics when `order` is not a permutation of the block indices.
+    pub fn blocked_fw(&mut self, order: &[usize]) -> FwStats {
+        let nb = self.blocking.num_blocks();
+        {
+            let mut seen = vec![false; nb];
+            assert_eq!(order.len(), nb, "pivot order must cover all blocks");
+            for &k in order {
+                assert!(k < nb && !seen[k], "pivot order is not a permutation");
+                seen[k] = true;
+            }
+        }
+        let mut stats = FwStats::default();
+        for &k in order {
+            if self.blocking.size(k) == 0 {
+                continue; // zero-size supernode: nothing to pivot on
+            }
+            // diagonal update: A(k,k) <- ClassicalFW(A(k,k))
+            let akk = self.materialize(k, k);
+            stats.ops += fw_in_place(akk);
+            stats.block_updates += 1;
+            let akk = self.block(k, k).expect("diagonal just materialized").clone();
+
+            // panel updates
+            for i in 0..nb {
+                if i == k {
+                    continue;
+                }
+                // column panel: A(i,k) ⊕= A(i,k) ⊗ A(k,k)
+                if let Some(mut aik) = self.take(i, k) {
+                    let snapshot = aik.clone();
+                    stats.ops += gemm(&mut aik, &snapshot, &akk);
+                    stats.block_updates += 1;
+                    self.put(i, k, Some(aik));
+                } else {
+                    stats.block_skips += 1;
+                }
+                // row panel: A(k,j) ⊕= A(k,k) ⊗ A(k,j)
+                if let Some(mut akj) = self.take(k, i) {
+                    let snapshot = akj.clone();
+                    stats.ops += gemm(&mut akj, &akk, &snapshot);
+                    stats.block_updates += 1;
+                    self.put(k, i, Some(akj));
+                } else {
+                    stats.block_skips += 1;
+                }
+            }
+
+            // min-plus outer product: A(i,j) ⊕= A(i,k) ⊗ A(k,j)
+            for i in 0..nb {
+                if i == k || self.block(i, k).is_none() {
+                    if i != k {
+                        stats.block_skips += 1;
+                    }
+                    continue;
+                }
+                let aik = self.block(i, k).expect("checked above").clone();
+                for j in 0..nb {
+                    if j == k {
+                        continue;
+                    }
+                    let Some(akj) = self.block(k, j) else {
+                        stats.block_skips += 1;
+                        continue;
+                    };
+                    let akj = akj.clone();
+                    let aij = self.materialize(i, j);
+                    stats.ops += gemm(aij, &aik, &akj);
+                    stats.block_updates += 1;
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INF;
+
+    fn random_sym(n: usize, density: f64, seed: u64) -> MinPlusMatrix {
+        let mut rng = seed | 1;
+        let mut rnd = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) % 1000) as f64 / 1000.0
+        };
+        let mut a = MinPlusMatrix::empty(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rnd() < density {
+                    let w = 0.1 + rnd() * 5.0;
+                    a.set(i, j, w);
+                    a.set(j, i, w);
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn blocking_shapes() {
+        let b = Blocking::uniform(10, 4);
+        assert_eq!(b.sizes(), &[4, 4, 2]);
+        assert_eq!(b.total(), 10);
+        assert_eq!(b.offset(2), 8);
+        assert_eq!(b.block_of(0), 0);
+        assert_eq!(b.block_of(7), 1);
+        assert_eq!(b.block_of(9), 2);
+        let z = Blocking::new(vec![2, 0, 3]);
+        assert_eq!(z.total(), 5);
+        assert_eq!(z.block_of(2), 2);
+    }
+
+    #[test]
+    fn dense_roundtrip_drops_empty_blocks() {
+        let mut d = MinPlusMatrix::identity(6);
+        d.set(0, 5, 2.0);
+        d.set(5, 0, 2.0);
+        let bm = BlockedMatrix::from_dense(&d, Blocking::uniform(6, 2));
+        assert!(bm.block(1, 2).is_none()); // rows 2-3 × cols 4-5 all ∞
+        assert!(bm.block(0, 2).is_some());
+        assert_eq!(bm.to_dense(), d);
+    }
+
+    #[test]
+    fn blocked_fw_matches_classical_for_any_order() {
+        for seed in 0..5u64 {
+            let n = 12;
+            let a = random_sym(n, 0.4, seed + 1);
+            let mut reference = a.clone();
+            fw_in_place(&mut reference);
+            for order in [vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![2, 0, 3, 1]] {
+                let mut bm = BlockedMatrix::from_dense(&a, Blocking::uniform(n, 3));
+                bm.blocked_fw(&order);
+                let got = bm.to_dense();
+                // the blocked algorithm leaves a 0 diagonal like fw_in_place
+                assert!(got.max_diff(&reference) < 1e-9, "seed {seed} order {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_fw_uneven_blocks() {
+        let n = 11;
+        let a = random_sym(n, 0.5, 77);
+        let mut reference = a.clone();
+        fw_in_place(&mut reference);
+        let mut bm = BlockedMatrix::from_dense(&a, Blocking::new(vec![1, 4, 0, 3, 3]));
+        bm.blocked_fw(&[4, 0, 2, 3, 1]);
+        assert!(bm.to_dense().max_diff(&reference) < 1e-9);
+    }
+
+    #[test]
+    fn blocked_fw_skips_empty_blocks() {
+        // two 3-cliques joined via the last vertex (paper Fig. 1 shape):
+        // block structure {0,1,2}, {3,4,5}, {6} has empty cross blocks.
+        let mut a = MinPlusMatrix::empty(7, 7);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 6), (5, 6)] {
+            a.set(u, v, 1.0);
+            a.set(v, u, 1.0);
+        }
+        let blocking = Blocking::new(vec![3, 3, 1]);
+        // eliminate the separator block LAST: cross blocks stay empty longer
+        let mut sparse = BlockedMatrix::from_dense(&a, blocking.clone());
+        let s_good = sparse.blocked_fw(&[0, 1, 2]);
+        // eliminate the separator FIRST: cross blocks fill immediately
+        let mut dense = BlockedMatrix::from_dense(&a, blocking);
+        let s_bad = dense.blocked_fw(&[2, 0, 1]);
+        assert!(s_good.block_skips > s_bad.block_skips);
+        assert!(s_good.ops < s_bad.ops);
+        // both orders still give correct APSP
+        let mut reference = a.clone();
+        fw_in_place(&mut reference);
+        assert!(sparse.to_dense().max_diff(&reference) < 1e-9);
+        assert!(dense.to_dense().max_diff(&reference) < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_stays_disconnected() {
+        let mut a = MinPlusMatrix::empty(4, 4);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(2, 3, 1.0);
+        a.set(3, 2, 1.0);
+        let mut bm = BlockedMatrix::from_dense(&a, Blocking::uniform(4, 2));
+        bm.blocked_fw(&[0, 1]);
+        let d = bm.to_dense();
+        assert_eq!(d.get(0, 2), INF);
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(2, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_pivot_order_panics() {
+        let mut bm = BlockedMatrix::empty(Blocking::uniform(4, 2));
+        bm.blocked_fw(&[0, 0]);
+    }
+}

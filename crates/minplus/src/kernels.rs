@@ -1,0 +1,248 @@
+//! Scalar kernels: min-plus GEMM and the classical Floyd–Warshall closure.
+//!
+//! Every kernel returns the exact number of scalar relaxations
+//! (`c = min(c, a + b)`) it executed; rows/entries skipped through the `∞`
+//! fast path are not counted. These counts feed the paper's computation
+//! comparisons (SuperFW vs classical FW, §2/§4).
+
+use crate::matrix::MinPlusMatrix;
+use crate::INF;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `C ⊕= A ⊗ B` (min-plus product accumulate). Returns the scalar-op count.
+///
+/// Loop order `i-k-j` with an `∞` skip on `A[i][k]`, so structurally empty
+/// operands cost nothing — this is what makes the §4.1 empty-block
+/// avoidance measurable.
+///
+/// ```
+/// use apsp_minplus::{gemm, MinPlusMatrix, INF};
+///
+/// let a = MinPlusMatrix::from_raw(2, 2, vec![0.0, 1.0, INF, 0.0]);
+/// let b = MinPlusMatrix::from_raw(2, 2, vec![5.0, INF, 2.0, 0.0]);
+/// let mut c = MinPlusMatrix::empty(2, 2);
+/// gemm(&mut c, &a, &b);
+/// assert_eq!(c.get(0, 0), 3.0); // min(0+5, 1+2)
+/// ```
+///
+/// # Panics
+/// Panics on shape mismatch or when `C` aliases would be required (pass
+/// distinct `&mut`/`&` — aliasing is impossible in safe Rust anyway).
+pub fn gemm(c: &mut MinPlusMatrix, a: &MinPlusMatrix, b: &MinPlusMatrix) -> u64 {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "output row mismatch");
+    assert_eq!(c.cols(), b.cols(), "output col mismatch");
+    let (m, kk, n) = (a.rows(), a.cols(), b.cols());
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let cv = c.as_mut_slice();
+    let mut ops = 0u64;
+    for i in 0..m {
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for k in 0..kk {
+            let aik = av[i * kk + k];
+            if aik == INF {
+                continue;
+            }
+            let brow = &bv[k * n..(k + 1) * n];
+            ops += n as u64;
+            for j in 0..n {
+                let via = aik + brow[j];
+                if via < crow[j] {
+                    crow[j] = via;
+                }
+            }
+        }
+    }
+    ops
+}
+
+/// Parallel variant of [`gemm`] splitting output rows across threads.
+/// Returns the scalar-op count. Falls back to [`gemm`] for small outputs.
+pub fn gemm_parallel(c: &mut MinPlusMatrix, a: &MinPlusMatrix, b: &MinPlusMatrix) -> u64 {
+    assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "output row mismatch");
+    assert_eq!(c.cols(), b.cols(), "output col mismatch");
+    let (m, kk, n) = (a.rows(), a.cols(), b.cols());
+    if m * n < 64 * 64 {
+        return gemm(c, a, b);
+    }
+    let rows_per_chunk = m.div_ceil(apsp_par::num_threads()).max(1);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let ops = AtomicU64::new(0);
+    apsp_par::par_chunks_mut(c.as_mut_slice(), rows_per_chunk * n, |start, chunk| {
+        let i0 = start / n;
+        let rows = chunk.len() / n;
+        let mut local = 0u64;
+        for r in 0..rows {
+            let i = i0 + r;
+            let crow = &mut chunk[r * n..(r + 1) * n];
+            for k in 0..kk {
+                let aik = av[i * kk + k];
+                if aik == INF {
+                    continue;
+                }
+                let brow = &bv[k * n..(k + 1) * n];
+                local += n as u64;
+                for j in 0..n {
+                    let via = aik + brow[j];
+                    if via < crow[j] {
+                        crow[j] = via;
+                    }
+                }
+            }
+        }
+        ops.fetch_add(local, Ordering::Relaxed);
+    });
+    ops.into_inner()
+}
+
+/// Classical Floyd–Warshall closure of a square block, in place
+/// (the paper's `ClassicalFW(A(k,k))`, §3.3). The diagonal is first
+/// `⊕`-ed with `0` (a vertex reaches itself for free). Returns the
+/// scalar-op count.
+pub fn fw_in_place(a: &mut MinPlusMatrix) -> u64 {
+    assert_eq!(a.rows(), a.cols(), "FW needs a square block");
+    let n = a.rows();
+    for i in 0..n {
+        a.relax(i, i, 0.0);
+    }
+    let buf = a.as_mut_slice();
+    let mut ops = 0u64;
+    for k in 0..n {
+        for i in 0..n {
+            let dik = buf[i * n + k];
+            if dik == INF {
+                continue;
+            }
+            ops += n as u64;
+            for j in 0..n {
+                let via = dik + buf[k * n + j];
+                if via < buf[i * n + j] {
+                    buf[i * n + j] = via;
+                }
+            }
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> MinPlusMatrix {
+        let mut a = MinPlusMatrix::empty(3, 3);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 2, 2.0);
+        a.set(2, 1, 2.0);
+        a
+    }
+
+    #[test]
+    fn gemm_simple_product() {
+        // C = A ⊗ B with A = [0 1; ∞ 0], B = [5 ∞; 2 0]
+        let a = MinPlusMatrix::from_raw(2, 2, vec![0.0, 1.0, INF, 0.0]);
+        let b = MinPlusMatrix::from_raw(2, 2, vec![5.0, INF, 2.0, 0.0]);
+        let mut c = MinPlusMatrix::empty(2, 2);
+        let ops = gemm(&mut c, &a, &b);
+        assert_eq!(c.get(0, 0), 3.0); // min(0+5, 1+2)
+        assert_eq!(c.get(0, 1), 1.0); // 1+0
+        assert_eq!(c.get(1, 0), 2.0); // 0+2
+        assert_eq!(c.get(1, 1), 0.0);
+        // row 1 skips k=0 (∞): 3 finite a-entries × 2 cols
+        assert_eq!(ops, 6);
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = MinPlusMatrix::from_raw(1, 1, vec![10.0]);
+        let b = MinPlusMatrix::from_raw(1, 1, vec![10.0]);
+        let mut c = MinPlusMatrix::from_raw(1, 1, vec![3.0]);
+        gemm(&mut c, &a, &b);
+        assert_eq!(c.get(0, 0), 3.0); // 20 does not beat 3
+    }
+
+    #[test]
+    fn gemm_empty_operand_is_free() {
+        let a = MinPlusMatrix::empty(8, 8);
+        let b = MinPlusMatrix::identity(8);
+        let mut c = MinPlusMatrix::empty(8, 8);
+        assert_eq!(gemm(&mut c, &a, &b), 0);
+        assert!(c.is_empty_block());
+    }
+
+    #[test]
+    fn fw_closes_a_path() {
+        let mut a = line3();
+        let ops = fw_in_place(&mut a);
+        assert!(ops > 0);
+        assert_eq!(a.get(0, 2), 3.0);
+        assert_eq!(a.get(2, 0), 3.0);
+        for i in 0..3 {
+            assert_eq!(a.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn fw_matches_squaring_closure() {
+        let mut rng = 123u64;
+        let mut rnd = || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng >> 33) % 100) as f64 / 10.0
+        };
+        for trial in 0..10 {
+            let n = 2 + trial % 6;
+            let mut a = MinPlusMatrix::empty(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rnd() < 5.0 {
+                        let w = rnd();
+                        a.set(i, j, w);
+                        a.set(j, i, w);
+                    }
+                }
+            }
+            let reference = a.closure_by_squaring();
+            let mut fast = a.clone();
+            fw_in_place(&mut fast);
+            assert!(fast.max_diff(&reference) < 1e-9, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_matches_serial() {
+        let n = 96;
+        let a = MinPlusMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 50) as f64);
+        let b = MinPlusMatrix::from_fn(n, n, |i, j| ((i * 11 + j * 3) % 50) as f64);
+        let mut c1 = MinPlusMatrix::empty(n, n);
+        let mut c2 = MinPlusMatrix::empty(n, n);
+        let ops1 = gemm(&mut c1, &a, &b);
+        let ops2 = gemm_parallel(&mut c2, &a, &b);
+        assert_eq!(c1, c2);
+        assert_eq!(ops1, ops2);
+    }
+
+    #[test]
+    fn fw_opcount_is_n_cubed_when_dense() {
+        let n = 7;
+        let mut a = MinPlusMatrix::from_fn(n, n, |i, j| (i + j) as f64);
+        let ops = fw_in_place(&mut a);
+        assert_eq!(ops, (n * n * n) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_shape_mismatch_panics() {
+        let a = MinPlusMatrix::empty(2, 3);
+        let b = MinPlusMatrix::empty(2, 3);
+        let mut c = MinPlusMatrix::empty(2, 3);
+        gemm(&mut c, &a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "square block")]
+    fn fw_non_square_panics() {
+        fw_in_place(&mut MinPlusMatrix::empty(2, 3));
+    }
+}

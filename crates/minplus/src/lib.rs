@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # apsp-minplus
+//!
+//! Dense kernels over the tropical `(min, +)` semiring: the matrix type,
+//! the classical Floyd–Warshall block closure, the min-plus matrix product
+//! ("semiring GEMM"), and the blocked Floyd–Warshall of §3.3 of the paper
+//! with arbitrary pivot orders and structural-empty skipping (§4.1).
+//!
+//! All kernels return exact scalar-operation counts (one `min(x, a + b)`
+//! relaxation = one op), which the workspace uses to reproduce the paper's
+//! computation-reduction claims (SuperFW vs classical FW).
+
+pub mod algebra;
+pub mod blocked;
+pub mod kernels;
+pub mod matrix;
+pub mod via;
+
+pub use algebra::{closure_in, AlgebraMatrix, MaxMin, MinPlus, MostReliable, PathAlgebra};
+pub use blocked::{BlockedMatrix, Blocking};
+pub use kernels::{fw_in_place, gemm, gemm_parallel};
+pub use matrix::MinPlusMatrix;
+pub use via::{fw_with_via, ViaMatrix};
+
+/// Scalar weight re-exported from the semiring's point of view.
+pub type Weight = f64;
+
+/// The additive identity (`⊕` identity): no path.
+pub const INF: Weight = f64::INFINITY;

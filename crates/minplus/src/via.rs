@@ -1,0 +1,170 @@
+//! Classical Floyd–Warshall with *via* (intermediate-vertex) tracking —
+//! the textbook predecessor scheme, kept at the dense-kernel level for
+//! shared-memory users who want `O(1)`-per-hop path recovery without
+//! consulting the graph (the distributed pipeline instead reconstructs
+//! paths from distances alone, see `apsp_graph::paths`).
+
+use crate::matrix::MinPlusMatrix;
+use crate::INF;
+
+/// Intermediate-vertex table: `via[i][j]` is a vertex strictly inside one
+/// shortest `i → j` path, or `NONE` when the path is the direct edge
+/// (or `i == j`, or unreachable).
+#[derive(Clone, Debug)]
+pub struct ViaMatrix {
+    n: usize,
+    via: Vec<u32>,
+}
+
+/// Sentinel: no intermediate vertex.
+pub const NONE: u32 = u32::MAX;
+
+impl ViaMatrix {
+    fn new(n: usize) -> Self {
+        ViaMatrix { n, via: vec![NONE; n * n] }
+    }
+
+    /// The recorded intermediate vertex for `(i, j)`, if any.
+    pub fn get(&self, i: usize, j: usize) -> Option<usize> {
+        let v = self.via[i * self.n + j];
+        (v != NONE).then_some(v as usize)
+    }
+
+    /// Recovers a full shortest-path vertex sequence from the via table.
+    /// `dist` must be the closed matrix the table was built with.
+    /// Returns `None` for unreachable pairs.
+    pub fn path(&self, dist: &MinPlusMatrix, src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        if dist.get(src, dst) == INF {
+            return None;
+        }
+        let mut out = vec![src];
+        self.expand(src, dst, &mut out);
+        out.push(dst);
+        Some(out)
+    }
+
+    fn expand(&self, i: usize, j: usize, out: &mut Vec<usize>) {
+        if let Some(k) = self.get(i, j) {
+            self.expand(i, k, out);
+            out.push(k);
+            self.expand(k, j, out);
+        }
+    }
+}
+
+/// Floyd–Warshall closure that also records, for every pair, the pivot
+/// that last improved it. Returns the via table; `a` ends as the closure.
+pub fn fw_with_via(a: &mut MinPlusMatrix) -> ViaMatrix {
+    assert_eq!(a.rows(), a.cols(), "FW needs a square block");
+    let n = a.rows();
+    let mut via = ViaMatrix::new(n);
+    for i in 0..n {
+        a.relax(i, i, 0.0);
+    }
+    let buf = a.as_mut_slice();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = buf[i * n + k];
+            if dik == INF {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik + buf[k * n + j];
+                if cand < buf[i * n + j] {
+                    buf[i * n + j] = cand;
+                    via.via[i * n + j] = if i == k || j == k { NONE } else { k as u32 };
+                }
+            }
+        }
+    }
+    via
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> MinPlusMatrix {
+        let mut a = MinPlusMatrix::empty(n, n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            a.set(i, j, 1.0);
+            a.set(j, i, 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn via_paths_have_correct_weight() {
+        let mut a = ring(7);
+        let adj = a.clone();
+        let via = fw_with_via(&mut a);
+        for i in 0..7 {
+            for j in 0..7 {
+                let path = via.path(&a, i, j).expect("ring is connected");
+                assert_eq!(path.first(), Some(&i));
+                assert_eq!(path.last(), Some(&j));
+                // every hop is a finite adjacency entry; sum equals distance
+                let mut total = 0.0;
+                for h in path.windows(2) {
+                    let w = adj.get(h[0], h[1]);
+                    assert!(w.is_finite(), "hop {h:?} is not an edge");
+                    total += w;
+                }
+                if i == j {
+                    assert_eq!(total, 0.0);
+                } else {
+                    assert_eq!(total, a.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn direct_edges_have_no_via() {
+        let mut a = ring(5);
+        let via = fw_with_via(&mut a);
+        assert_eq!(via.get(0, 1), None);
+        // the long way around 0→2 goes via 1
+        assert_eq!(via.get(0, 2), Some(1));
+    }
+
+    #[test]
+    fn unreachable_pairs_yield_none() {
+        let mut a = MinPlusMatrix::empty(3, 3);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        let via = fw_with_via(&mut a);
+        assert_eq!(via.path(&a, 0, 2), None);
+        assert_eq!(via.path(&a, 0, 0), Some(vec![0]));
+        assert_eq!(via.path(&a, 0, 1), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn random_matrices_match_plain_fw() {
+        let mut state = 99u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 100) as f64 / 10.0
+        };
+        for _ in 0..5 {
+            let n = 8;
+            let mut a = MinPlusMatrix::empty(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rnd() < 4.0 {
+                        a.set(i, j, rnd());
+                    }
+                }
+            }
+            let mut plain = a.clone();
+            crate::kernels::fw_in_place(&mut plain);
+            let mut tracked = a.clone();
+            let _ = fw_with_via(&mut tracked);
+            assert!(plain.max_diff(&tracked) < 1e-12);
+        }
+    }
+}

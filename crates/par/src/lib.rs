@@ -1,0 +1,223 @@
+#![warn(missing_docs)]
+
+//! # apsp-par
+//!
+//! Minimal scoped-thread parallel helpers used by the compute kernels and
+//! the simulator. The approved offline dependency list does not include
+//! `rayon`, so this crate provides the thin slice-parallel layer the
+//! workspace needs on top of `std::thread::scope` (per the "Rust Atomics
+//! and Locks" guidance: scoped threads + atomics, no locks in the hot path).
+//!
+//! Design points:
+//! * work is split into contiguous chunks, one OS thread per chunk, capped
+//!   at [`num_threads`] — appropriate for the coarse-grained kernels here
+//!   (block min-plus products), where chunk counts are small and uniform;
+//! * a dynamic (atomic-counter) variant [`par_for_indexed`] covers
+//!   irregular workloads;
+//! * everything falls back to sequential execution for small inputs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by the helpers: the available parallelism,
+/// overridable with the `APSP_PAR_THREADS` environment variable.
+pub fn num_threads() -> usize {
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHED.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("APSP_PAR_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    CACHED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Minimum items per chunk below which the helpers run sequentially; keeps
+/// thread-spawn overhead away from tiny inputs.
+pub const MIN_CHUNK: usize = 256;
+
+/// Runs `f(chunk_start, chunk)` over disjoint mutable chunks of `data` in
+/// parallel. `chunk_len` is the maximum chunk length; the final chunk may be
+/// shorter. Sequential when the input is small or a single thread is
+/// available.
+pub fn par_chunks_mut<T: Send, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let threads = num_threads();
+    if threads <= 1 || data.len() <= chunk_len.max(MIN_CHUNK) {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx * chunk_len, chunk);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(idx * chunk_len, chunk));
+        }
+    });
+}
+
+/// Executes `f(i)` for every `i in 0..count` using a shared atomic work
+/// counter — a simple dynamic scheduler for irregular task sizes.
+pub fn par_for_indexed<F>(count: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads().min(count.max(1));
+    if threads <= 1 || count <= 1 {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+pub fn par_map<T: Sync, U: Send, F>(items: &[T], f: F) -> Vec<U>
+where
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    {
+        let slots: Vec<slot::Slot<U>> = out.iter_mut().map(slot::Slot::new).collect();
+        par_for_indexed(items.len(), |i| {
+            slots[i].put(f(&items[i]));
+        });
+    }
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+/// Runs two closures in parallel and returns both results (rayon's `join`).
+pub fn join<A: Send, B: Send>(
+    fa: impl FnOnce() -> A + Send,
+    fb: impl FnOnce() -> B + Send,
+) -> (A, B) {
+    if num_threads() <= 1 {
+        return (fa(), fb());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        (a, hb.join().expect("join: task panicked"))
+    })
+}
+
+/// Tiny internal cell giving each task exclusive write access to one output
+/// slot without locks. Safe because `par_for_indexed` runs each index
+/// exactly once and the slots borrow disjoint `Option`s.
+mod slot {
+    use std::cell::UnsafeCell;
+
+    pub struct Slot<'a, U>(UnsafeCell<&'a mut Option<U>>);
+
+    // SAFETY: each slot is written by exactly one task (each index visited
+    // once), and the underlying Options are disjoint &mut borrows.
+    unsafe impl<U: Send> Sync for Slot<'_, U> {}
+
+    impl<'a, U> Slot<'a, U> {
+        pub fn new(target: &'a mut Option<U>) -> Self {
+            Slot(UnsafeCell::new(target))
+        }
+
+        pub fn put(&self, value: U) {
+            // SAFETY: unique writer per slot (see type-level comment).
+            unsafe { **self.0.get() = Some(value) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_mut_touches_every_element_once() {
+        let mut v = vec![0u32; 10_000];
+        par_chunks_mut(&mut v, 300, |start, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x += (start + k) as u32 + 1;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn chunks_mut_small_input_sequential_path() {
+        let mut v = vec![1u8; 10];
+        par_chunks_mut(&mut v, 4, |_, c| c.iter_mut().for_each(|x| *x *= 2));
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn for_indexed_visits_each_index_once() {
+        let hits = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        par_for_indexed(1000, |i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn for_indexed_zero_and_one() {
+        par_for_indexed(0, |_| panic!("must not run"));
+        let hit = AtomicU64::new(0);
+        par_for_indexed(1, |i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let out = par_map(&items, |&x| x * x);
+        for (i, &y) in out.iter().enumerate() {
+            assert_eq!(y, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_panics() {
+        par_chunks_mut(&mut [0u8; 4], 0, |_, _| {});
+    }
+}

@@ -1,0 +1,282 @@
+//! Multilevel graph bisection: coarsen → grow → uncoarsen + FM refine.
+
+use crate::coarsen::coarsen;
+use crate::work::WorkGraph;
+use std::collections::BinaryHeap;
+
+/// Tuning knobs for [`bisect`].
+#[derive(Clone, Copy, Debug)]
+pub struct BisectOptions {
+    /// RNG seed (matchings and tie-breaks).
+    pub seed: u64,
+    /// Allowed imbalance: each side's vertex weight stays within
+    /// `(1/2 ± balance_eps) · total`.
+    pub balance_eps: f64,
+    /// Stop coarsening at this many vertices.
+    pub coarsen_target: usize,
+    /// Maximum Fiduccia–Mattheyses passes per uncoarsening level.
+    pub fm_passes: usize,
+}
+
+impl Default for BisectOptions {
+    fn default() -> Self {
+        BisectOptions { seed: 0, balance_eps: 0.2, coarsen_target: 48, fm_passes: 6 }
+    }
+}
+
+/// A two-way partition: `side[u] ∈ {0, 1}` and the resulting edge-cut
+/// weight.
+#[derive(Clone, Debug)]
+pub struct Bisection {
+    /// Side of each vertex.
+    pub side: Vec<u8>,
+    /// Total weight of edges crossing the partition.
+    pub cut: u64,
+}
+
+/// Edge-cut weight of a side assignment.
+pub fn cut_weight(g: &WorkGraph, side: &[u8]) -> u64 {
+    let mut cut = 0;
+    for u in 0..g.n() {
+        for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
+            if (v as usize) > u && side[u] != side[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// BFS region growing from a pseudo-peripheral vertex: side 0 collects
+/// vertices in BFS order until it holds at least half of the total weight.
+/// Extra components are swept afterwards, smaller side first.
+fn grow_initial(g: &WorkGraph, seed: u64) -> Vec<u8> {
+    let n = g.n();
+    let total = g.total_vwt();
+    let mut side = vec![1u8; n];
+    if n == 0 {
+        return side;
+    }
+    let start = g.pseudo_peripheral((seed as usize) % n);
+    let mut in0 = 0u64;
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    visited[start] = true;
+    while let Some(u) = queue.pop_front() {
+        if in0 * 2 >= total {
+            break;
+        }
+        side[u] = 0;
+        in0 += g.vwt[u];
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+        // disconnected graphs: restart BFS from an unvisited vertex
+        if queue.is_empty() && in0 * 2 < total {
+            if let Some(next) = (0..n).find(|&x| !visited[x]) {
+                visited[next] = true;
+                queue.push_back(next);
+            }
+        }
+    }
+    side
+}
+
+/// One Fiduccia–Mattheyses pass with a lazy-invalidation gain heap.
+/// Returns `true` when the cut improved.
+fn fm_pass(g: &WorkGraph, side: &mut [u8], balance_eps: f64) -> bool {
+    let n = g.n();
+    let total = g.total_vwt();
+    // minimum weight either side must keep: the balance envelope, and never
+    // less than one vertex (a collapsed side is not a bisection)
+    let lo = (((0.5 - balance_eps) * total as f64).ceil().max(0.0) as u64)
+        .max(if n >= 2 { 1 } else { 0 });
+    let mut weight = [0u64; 2];
+    for u in 0..n {
+        weight[side[u] as usize] += g.vwt[u];
+    }
+    // gain(v) = external − internal incident edge weight
+    let gain_of = |side: &[u8], v: usize| -> i64 {
+        let mut gain = 0i64;
+        for (&nbr, &w) in g.neighbors(v).iter().zip(g.edge_weights(v)) {
+            if side[nbr as usize] == side[v] {
+                gain -= w as i64;
+            } else {
+                gain += w as i64;
+            }
+        }
+        gain
+    };
+    let mut stamp = vec![0u32; n]; // bump to invalidate queued entries
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<(i64, usize, u32)> = (0..n).map(|v| (gain_of(side, v), v, 0)).collect();
+
+    let mut cur_cut = cut_weight(g, side) as i64;
+    let best_start = cur_cut;
+    let mut best_cut = cur_cut;
+    let mut moves: Vec<usize> = Vec::new();
+    let mut best_len = 0usize;
+
+    while let Some((gain, v, s)) = heap.pop() {
+        if locked[v] || s != stamp[v] {
+            continue;
+        }
+        let from = side[v] as usize;
+        if weight[from] < g.vwt[v] + lo {
+            // balance would break; skip (vertex may be re-tried after mass
+            // moves the other way, so just drop this entry)
+            continue;
+        }
+        // apply
+        side[v] ^= 1;
+        weight[from] -= g.vwt[v];
+        weight[1 - from] += g.vwt[v];
+        locked[v] = true;
+        cur_cut -= gain;
+        moves.push(v);
+        if cur_cut < best_cut {
+            best_cut = cur_cut;
+            best_len = moves.len();
+        }
+        for &nbr in g.neighbors(v) {
+            let nbr = nbr as usize;
+            if !locked[nbr] {
+                stamp[nbr] += 1;
+                heap.push((gain_of(side, nbr), nbr, stamp[nbr]));
+            }
+        }
+    }
+    // roll back past the best prefix
+    for &v in moves.iter().skip(best_len) {
+        side[v] ^= 1;
+    }
+    best_cut < best_start
+}
+
+/// Multilevel bisection of a work graph.
+pub fn bisect_work(g: &WorkGraph, opts: &BisectOptions) -> Bisection {
+    let n = g.n();
+    if n <= 1 {
+        return Bisection { side: vec![0; n], cut: 0 };
+    }
+    let hierarchy = coarsen(g, opts.coarsen_target, opts.seed);
+    let coarsest: &WorkGraph = hierarchy.last().map(|lvl| &lvl.graph).unwrap_or(g);
+    let mut side = grow_initial(coarsest, opts.seed);
+    for _ in 0..opts.fm_passes {
+        if !fm_pass(coarsest, &mut side, opts.balance_eps) {
+            break;
+        }
+    }
+    // uncoarsen: project through the hierarchy, refining at each level
+    for lvl_idx in (0..hierarchy.len()).rev() {
+        let fine: &WorkGraph = if lvl_idx == 0 { g } else { &hierarchy[lvl_idx - 1].graph };
+        let map = &hierarchy[lvl_idx].map;
+        let mut fine_side = vec![0u8; fine.n()];
+        for u in 0..fine.n() {
+            fine_side[u] = side[map[u] as usize];
+        }
+        side = fine_side;
+        for _ in 0..opts.fm_passes {
+            if !fm_pass(fine, &mut side, opts.balance_eps) {
+                break;
+            }
+        }
+    }
+    let cut = cut_weight(g, &side);
+    Bisection { side, cut }
+}
+
+/// Multilevel bisection of a plain CSR graph (unit weights).
+pub fn bisect(g: &apsp_graph::Csr, opts: &BisectOptions) -> Bisection {
+    bisect_work(&WorkGraph::from_csr(g), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{self, WeightKind};
+
+    fn balance(g: &WorkGraph, side: &[u8]) -> f64 {
+        let total = g.total_vwt() as f64;
+        let w0: u64 = (0..g.n()).filter(|&u| side[u] == 0).map(|u| g.vwt[u]).sum();
+        w0 as f64 / total
+    }
+
+    #[test]
+    fn grid_bisection_is_balanced_with_small_cut() {
+        let g = generators::grid2d(12, 12, WeightKind::Unit, 0);
+        let w = WorkGraph::from_csr(&g);
+        let b = bisect(&g, &BisectOptions::default());
+        let frac = balance(&w, &b.side);
+        assert!((0.3..=0.7).contains(&frac), "balance {frac}");
+        // a 12×12 grid has a 12-edge bisector; allow heuristic slack
+        assert!(b.cut <= 30, "cut {}", b.cut);
+        assert_eq!(b.cut, cut_weight(&w, &b.side));
+    }
+
+    #[test]
+    fn path_bisection_is_one_cut() {
+        let g = generators::path(64, WeightKind::Unit, 0);
+        let b = bisect(&g, &BisectOptions::default());
+        assert!(b.cut <= 3, "cut {}", b.cut);
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        let g = apsp_graph::Csr::edgeless(1);
+        let b = bisect(&g, &BisectOptions::default());
+        assert_eq!(b.side, vec![0]);
+        let g0 = apsp_graph::Csr::edgeless(0);
+        let b0 = bisect(&g0, &BisectOptions::default());
+        assert!(b0.side.is_empty());
+    }
+
+    #[test]
+    fn two_vertices_split() {
+        let g = apsp_graph::GraphBuilder::new(2).edge(0, 1, 1.0).build();
+        let b = bisect(&g, &BisectOptions::default());
+        assert_ne!(b.side[0], b.side[1]);
+        assert_eq!(b.cut, 1);
+    }
+
+    #[test]
+    fn disconnected_components_still_balanced() {
+        // two 4×4 grids with no connection: perfect 0-cut bisection exists
+        let mut builder = apsp_graph::GraphBuilder::new(32);
+        let grid = generators::grid2d(4, 4, WeightKind::Unit, 0);
+        for (u, v, w) in grid.edges() {
+            builder.add_edge(u, v, w);
+            builder.add_edge(u + 16, v + 16, w);
+        }
+        let g = builder.build();
+        let b = bisect(&g, &BisectOptions::default());
+        let w = WorkGraph::from_csr(&g);
+        let frac = balance(&w, &b.side);
+        assert!((0.3..=0.7).contains(&frac), "balance {frac}");
+        assert!(b.cut <= 8, "cut {}", b.cut);
+    }
+
+    #[test]
+    fn refinement_improves_or_keeps_cut() {
+        let g = generators::connected_gnp(120, 0.04, WeightKind::Unit, 5);
+        let w = WorkGraph::from_csr(&g);
+        // raw grown partition on the full graph
+        let raw = grow_initial(&w, 0);
+        let raw_cut = cut_weight(&w, &raw);
+        let refined = bisect(&g, &BisectOptions::default());
+        assert!(refined.cut <= raw_cut.max(1) * 2, "{} vs {}", refined.cut, raw_cut);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::grid2d(10, 10, WeightKind::Unit, 0);
+        let a = bisect(&g, &BisectOptions::default());
+        let b = bisect(&g, &BisectOptions::default());
+        assert_eq!(a.side, b.side);
+    }
+}

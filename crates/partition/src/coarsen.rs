@@ -1,0 +1,180 @@
+//! Heavy-edge matching coarsening (phase 1 of the multilevel scheme).
+
+use crate::work::WorkGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One coarsening step: a matching and the resulting coarse graph.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarse graph.
+    pub graph: WorkGraph,
+    /// For every fine vertex, its coarse vertex id.
+    pub map: Vec<u32>,
+}
+
+/// Computes a heavy-edge matching and contracts it.
+///
+/// Vertices are visited in a seeded random order; each unmatched vertex
+/// matches its unmatched neighbour with the heaviest connecting edge
+/// (ties broken by smaller id). Unmatched vertices survive as singletons.
+pub fn coarsen_step(g: &WorkGraph, seed: u64) -> CoarseLevel {
+    let n = g.n();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut mate = vec![usize::MAX; n];
+    for &u in &order {
+        if mate[u] != usize::MAX {
+            continue;
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
+            let v = v as usize;
+            if mate[v] != usize::MAX || v == u {
+                continue;
+            }
+            let cand = (w, usize::MAX - v); // heavier first, then smaller id
+            if best.is_none_or(|b| cand > (b.0, usize::MAX - b.1)) {
+                best = Some((w, v));
+            }
+        }
+        if let Some((_, v)) = best {
+            mate[u] = v;
+            mate[v] = u;
+        } else {
+            mate[u] = u; // singleton
+        }
+    }
+
+    // assign coarse ids
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for u in 0..n {
+        if map[u] != u32::MAX {
+            continue;
+        }
+        map[u] = next;
+        let v = mate[u];
+        if v != u && v != usize::MAX {
+            map[v] = next;
+        }
+        next += 1;
+    }
+    let cn = next as usize;
+
+    // coarse vertex weights
+    let mut vwt = vec![0u64; cn];
+    for u in 0..n {
+        vwt[map[u] as usize] += g.vwt[u];
+    }
+    // coarse edges
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for (&v, &w) in g.neighbors(u).iter().zip(g.edge_weights(u)) {
+            let (cu, cv) = (map[u], map[v as usize]);
+            if cu < cv {
+                edges.push((cu, cv, w));
+            }
+        }
+    }
+    CoarseLevel { graph: WorkGraph::from_edges(cn, &edges, vwt), map }
+}
+
+/// Coarsens repeatedly until at most `target_n` vertices remain or progress
+/// stalls (shrink factor under 10%). Returns the hierarchy, fine → coarse.
+pub fn coarsen(g: &WorkGraph, target_n: usize, seed: u64) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    let mut round = 0u64;
+    while current.n() > target_n {
+        let step = coarsen_step(&current, seed ^ (0x9e37_79b9 + round));
+        let shrunk = step.graph.n();
+        let stalled = shrunk as f64 > 0.95 * current.n() as f64;
+        current = step.graph.clone();
+        levels.push(step);
+        round += 1;
+        if stalled {
+            break;
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{self, WeightKind};
+
+    #[test]
+    fn step_preserves_total_vertex_weight() {
+        let g = generators::grid2d(6, 6, WeightKind::Unit, 0);
+        let w = WorkGraph::from_csr(&g);
+        let step = coarsen_step(&w, 1);
+        assert_eq!(step.graph.total_vwt(), 36);
+        assert!(step.graph.n() < w.n());
+        assert!(step.graph.n() >= w.n() / 2);
+        // map is a surjection onto 0..cn
+        let mut hit = vec![false; step.graph.n()];
+        for &c in &step.map {
+            hit[c as usize] = true;
+        }
+        assert!(hit.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn coarse_edges_reflect_fine_adjacency() {
+        let g = generators::path(8, WeightKind::Unit, 0);
+        let w = WorkGraph::from_csr(&g);
+        let step = coarsen_step(&w, 3);
+        // any fine edge maps either inside a coarse vertex or to a coarse edge
+        for u in 0..8usize {
+            for &v in g.neighbors(u) {
+                let (cu, cv) = (step.map[u], step.map[v as usize]);
+                if cu != cv {
+                    assert!(
+                        step.graph.neighbors(cu as usize).contains(&cv),
+                        "missing coarse edge {cu}-{cv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_coarsening_reaches_target() {
+        let g = generators::grid2d(16, 16, WeightKind::Unit, 0);
+        let w = WorkGraph::from_csr(&g);
+        let levels = coarsen(&w, 24, 7);
+        assert!(!levels.is_empty());
+        let last = &levels.last().unwrap().graph;
+        assert!(last.n() <= 96, "coarsening stalled too early: {}", last.n());
+        assert_eq!(last.total_vwt(), 256);
+    }
+
+    #[test]
+    fn coarsening_keeps_connectivity() {
+        // connected fine graph => connected coarse graph
+        let g = generators::grid2d(8, 8, WeightKind::Unit, 0);
+        let w = WorkGraph::from_csr(&g);
+        let step = coarsen_step(&w, 9);
+        // BFS over coarse graph
+        let cg = &step.graph;
+        let mut seen = vec![false; cg.n()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in cg.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v as usize);
+                }
+            }
+        }
+        assert_eq!(count, cg.n());
+    }
+}

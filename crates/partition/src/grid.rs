@@ -1,0 +1,146 @@
+//! Exact geometric nested dissection for 2-D meshes.
+//!
+//! For a `rows × cols` grid (vertex `(r, c)` has id `r·cols + c`, matching
+//! [`apsp_graph::generators::grid2d`]) the optimal dissection strategy is
+//! known in closed form: cut the longer dimension down the middle. This
+//! gives exact `|S| = Θ(√n)` separators with perfect balance, which the
+//! scaling experiments use to keep the separator term clean.
+
+use crate::nd::{finish, NdOrdering};
+use apsp_etree::SchedTree;
+
+/// A sub-rectangle `rows ∈ [r0, r1)`, `cols ∈ [c0, c1)`.
+#[derive(Clone, Copy, Debug)]
+struct Rect {
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+}
+
+impl Rect {
+    fn height(&self) -> usize {
+        self.r1 - self.r0
+    }
+    fn width(&self) -> usize {
+        self.c1 - self.c0
+    }
+    fn cells(&self, cols: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.height() * self.width());
+        for r in self.r0..self.r1 {
+            for c in self.c0..self.c1 {
+                out.push(r * cols + c);
+            }
+        }
+        out
+    }
+}
+
+/// Exact geometric nested dissection of a `rows × cols` grid into `h`
+/// levels. Separators are full grid lines; leaves are the remaining
+/// sub-rectangles.
+pub fn grid_nd(rows: usize, cols: usize, h: u32) -> NdOrdering {
+    let tree = SchedTree::new(h);
+    let mut supernode_vertices: Vec<Vec<usize>> = vec![Vec::new(); tree.num_supernodes()];
+    let mut stack = vec![(Rect { r0: 0, r1: rows, c0: 0, c1: cols }, h, 0usize)];
+    while let Some((rect, level, idx)) = stack.pop() {
+        let label = tree.level_offset(level) + idx + 1;
+        if level == 1 {
+            supernode_vertices[label - 1] = rect.cells(cols);
+            continue;
+        }
+        if rect.height() == 0 || rect.width() == 0 {
+            stack.push((rect, level - 1, 2 * idx));
+            stack.push((Rect { r0: 0, r1: 0, c0: 0, c1: 0 }, level - 1, 2 * idx + 1));
+            continue;
+        }
+        if rect.width() >= rect.height() {
+            // cut the middle column
+            let mid = rect.c0 + rect.width() / 2;
+            let sep = Rect { c0: mid, c1: mid + 1, ..rect };
+            supernode_vertices[label - 1] = sep.cells(cols);
+            stack.push((Rect { c1: mid, ..rect }, level - 1, 2 * idx));
+            stack.push((Rect { c0: mid + 1, ..rect }, level - 1, 2 * idx + 1));
+        } else {
+            // cut the middle row
+            let mid = rect.r0 + rect.height() / 2;
+            let sep = Rect { r0: mid, r1: mid + 1, ..rect };
+            supernode_vertices[label - 1] = sep.cells(cols);
+            stack.push((Rect { r1: mid, ..rect }, level - 1, 2 * idx));
+            stack.push((Rect { r0: mid + 1, ..rect }, level - 1, 2 * idx + 1));
+        }
+    }
+    finish(tree, supernode_vertices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{self, WeightKind};
+
+    #[test]
+    fn separators_are_grid_lines() {
+        let (rows, cols) = (9, 9);
+        let g = generators::grid2d(rows, cols, WeightKind::Unit, 0);
+        let nd = grid_nd(rows, cols, 3);
+        nd.validate(&g).unwrap();
+        // top separator: one column of 9
+        assert_eq!(nd.top_separator(), 9);
+        // level 2 separators: a row of each 9×4 half = 4 each
+        assert_eq!(nd.level_sizes(2), vec![4, 4]);
+        // total preserved
+        assert_eq!(nd.supernode_sizes.iter().sum::<usize>(), 81);
+    }
+
+    #[test]
+    fn deep_dissection_stays_valid() {
+        let (rows, cols) = (17, 17);
+        let g = generators::grid2d(rows, cols, WeightKind::Unit, 0);
+        for h in 1..=5 {
+            let nd = grid_nd(rows, cols, h);
+            nd.validate(&g).unwrap_or_else(|e| panic!("h={h}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rectangle_cuts_longer_side() {
+        let g = generators::grid2d(4, 16, WeightKind::Unit, 0);
+        let nd = grid_nd(4, 16, 2);
+        nd.validate(&g).unwrap();
+        // a column cut of height 4, not a row cut of width 16
+        assert_eq!(nd.top_separator(), 4);
+    }
+
+    #[test]
+    fn balance_is_tight_on_power_of_two_plus_one() {
+        let nd = grid_nd(17, 17, 2);
+        let leaves = nd.level_sizes(1);
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0], leaves[1], "two 17×8 halves");
+    }
+
+    #[test]
+    fn max_separator_scales_like_sqrt_n() {
+        for side in [8usize, 16, 32] {
+            let nd = grid_nd(side, side, 4);
+            assert!(
+                nd.max_separator() <= side,
+                "side {side}: separator {}",
+                nd.max_separator()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_grids_and_degenerate_trees() {
+        let g = generators::grid2d(2, 2, WeightKind::Unit, 0);
+        for h in 1..=4 {
+            let nd = grid_nd(2, 2, h);
+            nd.validate(&g).unwrap();
+            assert_eq!(nd.supernode_sizes.iter().sum::<usize>(), 4);
+        }
+        let g1 = generators::grid2d(1, 1, WeightKind::Unit, 0);
+        let nd1 = grid_nd(1, 1, 3);
+        nd1.validate(&g1).unwrap();
+    }
+}

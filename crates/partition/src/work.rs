@@ -1,0 +1,162 @@
+//! Internal weighted work-graph used by the multilevel pipeline.
+//!
+//! Unlike [`apsp_graph::Csr`], a [`WorkGraph`] carries integer *vertex*
+//! weights (coarse vertices absorb their constituents) and integer *edge*
+//! weights (parallel edges collapse by summing multiplicities). Distances
+//! from the input graph are irrelevant for partitioning and never enter.
+
+use apsp_graph::Csr;
+
+/// Mutable-ish weighted graph for coarsening/refinement.
+#[derive(Clone, Debug)]
+pub struct WorkGraph {
+    /// CSR offsets, `n + 1` entries.
+    pub xadj: Vec<usize>,
+    /// Flattened neighbour lists.
+    pub adj: Vec<u32>,
+    /// Edge weights aligned with `adj` (multiplicities).
+    pub ewt: Vec<u64>,
+    /// Vertex weights (number of original vertices represented).
+    pub vwt: Vec<u64>,
+}
+
+impl WorkGraph {
+    /// Builds a unit-weight work graph from a CSR structure.
+    pub fn from_csr(g: &Csr) -> Self {
+        let n = g.n();
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0);
+        let mut adj = Vec::with_capacity(2 * g.m());
+        for u in 0..n {
+            adj.extend_from_slice(g.neighbors(u));
+            xadj.push(adj.len());
+        }
+        WorkGraph { ewt: vec![1; adj.len()], vwt: vec![1; n], xadj, adj }
+    }
+
+    /// Builds from an edge list (u, v, multiplicity) and vertex weights.
+    /// Parallel edges are merged by summing weight. Self loops are dropped.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, u64)], vwt: Vec<u64>) -> Self {
+        assert_eq!(vwt.len(), n);
+        let mut per_vertex: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for &(u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            per_vertex[u as usize].push((v, w));
+            per_vertex[v as usize].push((u, w));
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0);
+        let mut adj = Vec::new();
+        let mut ewt = Vec::new();
+        for list in &mut per_vertex {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            let mut k = 0;
+            while k < list.len() {
+                let v = list[k].0;
+                let mut w = 0;
+                while k < list.len() && list[k].0 == v {
+                    w += list[k].1;
+                    k += 1;
+                }
+                adj.push(v);
+                ewt.push(w);
+            }
+            xadj.push(adj.len());
+        }
+        WorkGraph { xadj, adj, ewt, vwt }
+    }
+
+    /// Vertex count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.vwt.len()
+    }
+
+    /// Neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.adj[self.xadj[u]..self.xadj[u + 1]]
+    }
+
+    /// Edge weights aligned with [`WorkGraph::neighbors`].
+    #[inline]
+    pub fn edge_weights(&self, u: usize) -> &[u64] {
+        &self.ewt[self.xadj[u]..self.xadj[u + 1]]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.xadj[u + 1] - self.xadj[u]
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwt(&self) -> u64 {
+        self.vwt.iter().sum()
+    }
+
+    /// A vertex approximately farthest from `start` (two BFS sweeps) — the
+    /// classic pseudo-peripheral heuristic seeding region growing.
+    pub fn pseudo_peripheral(&self, start: usize) -> usize {
+        let mut far = start;
+        for _ in 0..2 {
+            far = self.bfs_farthest(far);
+        }
+        far
+    }
+
+    fn bfs_farthest(&self, s: usize) -> usize {
+        let n = self.n();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[s] = 0;
+        queue.push_back(s);
+        let mut last = s;
+        while let Some(u) = queue.pop_front() {
+            last = u;
+            for &v in self.neighbors(u) {
+                let v = v as usize;
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{self, WeightKind};
+
+    #[test]
+    fn from_csr_unit_weights() {
+        let g = generators::grid2d(3, 3, WeightKind::Unit, 0);
+        let w = WorkGraph::from_csr(&g);
+        assert_eq!(w.n(), 9);
+        assert_eq!(w.total_vwt(), 9);
+        assert_eq!(w.neighbors(4), g.neighbors(4));
+        assert!(w.edge_weights(4).iter().all(|&e| e == 1));
+    }
+
+    #[test]
+    fn from_edges_merges_parallel() {
+        let w = WorkGraph::from_edges(3, &[(0, 1, 2), (1, 0, 3), (1, 2, 1), (2, 2, 9)], vec![1, 2, 3]);
+        assert_eq!(w.degree(0), 1);
+        assert_eq!(w.edge_weights(0), &[5]);
+        assert_eq!(w.degree(2), 1, "self loop dropped");
+        assert_eq!(w.total_vwt(), 6);
+    }
+
+    #[test]
+    fn pseudo_peripheral_on_path_is_an_endpoint() {
+        let g = generators::path(10, WeightKind::Unit, 0);
+        let w = WorkGraph::from_csr(&g);
+        let p = w.pseudo_peripheral(4);
+        assert!(p == 0 || p == 9, "got {p}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: every ordering the partitioner emits must satisfy the
+//! structural invariants the paper's algorithm relies on.
+
+use apsp_graph::GraphBuilder;
+use apsp_partition::separator::{separates, Part};
+use apsp_partition::{bisect, nested_dissection, vertex_separator, BisectOptions, NdOptions};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edge = (0..n, 0..n);
+        (Just(n), proptest::collection::vec(edge, 0..(4 * n)))
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> apsp_graph::Csr {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        if u != v {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bisection_sides_are_binary_and_nonempty((n, edges) in arb_graph(50)) {
+        let g = build(n, &edges);
+        let b = bisect(&g, &BisectOptions::default());
+        prop_assert_eq!(b.side.len(), n);
+        prop_assert!(b.side.iter().all(|&s| s <= 1));
+        // both sides populated for n >= 2
+        prop_assert!(b.side.contains(&0));
+        prop_assert!(b.side.contains(&1));
+    }
+
+    #[test]
+    fn separator_always_separates((n, edges) in arb_graph(40)) {
+        let g = build(n, &edges);
+        let b = bisect(&g, &BisectOptions::default());
+        let part = vertex_separator(&g, &b.side);
+        prop_assert!(separates(&g, &part));
+        // separator no larger than the boundary it covers
+        let cut_endpoints: std::collections::BTreeSet<usize> = g
+            .edges()
+            .filter(|&(u, v, _)| b.side[u] != b.side[v])
+            .flat_map(|(u, v, _)| [u, v])
+            .collect();
+        let s = part.iter().filter(|p| **p == Part::Sep).count();
+        prop_assert!(s <= cut_endpoints.len());
+    }
+
+    #[test]
+    fn nd_orderings_validate((n, edges) in arb_graph(36), h in 1u32..5) {
+        let g = build(n, &edges);
+        let nd = nested_dissection(&g, h, &NdOptions::default());
+        prop_assert!(nd.validate(&g).is_ok());
+        prop_assert_eq!(nd.supernode_sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(nd.supernode_sizes.len(), nd.tree.num_supernodes());
+    }
+
+    #[test]
+    fn nd_permutation_is_stable_per_seed((n, edges) in arb_graph(24)) {
+        let g = build(n, &edges);
+        let a = nested_dissection(&g, 3, &NdOptions::default());
+        let b = nested_dissection(&g, 3, &NdOptions::default());
+        prop_assert_eq!(a.perm.as_order(), b.perm.as_order());
+        prop_assert_eq!(a.supernode_sizes, b.supernode_sizes);
+    }
+
+    #[test]
+    fn supernode_lookup_consistent((n, edges) in arb_graph(30)) {
+        let g = build(n, &edges);
+        let nd = nested_dissection(&g, 3, &NdOptions::default());
+        for old in 0..n {
+            let k = nd.supernode_of_old(old);
+            let new = nd.perm.to_new(old);
+            let off = nd.offset(k);
+            prop_assert!(off <= new && new < off + nd.supernode_sizes[k - 1]);
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! Group collectives built from point-to-point messages.
+//!
+//! Every collective operates on an explicit **group**: a sorted, duplicate-
+//! free list of ranks that must contain the caller; all group members must
+//! call the collective with the same arguments (group, root, tag) in the
+//! same relative order — the usual MPI contract. Trees are *binomial*, so
+//! a `g`-member collective costs `⌈log₂ g⌉` message rounds on the critical
+//! path, and moving `w` words costs `O(w)` per round.
+//!
+//! Tags: each collective stirs the caller-provided tag with the message's
+//! role so that schedule bugs surface as tag panics instead of data
+//! corruption.
+
+use crate::comm::{Comm, Rank};
+
+/// Position of `rank` in `group`.
+///
+/// # Panics
+/// Panics when `rank` is not a member — calling a collective from outside
+/// its group is always a schedule bug.
+fn position(group: &[Rank], rank: Rank) -> usize {
+    debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted unique");
+    group
+        .iter()
+        .position(|&r| r == rank)
+        .unwrap_or_else(|| panic!("rank {rank} not in group {group:?}"))
+}
+
+impl Comm {
+    /// Binomial-tree broadcast of `data` from `group[root_pos]` to the whole
+    /// group. The root passes `Some(data)`, everyone else `None`; every
+    /// member returns the broadcast payload.
+    pub fn bcast(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        data: Option<Vec<f64>>,
+    ) -> Vec<f64> {
+        let g = group.len();
+        let me = position(group, self.rank());
+        let root_pos = position(group, root);
+        if self.rank() == root {
+            assert!(data.is_some(), "broadcast root must supply the payload");
+        } else {
+            assert!(data.is_none(), "non-root must not supply a payload");
+        }
+        if g == 1 {
+            return data.expect("single-member broadcast is the root");
+        }
+        let rel = (me + g - root_pos) % g; // virtual index, root at 0
+        let actual = |virt: usize| group[(virt + root_pos) % g];
+
+        // receive phase: lowest set bit of `rel` determines the parent
+        let mut payload = data;
+        let mut mask = 1usize;
+        while mask < g {
+            if rel & mask != 0 {
+                let parent = actual(rel - mask);
+                payload = Some(self.recv(parent, tag ^ 0xB0AD));
+                break;
+            }
+            mask <<= 1;
+        }
+        // send phase: forward to children at decreasing distances
+        let payload = payload.expect("root or received");
+        let mut mask = mask >> 1;
+        while mask > 0 {
+            if rel + mask < g {
+                let child = actual(rel + mask);
+                self.send(child, tag ^ 0xB0AD, payload.clone());
+            }
+            mask >>= 1;
+        }
+        payload
+    }
+
+    /// Binomial-tree reduction of every member's `contribution` to
+    /// `group[root_pos]`, combining with `combine(acc, incoming)`.
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        contribution: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Option<Vec<f64>> {
+        let g = group.len();
+        let me = position(group, self.rank());
+        let root_pos = position(group, root);
+        if g == 1 {
+            return Some(contribution);
+        }
+        let rel = (me + g - root_pos) % g;
+        let actual = |virt: usize| group[(virt + root_pos) % g];
+
+        let mut acc = contribution;
+        let mut mask = 1usize;
+        while mask < g {
+            if rel & mask == 0 {
+                let partner = rel | mask;
+                if partner < g {
+                    let incoming = self.recv(actual(partner), tag ^ 0x5EDC);
+                    combine(&mut acc, &incoming);
+                }
+            } else {
+                let parent = actual(rel & !mask);
+                self.send(parent, tag ^ 0x5EDC, acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Element-wise minimum reduction — the `⊕`-combine every distance
+    /// block reduction in the workspace uses.
+    pub fn reduce_min(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        contribution: Vec<f64>,
+    ) -> Option<Vec<f64>> {
+        self.reduce(group, root, tag, contribution, |acc, inc| {
+            debug_assert_eq!(acc.len(), inc.len(), "reduction shape mismatch");
+            for (a, &b) in acc.iter_mut().zip(inc) {
+                if b < *a {
+                    *a = b;
+                }
+            }
+        })
+    }
+
+    /// Linear gather to `root`: returns `Some(payloads in group order)` on
+    /// the root (the root's own entry included), `None` elsewhere.
+    /// Costs `O(g)` latency on the root — used only where the paper's
+    /// schedule allows it (base cases, result collection).
+    pub fn gather(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> Option<Vec<Vec<f64>>> {
+        position(group, self.rank());
+        position(group, root);
+        if self.rank() != root {
+            self.send(root, tag ^ 0x6A78, payload);
+            return None;
+        }
+        let mut out = Vec::with_capacity(group.len());
+        for &r in group {
+            if r == root {
+                out.push(payload.clone());
+            } else {
+                out.push(self.recv(r, tag ^ 0x6A78));
+            }
+        }
+        Some(out)
+    }
+
+    /// Linear scatter from `root`: the root passes one payload per member
+    /// (group order); every member returns its slice.
+    pub fn scatter(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payloads: Option<Vec<Vec<f64>>>,
+    ) -> Vec<f64> {
+        let me = position(group, self.rank());
+        position(group, root);
+        if self.rank() == root {
+            let mut payloads = payloads.expect("scatter root supplies payloads");
+            assert_eq!(payloads.len(), group.len(), "one payload per member");
+            let mut mine = Vec::new();
+            for (pos, &r) in group.iter().enumerate() {
+                let data = std::mem::take(&mut payloads[pos]);
+                if r == self.rank() {
+                    mine = data;
+                } else {
+                    self.send(r, tag ^ 0x5CA7, data);
+                }
+            }
+            mine
+        } else {
+            assert!(payloads.is_none(), "non-root must not supply payloads");
+            let _ = me;
+            self.recv(root, tag ^ 0x5CA7)
+        }
+    }
+
+    /// Tree barrier over the group: a zero-word reduce followed by a
+    /// zero-word broadcast (`2⌈log₂ g⌉` latency).
+    pub fn barrier(&mut self, group: &[Rank], tag: u64) {
+        let root = group[0];
+        let done = self.reduce(group, root, tag ^ 0xBA55, Vec::new(), |_, _| {});
+        let _ = self.bcast(group, root, tag ^ 0xBA55, done.map(|_| Vec::new()));
+    }
+
+    /// All-gather over the group: every member contributes a payload and
+    /// receives everyone's payloads **in group order**. Implemented as a
+    /// concatenating tree reduce to `group[0]` followed by a broadcast —
+    /// `O(log g)` latency, `O(total · log g)` critical-path bandwidth for
+    /// variable-sized contributions.
+    ///
+    /// Payload framing: each contribution travels as `[len, words…]`, so
+    /// contributions may have different lengths (and zero-length ones are
+    /// preserved).
+    pub fn allgather(&mut self, group: &[Rank], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>> {
+        let me = position(group, self.rank());
+        // frame: [index, len, words...] triplets concatenated
+        let mut framed = Vec::with_capacity(payload.len() + 2);
+        framed.push(me as f64);
+        framed.push(payload.len() as f64);
+        framed.extend_from_slice(&payload);
+        let root = group[0];
+        let gathered = self.reduce(group, root, tag ^ 0xA116, framed, |acc, inc| {
+            acc.extend_from_slice(inc);
+        });
+        let all = self.bcast(group, root, tag ^ 0xA117, gathered);
+        // unframe into group order
+        let mut out: Vec<Vec<f64>> = (0..group.len()).map(|_| Vec::new()).collect();
+        let mut cursor = 0usize;
+        let mut seen = 0usize;
+        while cursor < all.len() {
+            let idx = all[cursor] as usize;
+            let len = all[cursor + 1] as usize;
+            out[idx] = all[cursor + 2..cursor + 2 + len].to_vec();
+            cursor += 2 + len;
+            seen += 1;
+        }
+        assert_eq!(seen, group.len(), "allgather lost contributions");
+        out
+    }
+
+    /// All-reduce over the group: a reduce to `group[0]` followed by a
+    /// broadcast of the combined value (`2⌈log₂ g⌉` latency).
+    pub fn allreduce(
+        &mut self,
+        group: &[Rank],
+        tag: u64,
+        contribution: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Vec<f64> {
+        let root = group[0];
+        let combined = self.reduce(group, root, tag ^ 0xA11E, contribution, combine);
+        self.bcast(group, root, tag ^ 0xA11F, combined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comm::Machine;
+
+    #[test]
+    fn bcast_delivers_to_all_group_sizes() {
+        for g in 1..=9usize {
+            let group: Vec<usize> = (0..g).collect();
+            let (outs, report) = Machine::run(g, |comm| {
+                let data = if comm.rank() == 0 { Some(vec![42.0, 7.0]) } else { None };
+                comm.bcast(&group, 0, 1, data)
+            });
+            for out in outs {
+                assert_eq!(out, vec![42.0, 7.0]);
+            }
+            // binomial tree: ⌈log2 g⌉ rounds of 2 words
+            let rounds = (g as f64).log2().ceil() as u64;
+            assert_eq!(report.critical_latency(), rounds, "g={g}");
+            assert_eq!(report.critical_bandwidth(), 2 * rounds, "g={g}");
+        }
+    }
+
+    #[test]
+    fn bcast_nontrivial_root_and_subgroup() {
+        // group {1, 3, 4, 6} of a 7-rank machine, root 4
+        let group = vec![1, 3, 4, 6];
+        let (outs, _) = Machine::run(7, |comm| {
+            if group.contains(&comm.rank()) {
+                let data = if comm.rank() == 4 { Some(vec![5.5]) } else { None };
+                Some(comm.bcast(&group, 4, 9, data))
+            } else {
+                None
+            }
+        });
+        for (r, out) in outs.iter().enumerate() {
+            if group.contains(&r) {
+                assert_eq!(out.as_deref(), Some(&[5.5][..]));
+            } else {
+                assert!(out.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_min_combines_everything() {
+        for g in 1..=9usize {
+            let group: Vec<usize> = (0..g).collect();
+            let (outs, report) = Machine::run(g, |comm| {
+                let r = comm.rank() as f64;
+                // contribution: [r, -r]
+                comm.reduce_min(&group, 0, 3, vec![r, -r])
+            });
+            assert_eq!(outs[0].as_deref(), Some(&[0.0, -(g as f64 - 1.0)][..]));
+            for out in outs.iter().skip(1) {
+                assert!(out.is_none());
+            }
+            let rounds = (g as f64).log2().ceil() as u64;
+            assert_eq!(report.critical_latency(), rounds, "g={g}");
+        }
+    }
+
+    #[test]
+    fn reduce_with_shifted_root() {
+        let group = vec![0, 1, 2, 3, 4];
+        let (outs, _) = Machine::run(5, |comm| {
+            let r = comm.rank() as f64;
+            comm.reduce(&group, 3, 4, vec![r], |acc, inc| acc[0] += inc[0])
+        });
+        assert_eq!(outs[3].as_deref(), Some(&[10.0][..]));
+        for (r, out) in outs.iter().enumerate() {
+            assert_eq!(out.is_some(), r == 3);
+        }
+    }
+
+    #[test]
+    fn gather_in_group_order() {
+        let group = vec![0, 2, 3];
+        let (outs, _) = Machine::run(4, |comm| {
+            if group.contains(&comm.rank()) {
+                comm.gather(&group, 2, 5, vec![comm.rank() as f64])
+            } else {
+                None
+            }
+        });
+        assert_eq!(
+            outs[2],
+            Some(vec![vec![0.0], vec![2.0], vec![3.0]])
+        );
+    }
+
+    #[test]
+    fn scatter_distributes_slices() {
+        let group = vec![0, 1, 2];
+        let (outs, _) = Machine::run(3, |comm| {
+            let payloads = (comm.rank() == 1)
+                .then(|| vec![vec![10.0], vec![11.0], vec![12.0]]);
+            comm.scatter(&group, 1, 6, payloads)
+        });
+        assert_eq!(outs, vec![vec![10.0], vec![11.0], vec![12.0]]);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clock_floor() {
+        let group = vec![0, 1, 2, 3];
+        let (_, report) = Machine::run(4, |comm| {
+            if comm.rank() == 2 {
+                comm.compute(1000);
+            }
+            comm.barrier(&group, 0);
+            // after the barrier every rank's compute clock has absorbed
+            // rank 2's 1000 ops
+            assert!(comm.clocks().compute >= 1000);
+        });
+        assert_eq!(report.critical_compute(), 1000);
+    }
+
+    #[test]
+    fn concurrent_disjoint_collectives_share_critical_path() {
+        // two disjoint groups broadcast simultaneously: latency = one tree
+        let (_, report) = Machine::run(8, |comm| {
+            let r = comm.rank();
+            let group: Vec<usize> = if r < 4 { (0..4).collect() } else { (4..8).collect() };
+            let root = group[0];
+            let data = (r == root).then(|| vec![1.0; 16]);
+            comm.bcast(&group, root, 2, data);
+        });
+        assert_eq!(report.critical_latency(), 2); // ⌈log2 4⌉
+        assert_eq!(report.total_messages(), 6);
+    }
+
+    #[test]
+    fn allgather_returns_group_order_and_varied_sizes() {
+        let group = vec![0, 2, 3];
+        let (outs, report) = Machine::run(4, |comm| {
+            if !group.contains(&comm.rank()) {
+                return None;
+            }
+            let mine: Vec<f64> = (0..comm.rank()).map(|x| x as f64).collect();
+            Some(comm.allgather(&group, 8, mine))
+        });
+        for r in &group {
+            let got = outs[*r].as_ref().unwrap();
+            assert_eq!(got.len(), 3);
+            assert_eq!(got[0], Vec::<f64>::new());
+            assert_eq!(got[1], vec![0.0, 1.0]);
+            assert_eq!(got[2], vec![0.0, 1.0, 2.0]);
+        }
+        assert!(report.critical_latency() <= 2 * 2 + 2, "tree depth bound");
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere() {
+        let group: Vec<usize> = (0..6).collect();
+        let (outs, _) = Machine::run(6, |comm| {
+            comm.allreduce(&group, 9, vec![comm.rank() as f64, 1.0], |acc, inc| {
+                acc[0] += inc[0];
+                acc[1] += inc[1];
+            })
+        });
+        for out in outs {
+            assert_eq!(out, vec![15.0, 6.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in group")]
+    fn outsider_calling_collective_panics() {
+        let _ = Machine::run(2, |comm| {
+            let group = vec![0];
+            let data = (comm.rank() == 0).then(|| vec![1.0]);
+            comm.bcast(&group, 0, 0, data)
+        });
+    }
+}

@@ -1,0 +1,410 @@
+//! The machine, rank communicators, and point-to-point messaging.
+
+use crate::report::{Clocks, RankStats, RunReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A process id, `0 .. p`.
+pub type Rank = usize;
+
+/// A message in flight: payload words plus the sender's post-send clock
+/// snapshot (which drives the receiver's critical-path merge).
+struct Msg {
+    tag: u64,
+    payload: Vec<f64>,
+    sender_clocks: Clocks,
+}
+
+/// One recorded message, when tracing is on ([`Machine::run_traced`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sender rank.
+    pub src: Rank,
+    /// Receiver rank.
+    pub dst: Rank,
+    /// Payload size in words.
+    pub words: usize,
+    /// Message tag (phase-identifying, algorithm-specific).
+    pub tag: u64,
+}
+
+/// The simulated machine.
+pub struct Machine;
+
+impl Machine {
+    /// Runs `f(comm)` on `p` ranks (one OS thread each) and returns every
+    /// rank's result plus the cost report.
+    ///
+    /// Panics in any rank propagate and fail the run (useful in tests).
+    ///
+    /// ```
+    /// use apsp_simnet::Machine;
+    ///
+    /// // rank 0 broadcasts a value to everyone; costs are measured
+    /// let group: Vec<usize> = (0..4).collect();
+    /// let (outs, report) = Machine::run(4, |comm| {
+    ///     let data = (comm.rank() == 0).then(|| vec![3.25]);
+    ///     comm.bcast(&group, 0, 7, data)[0]
+    /// });
+    /// assert_eq!(outs, vec![3.25; 4]);
+    /// assert_eq!(report.critical_latency(), 2); // ⌈log₂ 4⌉ tree rounds
+    /// assert_eq!(report.total_messages(), 3);
+    /// ```
+    pub fn run<T, F>(p: usize, f: F) -> (Vec<T>, RunReport)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let (outs, report, _) = Self::run_inner(p, f, false);
+        (outs, report)
+    }
+
+    /// Like [`Machine::run`], additionally recording every message each
+    /// rank *sent* (in send order). Use for schedule audits and debugging;
+    /// tracing does not perturb the cost model.
+    pub fn run_traced<T, F>(p: usize, f: F) -> (Vec<T>, RunReport, Vec<Vec<TraceEvent>>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        Self::run_inner(p, f, true)
+    }
+
+    fn run_inner<T, F>(p: usize, f: F, traced: bool) -> (Vec<T>, RunReport, Vec<Vec<TraceEvent>>)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        assert!(p >= 1, "need at least one rank");
+        // channel matrix: tx_rows[src][dst] sends src→dst; each rank takes
+        // sole ownership of its row of senders and column of receivers, so
+        // a dying rank disconnects its channels (unblocking any peer stuck
+        // in recv, which then fails loudly instead of hanging).
+        let mut tx_rows: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(p);
+        let mut rx_rows: Vec<Vec<Option<Receiver<Msg>>>> = (0..p)
+            .map(|_| (0..p).map(|_| None).collect::<Vec<_>>())
+            .collect();
+        for src in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for rx_row in rx_rows.iter_mut() {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                rx_row[src] = Some(rx);
+            }
+            tx_rows.push(row);
+        }
+
+        let mut results: Vec<Option<(T, RankStats, Vec<TraceEvent>)>> =
+            (0..p).map(|_| None).collect();
+        {
+            let slots: Vec<_> = results.iter_mut().collect();
+            let f = &f;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(p);
+                let rank_iter = tx_rows.drain(..).zip(rx_rows.drain(..)).zip(slots).enumerate();
+                for (rank, ((tx_row, rx_row), slot)) in rank_iter {
+                    let rx_row: Vec<Receiver<Msg>> =
+                        rx_row.into_iter().map(|o| o.expect("receiver present")).collect();
+                    handles.push(scope.spawn(move || {
+                        let mut comm = Comm {
+                            rank,
+                            p,
+                            tx: tx_row,
+                            rx: rx_row,
+                            clocks: Clocks::default(),
+                            sent_messages: 0,
+                            sent_words: 0,
+                            peak_words: 0,
+                            resident_words: 0,
+                            trace: traced.then(Vec::new),
+                        };
+                        let out = f(&mut comm);
+                        let stats = RankStats {
+                            clocks: comm.clocks,
+                            sent_messages: comm.sent_messages,
+                            sent_words: comm.sent_words,
+                            peak_words: comm.peak_words,
+                            resident_words: comm.resident_words,
+                        };
+                        *slot = Some((out, stats, comm.trace.take().unwrap_or_default()));
+                    }));
+                }
+                let mut first_panic = None;
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+                if let Some(payload) = first_panic {
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+
+        let mut outs = Vec::with_capacity(p);
+        let mut traces = Vec::with_capacity(p);
+        let mut report = RunReport { per_rank: Vec::with_capacity(p) };
+        for r in results {
+            let (out, stats, trace) = r.expect("rank completed");
+            outs.push(out);
+            report.per_rank.push(stats);
+            traces.push(trace);
+        }
+        (outs, report, traces)
+    }
+}
+
+/// A rank's handle to the machine: point-to-point messaging, cost clocks,
+/// and memory tracking. Collectives live in [`crate::collectives`].
+pub struct Comm {
+    rank: Rank,
+    p: usize,
+    tx: Vec<Sender<Msg>>,
+    rx: Vec<Receiver<Msg>>,
+    pub(crate) clocks: Clocks,
+    pub(crate) sent_messages: u64,
+    pub(crate) sent_words: u64,
+    peak_words: u64,
+    resident_words: u64,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl Comm {
+    /// This rank's id.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total rank count `p`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Current critical-path clocks.
+    pub fn clocks(&self) -> Clocks {
+        self.clocks
+    }
+
+    /// Sends `payload` to `dst`. Never blocks. Costs `(1, payload.len())`
+    /// on this rank's clocks. The `tag` is a debugging aid checked by the
+    /// matching [`Comm::recv`].
+    ///
+    /// # Panics
+    /// Panics on self-send (the §3.1 model has no loopback cost and local
+    /// data never needs a message) or out-of-range `dst`.
+    pub fn send(&mut self, dst: Rank, tag: u64, payload: Vec<f64>) {
+        assert!(dst < self.p, "rank {dst} out of range (p = {})", self.p);
+        assert_ne!(dst, self.rank, "self-send: use local data instead");
+        self.clocks.latency += 1;
+        self.clocks.bandwidth += payload.len() as u64;
+        self.sent_messages += 1;
+        self.sent_words += payload.len() as u64;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent { src: self.rank, dst, words: payload.len(), tag });
+        }
+        let msg = Msg { tag, payload, sender_clocks: self.clocks };
+        self.tx[dst].send(msg).expect("receiver alive for the whole run");
+    }
+
+    /// Receives the next message from `src` (FIFO per channel; blocks).
+    ///
+    /// # Panics
+    /// Panics when the arriving message's tag differs from `expected_tag` —
+    /// that is always an algorithm-schedule bug worth failing loudly on.
+    pub fn recv(&mut self, src: Rank, expected_tag: u64) -> Vec<f64> {
+        assert!(src < self.p, "rank {src} out of range (p = {})", self.p);
+        assert_ne!(src, self.rank, "self-receive: use local data instead");
+        let msg = self.rx[src].recv().expect("sender alive for the whole run");
+        assert_eq!(
+            msg.tag, expected_tag,
+            "rank {}: message from {src} has tag {:#x}, expected {:#x} — schedule mismatch",
+            self.rank, msg.tag, expected_tag
+        );
+        // §3.1 assumption (2): a processor receives one message at a time,
+        // so the receive occupies this rank's port for (1, w) — while the
+        // message itself arrives no earlier than the sender's post-send
+        // clocks. Taking the max of the two keeps a single relayed message
+        // counted once along its path, yet serializes fan-in at a receiver.
+        let w = msg.payload.len() as u64;
+        self.clocks.latency = (self.clocks.latency + 1).max(msg.sender_clocks.latency);
+        self.clocks.bandwidth = (self.clocks.bandwidth + w).max(msg.sender_clocks.bandwidth);
+        self.clocks.compute = self.clocks.compute.max(msg.sender_clocks.compute);
+        msg.payload
+    }
+
+    /// Records `ops` scalar operations of local compute.
+    pub fn compute(&mut self, ops: u64) {
+        self.clocks.compute += ops;
+    }
+
+    /// Tracks an allocation of `words` words of resident data (blocks,
+    /// buffers); feeds the per-rank peak-memory statistic (`M` in Table 2).
+    pub fn alloc(&mut self, words: usize) {
+        self.resident_words += words as u64;
+        self.peak_words = self.peak_words.max(self.resident_words);
+    }
+
+    /// Releases previously tracked words.
+    pub fn release(&mut self, words: usize) {
+        debug_assert!(self.resident_words >= words as u64, "release underflow");
+        self.resident_words = self.resident_words.saturating_sub(words as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_critical_path() {
+        let (_, report) = Machine::run(2, |comm| {
+            match comm.rank() {
+                0 => {
+                    comm.send(1, 1, vec![1.0, 2.0, 3.0]);
+                    let back = comm.recv(1, 2);
+                    assert_eq!(back, vec![9.0]);
+                }
+                1 => {
+                    let data = comm.recv(0, 1);
+                    assert_eq!(data, vec![1.0, 2.0, 3.0]);
+                    comm.send(0, 2, vec![9.0]);
+                }
+                _ => unreachable!(),
+            }
+        });
+        // critical path: two messages, 4 words
+        assert_eq!(report.critical_latency(), 2);
+        assert_eq!(report.critical_bandwidth(), 4);
+        assert_eq!(report.total_messages(), 2);
+        assert_eq!(report.total_words(), 4);
+    }
+
+    #[test]
+    fn disjoint_pairs_count_once() {
+        // ranks 0↔1 and 2↔3 exchange simultaneously: critical latency is 1,
+        // not 2 — the §3.1 "separate pairs counted once" rule.
+        let (_, report) = Machine::run(4, |comm| {
+            let peer = comm.rank() ^ 1;
+            if comm.rank() < peer {
+                comm.send(peer, 7, vec![0.0; 10]);
+            } else {
+                comm.recv(peer, 7);
+            }
+        });
+        assert_eq!(report.critical_latency(), 1);
+        assert_eq!(report.critical_bandwidth(), 10);
+        assert_eq!(report.total_messages(), 2);
+    }
+
+    #[test]
+    fn chain_accumulates_latency() {
+        // 0 → 1 → 2 → 3: critical latency 3
+        let p = 4;
+        let (_, report) = Machine::run(p, |comm| {
+            let r = comm.rank();
+            if r > 0 {
+                comm.recv(r - 1, r as u64);
+            }
+            if r + 1 < p {
+                comm.send(r + 1, (r + 1) as u64, vec![1.0]);
+            }
+        });
+        assert_eq!(report.critical_latency(), 3);
+        assert_eq!(report.critical_bandwidth(), 3);
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let (_, _) = Machine::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100 {
+                    comm.send(1, i, vec![i as f64]);
+                }
+            } else {
+                for i in 0..100 {
+                    let v = comm.recv(0, i);
+                    assert_eq!(v[0], i as f64);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn clocks_are_deterministic() {
+        let run = || {
+            Machine::run(8, |comm| {
+                let r = comm.rank();
+                // a little irregular traffic
+                if r % 2 == 0 && r + 1 < 8 {
+                    comm.send(r + 1, 0, vec![0.0; r + 1]);
+                } else if r % 2 == 1 {
+                    comm.recv(r - 1, 0);
+                    if r + 2 < 8 {
+                        comm.send(r + 2, 1, vec![0.0; 2]);
+                    }
+                    if r >= 3 {
+                        comm.recv(r - 2, 1);
+                    }
+                }
+            })
+            .1
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.per_rank.iter().zip(&b.per_rank) {
+            assert_eq!(x.clocks, y.clocks);
+        }
+    }
+
+    #[test]
+    fn memory_tracking_peaks() {
+        let (_, report) = Machine::run(1, |comm| {
+            comm.alloc(100);
+            comm.alloc(50);
+            comm.release(120);
+            comm.alloc(10);
+        });
+        assert_eq!(report.max_peak_words(), 150);
+        assert_eq!(report.per_rank[0].resident_words, 40);
+    }
+
+    #[test]
+    fn compute_clock() {
+        let (_, report) = Machine::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.compute(500);
+                comm.send(1, 0, vec![1.0]);
+            } else {
+                comm.recv(0, 0);
+                comm.compute(10);
+            }
+        });
+        // rank 1 inherits rank 0's 500 ops through the merge, then adds 10
+        assert_eq!(report.critical_compute(), 510);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule mismatch")]
+    fn tag_mismatch_panics() {
+        let _ = Machine::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![]);
+            } else {
+                comm.recv(0, 2);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "self-send")]
+    fn self_send_panics() {
+        let _ = Machine::run(1, |comm| comm.send(0, 0, vec![]));
+    }
+
+    #[test]
+    fn results_returned_in_rank_order() {
+        let (outs, _) = Machine::run(5, |comm| comm.rank() * 10);
+        assert_eq!(outs, vec![0, 10, 20, 30, 40]);
+    }
+}

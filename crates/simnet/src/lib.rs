@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # apsp-simnet
+//!
+//! A simulated distributed-memory machine implementing the paper's §3.1
+//! communication model — the workspace's MPI substitute.
+//!
+//! * `p` ranks run SPMD code on `p` OS threads ([`Machine::run`]).
+//! * Point-to-point messages travel over per-`(src, dst)` FIFO channels
+//!   (MPI's non-overtaking guarantee).
+//! * Every rank carries **critical-path clocks** `(latency, bandwidth,
+//!   compute)`. A send advances the sender's clocks by `(1 message,
+//!   w words)`; the matching receive advances the receiver's clocks to the
+//!   element-wise maximum with the sender's post-send snapshot. The maximum
+//!   over ranks at the end is therefore exactly the paper's critical-path
+//!   cost: "two messages communicated between separate pairs of processors
+//!   simultaneously are counted only once".
+//! * Collectives ([`Comm::bcast`], [`Comm::reduce`], …) are binomial trees
+//!   built from those sends, so their `O(log g)` latency and `O(w log g)`
+//!   bandwidth *emerge* from the simulation instead of being formulas.
+//!
+//! ## Deadlock discipline
+//!
+//! Sends never block (unbounded channels); receives block. A distributed
+//! algorithm on this machine is deadlock-free when every rank executes its
+//! communication operations sorted by a global deterministic key and each
+//! operation's internal message pattern is acyclic (trees are). All
+//! algorithms in `apsp-core` follow this discipline.
+
+pub mod collectives;
+pub mod comm;
+pub mod report;
+
+pub use comm::{Comm, Machine, Rank, TraceEvent};
+pub use report::{Clocks, RankStats, RunReport};

@@ -1,0 +1,190 @@
+//! Property tests for the simulated machine: deterministic clocks, exact
+//! accounting identities, and collective correctness under random groups.
+
+use apsp_simnet::{Machine, Rank};
+use proptest::prelude::*;
+
+/// A random one-shot traffic pattern: every rank sends its listed messages
+/// (sorted by destination), then receives everything destined to it
+/// (sorted by source) — the send-before-receive discipline the library's
+/// algorithms follow, so any pattern is deadlock-free.
+#[derive(Clone, Debug)]
+struct Pattern {
+    p: usize,
+    /// (src, dst, words), src ≠ dst
+    messages: Vec<(Rank, Rank, usize)>,
+}
+
+fn arb_pattern(max_p: usize) -> impl Strategy<Value = Pattern> {
+    (2..max_p).prop_flat_map(|p| {
+        let msg = (0..p, 0..p, 0usize..40).prop_filter_map("no self-sends", |(s, d, w)| {
+            (s != d).then_some((s, d, w))
+        });
+        proptest::collection::vec(msg, 0..30)
+            .prop_map(move |mut messages| {
+                // deterministic global order shared by senders and receivers
+                messages.sort();
+                Pattern { p, messages }
+            })
+    })
+}
+
+fn run_pattern(pattern: &Pattern) -> apsp_simnet::RunReport {
+    let msgs = &pattern.messages;
+    let (_, report) = Machine::run(pattern.p, |comm| {
+        let me = comm.rank();
+        // sends in global order (tag = message index)
+        for (idx, &(s, d, w)) in msgs.iter().enumerate() {
+            if s == me {
+                comm.send(d, idx as u64, vec![0.5; w]);
+            }
+        }
+        for (idx, &(s, d, w)) in msgs.iter().enumerate() {
+            if d == me {
+                let data = comm.recv(s, idx as u64);
+                assert_eq!(data.len(), w);
+            }
+        }
+    });
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn totals_match_the_pattern(pattern in arb_pattern(9)) {
+        let report = run_pattern(&pattern);
+        let words: usize = pattern.messages.iter().map(|&(_, _, w)| w).sum();
+        prop_assert_eq!(report.total_messages(), pattern.messages.len() as u64);
+        prop_assert_eq!(report.total_words(), words as u64);
+    }
+
+    #[test]
+    fn critical_path_is_bounded_by_totals_and_maxima(pattern in arb_pattern(9)) {
+        let report = run_pattern(&pattern);
+        // critical latency: at least the busiest endpoint, at most the total
+        let mut busiest = 0u64;
+        for r in 0..pattern.p {
+            let touched = pattern
+                .messages
+                .iter()
+                .filter(|&&(s, d, _)| s == r || d == r)
+                .count() as u64;
+            busiest = busiest.max(touched);
+        }
+        prop_assert!(report.critical_latency() >= busiest.min(report.total_messages()));
+        prop_assert!(report.critical_latency() <= report.total_messages());
+        prop_assert!(report.critical_bandwidth() <= report.total_words());
+    }
+
+    #[test]
+    fn clocks_are_reproducible(pattern in arb_pattern(8)) {
+        let a = run_pattern(&pattern);
+        let b = run_pattern(&pattern);
+        for (x, y) in a.per_rank.iter().zip(&b.per_rank) {
+            prop_assert_eq!(x.clocks, y.clocks);
+        }
+    }
+
+    #[test]
+    fn bcast_reaches_every_subset(p in 2usize..9, mask in 1u32..200, root_pick in 0usize..8) {
+        // group = the set bits of `mask` within 0..p (at least one member)
+        let group: Vec<usize> = (0..p).filter(|&r| mask & (1 << r) != 0).collect();
+        prop_assume!(!group.is_empty());
+        let root = group[root_pick % group.len()];
+        let (outs, _) = Machine::run(p, |comm| {
+            if !group.contains(&comm.rank()) {
+                return None;
+            }
+            let data = (comm.rank() == root).then(|| vec![root as f64, 42.0]);
+            Some(comm.bcast(&group, root, 7, data))
+        });
+        for (r, out) in outs.iter().enumerate() {
+            if group.contains(&r) {
+                prop_assert_eq!(out.as_deref(), Some(&[root as f64, 42.0][..]));
+            } else {
+                prop_assert!(out.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_min_is_exact_over_random_contributions(
+        p in 2usize..8,
+        values in proptest::collection::vec(0.0f64..100.0, 2..8)
+    ) {
+        let p = p.min(values.len());
+        let group: Vec<usize> = (0..p).collect();
+        let vals = values[..p].to_vec();
+        let expected = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let (outs, _) = Machine::run(p, |comm| {
+            comm.reduce_min(&group, 0, 3, vec![vals[comm.rank()]])
+        });
+        prop_assert_eq!(outs[0].as_deref(), Some(&[expected][..]));
+    }
+
+    #[test]
+    fn allgather_permutation_invariant(p in 2usize..8) {
+        let group: Vec<usize> = (0..p).collect();
+        let (outs, _) = Machine::run(p, |comm| {
+            comm.allgather(&group, 5, vec![comm.rank() as f64; comm.rank() + 1])
+        });
+        for out in outs {
+            prop_assert_eq!(out.len(), p);
+            for (pos, part) in out.iter().enumerate() {
+                prop_assert_eq!(part.len(), pos + 1);
+                prop_assert!(part.iter().all(|&x| x == pos as f64));
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_records_every_send_in_order() {
+    let (_, report, traces) = Machine::run_traced(3, |comm| match comm.rank() {
+        0 => {
+            comm.send(1, 10, vec![1.0]);
+            comm.send(2, 11, vec![2.0, 3.0]);
+        }
+        1 => {
+            let _ = comm.recv(0, 10);
+            comm.send(2, 12, vec![]);
+        }
+        2 => {
+            let _ = comm.recv(0, 11);
+            let _ = comm.recv(1, 12);
+        }
+        _ => unreachable!(),
+    });
+    assert_eq!(traces[0].len(), 2);
+    assert_eq!(traces[0][0].dst, 1);
+    assert_eq!(traces[0][1].words, 2);
+    assert_eq!(traces[1].len(), 1);
+    assert_eq!(traces[1][0].tag, 12);
+    assert!(traces[2].is_empty());
+    // tracing does not change the accounting
+    assert_eq!(report.total_messages(), 3);
+    assert_eq!(report.total_words(), 3);
+}
+
+#[test]
+fn trace_audits_a_broadcast_tree() {
+    // total sends of a g-member binomial broadcast = g − 1
+    for g in 2..10usize {
+        let group: Vec<usize> = (0..g).collect();
+        let (_, _, traces) = Machine::run_traced(g, |comm| {
+            let data = (comm.rank() == 0).then(|| vec![1.0; 4]);
+            comm.bcast(&group, 0, 1, data)
+        });
+        let sends: usize = traces.iter().map(|t| t.len()).sum();
+        assert_eq!(sends, g - 1, "g={g}");
+        // every rank except the root appears exactly once as a destination
+        let mut seen = vec![0usize; g];
+        for t in traces.iter().flatten() {
+            seen[t.dst] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1..].iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,104 @@
+//! Prints the paper's structural figures for a chosen graph:
+//! Fig. 1 (nested-dissection reordering and the empty-block pattern),
+//! Fig. 2/3a (the elimination tree and its bottom-up labels), and
+//! Fig. 3b (the `R¹..R⁴` region map of a level).
+//!
+//! ```text
+//! cargo run --release --example etree_explorer [side] [height]
+//! ```
+
+use sparse_apsp::prelude::*;
+
+fn region_char(t: &SchedTree, l: u32, i: usize, j: usize) -> char {
+    use sparse_apsp::etree::regions;
+    if regions::r1(t, l).contains(&(i, j)) {
+        return '1';
+    }
+    if regions::r2(t, l).contains(&(i, j)) {
+        return '2';
+    }
+    if regions::r3(t, l).iter().any(|u| (u.i, u.j) == (i, j)) {
+        return '3';
+    }
+    if regions::r4_upper(t, l).iter().any(|b| (b.i, b.j) == (i, j))
+        || regions::r4_mirror(t, l).contains(&(i, j))
+    {
+        return '4';
+    }
+    '.'
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let h: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let g = grid2d(side, side, WeightKind::Unit, 0);
+    let nd = grid_nd(side, side, h);
+    nd.validate(&g).expect("valid ordering");
+    let t = nd.tree;
+    let n_super = t.num_supernodes();
+
+    println!("== Fig. 2/3a: elimination tree (h = {h}, N = {n_super}) ==");
+    for l in (1..=h).rev() {
+        print!("level {l}:");
+        for k in t.level_nodes(l) {
+            print!(" {k}(|{}|)", nd.supernode_sizes[k - 1]);
+        }
+        println!();
+    }
+
+    println!("\n== Fig. 1d: block sparsity after ND reordering (#finite entries) ==");
+    let layout = SupernodalLayout::from_ordering(&nd);
+    let gp = g.permuted(&nd.perm);
+    let census = layout.empty_block_census(&gp);
+    print!("      ");
+    for j in 1..=n_super {
+        print!("{j:>4}");
+    }
+    println!();
+    for i in 1..=n_super {
+        print!("  {i:>2} |");
+        for j in 1..=n_super {
+            let b = layout.extract_block(&gp, i, j);
+            if b.is_empty_block() {
+                print!("   .");
+            } else {
+                print!("{:>4}", b.finite_entries());
+            }
+        }
+        println!();
+    }
+    println!(
+        "{} of {} blocks empty ({} cousin blocks — all empty, as §4.1 requires)",
+        census.empty, census.total, census.cousin_blocks
+    );
+
+    println!("\n== Fig. 3b: update regions per level (1/2/3/4 = R¹..R⁴, . = untouched) ==");
+    for l in 1..=h {
+        println!("level {l}:");
+        for i in 1..=n_super {
+            print!("   ");
+            for j in 1..=n_super {
+                print!("{}", region_char(&t, l, i, j));
+            }
+            println!();
+        }
+    }
+
+    println!("\n== Corollary 5.5: R⁴ computing-unit placement ==");
+    for l in 1..h {
+        let units = sparse_apsp::etree::mapping::level_units(&t, l);
+        println!(
+            "level {l}: {} units (Lemma 5.2 bound: ≤ p = {})",
+            units.len(),
+            n_super * n_super
+        );
+        for u in units.iter().take(8) {
+            println!("   A({},{}) ⊕= A({},{}) ⊗ A({},{})  on  P({},{})", u.i, u.j, u.i, u.k, u.k, u.j, u.f, u.g);
+        }
+        if units.len() > 8 {
+            println!("   … {} more", units.len() - 8);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The §5.5 message, demonstrated: the algorithm's communication advantage
+//! is a function of the separator size. A mesh (`|S| = Θ(√n)`) enjoys the
+//! full saving; an Erdős–Rényi graph of the same size (separators `Θ(n)`)
+//! does not.
+//!
+//! ```text
+//! cargo run --release --example mesh_vs_random
+//! ```
+
+use sparse_apsp::prelude::*;
+
+fn solve(name: &str, g: &Csr) {
+    let solver = SparseApsp::new(SparseApspConfig { height: 3, ..Default::default() });
+    let run = solver.run(g);
+    // always verify before reporting costs
+    let reference = oracle::apsp_dijkstra(g);
+    assert!(run.dist.first_mismatch(&reference, 1e-9).is_none());
+
+    let s = run.ordering.max_separator();
+    let r = &run.report;
+    println!(
+        "{name:<22} |S| = {s:>3}   L = {:>5}   B = {:>8}   M = {:>7}   predicted B ~ {:>9.0}",
+        r.critical_latency(),
+        r.critical_bandwidth(),
+        r.max_peak_words(),
+        bounds::sparse_bandwidth(g.n(), 49, s),
+    );
+}
+
+fn main() {
+    let n_side = 14; // 196 vertices
+    let n = n_side * n_side;
+    println!("p = 49 simulated ranks, n = {n} vertices\n");
+    println!(
+        "{:<22} {:>9}   {:>9}   {:>12}",
+        "workload", "separator", "latency", "bandwidth"
+    );
+
+    // separator-friendly: 2-D mesh
+    let mesh = grid2d(n_side, n_side, WeightKind::Unit, 1);
+    solve("2-D mesh", &mesh);
+
+    // geometric graph: still planar-ish, small separators
+    let geo = random_geometric(n, 0.11, WeightKind::Unit, 2);
+    solve("random geometric", &geo);
+
+    // separator-hostile: Erdős–Rényi with the same vertex count
+    let er = connected_gnp(n, 0.05, WeightKind::Unit, 3);
+    solve("Erdős–Rényi G(n, .05)", &er);
+
+    // power-law: hubs make separators large too
+    let pl = rmat(8, 4, WeightKind::Unit, 4); // 256 vertices
+    solve("R-MAT power law", &pl);
+
+    println!(
+        "\nreading: small separators keep both the |S|²log²p bandwidth term \
+         and the per-rank memory down;\nthe latency column stays Θ(log²p) \
+         for every workload — it never depends on |S| (§5.5)."
+    );
+}

@@ -1,0 +1,288 @@
+//! `apsp` — command-line front end for the sparse-apsp library.
+//!
+//! ```text
+//! apsp generate --kind grid --rows 12 --cols 12 --seed 7 --out mesh.el
+//! apsp solve --input mesh.el --algorithm sparse2d --height 3 \
+//!            --distances dist.tsv --report report.json --verify
+//! apsp path --input mesh.el --from 0 --to 143 --height 3
+//! ```
+//!
+//! Formats: `.el` edge list, `.mtx` MatrixMarket, and `.gr` DIMACS
+//! (autodetected from the extension; `--directed` keeps `.gr` arc
+//! orientation). The cost report is emitted as JSON (hand-serialized —
+//! the fields are flat counters).
+
+use sparse_apsp::prelude::*;
+use std::fmt::Write as _;
+
+fn die(msg: &str) -> ! {
+    eprintln!("apsp: {msg}");
+    eprintln!("run `apsp help` for usage");
+    std::process::exit(2);
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn get(&self, name: &str) -> &str {
+        self.opt(name).unwrap_or_else(|| die(&format!("missing required option {name}")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.opt(name) {
+            Some(v) => v.parse().unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
+            None => default,
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+}
+
+fn load_graph(path: &str) -> Csr {
+    sparse_apsp::graph::io::read_graph(path).unwrap_or_else(|e| die(&e))
+}
+
+fn report_json(report: &RunReport, level_costs: &[(u64, u64)]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"critical_latency\": {},", report.critical_latency());
+    let _ = writeln!(s, "  \"critical_bandwidth\": {},", report.critical_bandwidth());
+    let _ = writeln!(s, "  \"critical_compute\": {},", report.critical_compute());
+    let _ = writeln!(s, "  \"total_messages\": {},", report.total_messages());
+    let _ = writeln!(s, "  \"total_words\": {},", report.total_words());
+    let _ = writeln!(s, "  \"max_peak_words\": {},", report.max_peak_words());
+    let _ = writeln!(s, "  \"ranks\": {},", report.per_rank.len());
+    let levels: Vec<String> = level_costs
+        .iter()
+        .map(|&(l, b)| format!("{{\"latency\": {l}, \"bandwidth\": {b}}}"))
+        .collect();
+    let _ = writeln!(s, "  \"level_costs\": [{}]", levels.join(", "));
+    s.push('}');
+    s
+}
+
+fn distances_tsv(dist: &DenseDist) -> String {
+    let mut s = String::new();
+    for i in 0..dist.n() {
+        for j in 0..dist.n() {
+            if j > 0 {
+                s.push('\t');
+            }
+            let d = dist.get(i, j);
+            if d.is_infinite() {
+                s.push_str("inf");
+            } else {
+                let _ = write!(s, "{d}");
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn cmd_generate(args: &Args) {
+    let kind = args.get("--kind");
+    let seed: u64 = args.num("--seed", 0);
+    let weights = match args.opt("--weights").unwrap_or("unit") {
+        "unit" => WeightKind::Unit,
+        "integer" => WeightKind::Integer { max: args.num("--max-weight", 9u32) },
+        "uniform" => WeightKind::Uniform { lo: 0.1, hi: 1.0 },
+        other => die(&format!("unknown weight kind {other}")),
+    };
+    let g = match kind {
+        "grid" => grid2d(args.num("--rows", 10usize), args.num("--cols", 10usize), weights, seed),
+        "grid3d" => {
+            let s = args.num("--side", 5usize);
+            grid3d(s, s, s, weights, seed)
+        }
+        "gnp" => connected_gnp(args.num("--n", 100usize), args.num("--p", 0.05f64), weights, seed),
+        "geometric" => {
+            random_geometric(args.num("--n", 100usize), args.num("--radius", 0.15f64), weights, seed)
+        }
+        "rmat" => rmat(args.num("--scale", 8u32), args.num("--edge-factor", 4usize), weights, seed),
+        "path" => path(args.num("--n", 100usize), weights, seed),
+        other => die(&format!("unknown graph kind {other}")),
+    };
+    let out = args.get("--out");
+    sparse_apsp::graph::io::write_graph(out, &g).unwrap_or_else(|e| die(&e));
+    println!("wrote {out}: {} vertices, {} edges", g.n(), g.m());
+}
+
+/// Directed solve path: loads the input as a digraph (DIMACS keeps arc
+/// orientation; other formats go through the undirected reader and get
+/// symmetric weights) and runs the directed schedule.
+fn solve_directed(args: &Args) -> (DiCsr, DenseDist, RunReport, Vec<(u64, u64)>) {
+    let input = args.get("--input");
+    let dg = if input.ends_with(".gr") {
+        let text = std::fs::read_to_string(input)
+            .unwrap_or_else(|e| die(&format!("cannot read {input}: {e}")));
+        sparse_apsp::graph::io::from_dimacs_directed(&text).unwrap_or_else(|e| die(&e))
+    } else {
+        DiCsr::from_undirected(&load_graph(input))
+    };
+    let config = SparseApspConfig {
+        height: args.num("--height", 3),
+        r4: if args.flag("--sequential-r4") {
+            R4Strategy::SequentialUnits
+        } else {
+            R4Strategy::OneToOne
+        },
+        compress_empty: args.flag("--compress-empty"),
+        ..Default::default()
+    };
+    let run = SparseApsp::new(config).run_directed(&dg);
+    (dg, run.dist, run.report, run.level_costs)
+}
+
+fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
+    let algorithm = args.opt("--algorithm").unwrap_or("sparse2d");
+    let height: u32 = args.num("--height", 3);
+    let n_grid = (1usize << height) - 1;
+    match algorithm {
+        "sparse2d" => {
+            let config = SparseApspConfig {
+                height,
+                r4: if args.flag("--sequential-r4") {
+                    R4Strategy::SequentialUnits
+                } else {
+                    R4Strategy::OneToOne
+                },
+                compress_empty: args.flag("--compress-empty"),
+                charge_ordering_distribution: args.flag("--charge-ordering"),
+                ..Default::default()
+            };
+            let run = SparseApsp::new(config).run(g);
+            (run.dist, run.report, run.level_costs)
+        }
+        "fw2d" => {
+            let out = fw2d(g, n_grid);
+            (out.dist, out.report, Vec::new())
+        }
+        "dcapsp" => {
+            let out = dc_apsp(g, n_grid, args.num("--depth", 1u32));
+            (out.dist, out.report, Vec::new())
+        }
+        "superfw" => {
+            let nd = nested_dissection(g, height, &NdOptions::default());
+            let (dist, _) = superfw_apsp(g, &nd);
+            (dist, RunReport::default(), Vec::new())
+        }
+        other => die(&format!("unknown algorithm {other}")),
+    }
+}
+
+fn cmd_solve(args: &Args) {
+    let (dist, report, level_costs) = if args.flag("--directed") {
+        let (dg, dist, report, level_costs) = solve_directed(args);
+        if args.flag("--verify") {
+            let reference = sparse_apsp::graph::digraph::apsp_dijkstra_directed(&dg);
+            match dist.first_mismatch(&reference, 1e-9) {
+                None => eprintln!("verified against directed Dijkstra: OK"),
+                Some((i, j, a, b)) => {
+                    die(&format!("verification FAILED at ({i},{j}): {a} vs {b}"))
+                }
+            }
+        }
+        (dist, report, level_costs)
+    } else {
+        let g = load_graph(args.get("--input"));
+        let (dist, report, level_costs) = solve(args, &g);
+        if args.flag("--verify") {
+            let reference = oracle::apsp_dijkstra(&g);
+            match dist.first_mismatch(&reference, 1e-9) {
+                None => eprintln!("verified against Dijkstra: OK"),
+                Some((i, j, a, b)) => {
+                    die(&format!("verification FAILED at ({i},{j}): {a} vs {b}"))
+                }
+            }
+        }
+        (dist, report, level_costs)
+    };
+    if let Some(path) = args.opt("--distances") {
+        std::fs::write(path, distances_tsv(&dist))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("distances written to {path}");
+    }
+    let json = report_json(&report, &level_costs);
+    match args.opt("--report") {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_path(args: &Args) {
+    let g = load_graph(args.get("--input"));
+    let (dist, _, _) = solve(args, &g);
+    let from: usize = args.num("--from", 0);
+    let to: usize = args.num("--to", g.n().saturating_sub(1));
+    if from >= g.n() || to >= g.n() {
+        die("--from/--to out of range");
+    }
+    match reconstruct_path(&g, &dist, from, to, 1e-9) {
+        Some(route) => {
+            println!("distance: {}", dist.get(from, to));
+            println!(
+                "path: {}",
+                route.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" -> ")
+            );
+        }
+        None => println!("unreachable"),
+    }
+}
+
+const HELP: &str = "\
+apsp — communication-avoiding sparse all-pairs shortest paths (ICPP'21)
+
+USAGE:
+  apsp generate --kind <grid|grid3d|gnp|geometric|rmat|path> --out FILE
+                [--rows N --cols N | --n N | --side N | --scale N]
+                [--weights unit|integer|uniform] [--seed N]
+  apsp solve    --input FILE [--algorithm sparse2d|fw2d|dcapsp|superfw]
+                [--height H] [--verify] [--distances FILE] [--report FILE]
+                [--sequential-r4] [--compress-empty] [--charge-ordering]
+                [--directed]   (.gr inputs keep their arc orientation)
+  apsp path     --input FILE --from A --to B [--algorithm ...] [--height H]
+  apsp info     --input FILE [--height H]   (graph statistics + separator probe)
+  apsp help
+
+The simulated machine has p = (2^H - 1)^2 ranks; the JSON report carries
+the critical-path latency/bandwidth the paper's Table 2 analyzes.";
+
+fn cmd_info(args: &Args) {
+    let g = load_graph(args.get("--input"));
+    print!("{}", sparse_apsp::graph::stats::graph_stats(&g));
+    // a quick separator probe at the requested height
+    let h: u32 = args.num("--height", 3);
+    let nd = nested_dissection(&g, h, &NdOptions::default());
+    println!(
+        "top separator     {} vertices (h = {h}, p = {})",
+        nd.top_separator(),
+        ((1usize << h) - 1) * ((1usize << h) - 1)
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().map(String::as_str).unwrap_or("help");
+    let args = Args(argv[1.min(argv.len())..].to_vec());
+    match cmd {
+        "generate" => cmd_generate(&args),
+        "solve" => cmd_solve(&args),
+        "path" => cmd_path(&args),
+        "info" => cmd_info(&args),
+        "help" | "--help" | "-h" => println!("{HELP}"),
+        other => die(&format!("unknown command {other}")),
+    }
+}

@@ -1,0 +1,177 @@
+//! Integration tests for the `apsp` command-line binary.
+
+use std::process::Command;
+
+fn apsp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_apsp"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sparse-apsp-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+#[test]
+fn generate_then_solve_then_path() {
+    let graph = tmp("mesh.el");
+    let out = apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6"])
+        .args(["--weights", "integer", "--seed", "3", "--out"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("36 vertices"));
+
+    let dist = tmp("dist.tsv");
+    let report = tmp("report.json");
+    let out = apsp()
+        .args(["solve", "--height", "2", "--verify", "--input"])
+        .arg(&graph)
+        .arg("--distances")
+        .arg(&dist)
+        .arg("--report")
+        .arg(&report)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("verified against Dijkstra: OK"));
+
+    // distances file: 36 lines of 36 tab-separated values, diagonal zero
+    let text = std::fs::read_to_string(&dist).unwrap();
+    let rows: Vec<&str> = text.lines().collect();
+    assert_eq!(rows.len(), 36);
+    assert_eq!(rows[0].split('\t').count(), 36);
+    assert_eq!(rows[0].split('\t').next(), Some("0"));
+
+    // report JSON mentions the fields we promise
+    let json = std::fs::read_to_string(&report).unwrap();
+    for key in [
+        "critical_latency",
+        "critical_bandwidth",
+        "total_words",
+        "max_peak_words",
+        "level_costs",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    // path query between opposite corners
+    let out = apsp()
+        .args(["path", "--height", "2", "--from", "0", "--to", "35", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("distance:"));
+    assert!(stdout.starts_with("distance:"));
+    assert!(stdout.contains("0 ->"));
+    assert!(stdout.trim_end().ends_with("-> 35"));
+}
+
+#[test]
+fn all_algorithms_agree_via_cli() {
+    let graph = tmp("gnp.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "gnp", "--n", "30", "--p", "0.1", "--seed", "1", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    for algo in ["sparse2d", "fw2d", "dcapsp", "superfw"] {
+        let out = apsp()
+            .args(["solve", "--algorithm", algo, "--height", "2", "--verify", "--input"])
+            .arg(&graph)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn matrix_market_roundtrip_via_cli() {
+    let graph = tmp("mesh.mtx");
+    assert!(apsp()
+        .args(["generate", "--kind", "path", "--n", "12", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    let text = std::fs::read_to_string(&graph).unwrap();
+    assert!(text.starts_with("%%MatrixMarket"));
+    let out = apsp()
+        .args(["solve", "--height", "2", "--verify", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn directed_solve_via_cli() {
+    // hand-written one-way DIMACS triangle
+    let graph = tmp("oneway.gr");
+    std::fs::write(&graph, "c one-way ring\np sp 3 3\na 1 2 1\na 2 3 2\na 3 1 4\n").unwrap();
+    let out = apsp()
+        .args(["solve", "--directed", "--height", "2", "--verify", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("directed Dijkstra: OK"));
+
+    // distances must be asymmetric
+    let dist = tmp("oneway.tsv");
+    assert!(apsp()
+        .args(["solve", "--directed", "--height", "2", "--input"])
+        .arg(&graph)
+        .arg("--distances")
+        .arg(&dist)
+        .status()
+        .unwrap()
+        .success());
+    let text = std::fs::read_to_string(&dist).unwrap();
+    let rows: Vec<Vec<f64>> = text
+        .lines()
+        .map(|l| l.split('\t').map(|x| x.parse().unwrap()).collect())
+        .collect();
+    assert_eq!(rows[0][1], 1.0);
+    assert_eq!(rows[1][0], 6.0, "around the ring the long way");
+}
+
+#[test]
+fn info_reports_statistics() {
+    let graph = tmp("info.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "7", "--cols", "7", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    let out = apsp().args(["info", "--height", "2", "--input"]).arg(&graph).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("vertices          49"));
+    assert!(text.contains("diameter          >= 12"));
+    assert!(text.contains("top separator"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = apsp().args(["solve"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+
+    let out = apsp().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = apsp().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,98 @@
+//! Large-machine stress tests. Expensive, so `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+
+use sparse_apsp::prelude::*;
+
+#[test]
+#[ignore = "961 simulated ranks; run with --release -- --ignored"]
+fn sparse2d_on_961_ranks() {
+    let side = 24;
+    let g = grid2d(side, side, WeightKind::Integer { max: 9 }, 0);
+    let solver = SparseApsp::new(SparseApspConfig {
+        height: 5,
+        ordering: Ordering::Grid { rows: side, cols: side },
+        ..Default::default()
+    });
+    let run = solver.run(&g);
+    let reference = oracle::apsp_dijkstra(&g);
+    assert!(run.dist.first_mismatch(&reference, 1e-9).is_none());
+    // Theorem 5.7 envelope at p = 961
+    let log2p = (961f64).log2();
+    assert!(
+        (run.report.critical_latency() as f64) <= 3.0 * log2p * log2p,
+        "L = {}",
+        run.report.critical_latency()
+    );
+}
+
+#[test]
+#[ignore = "full Table 2 sweep incl. √p = 31; run with --release -- --ignored"]
+fn full_table2_sweep_with_dense_baselines() {
+    let side = 32;
+    let g = grid2d(side, side, WeightKind::Unit, 0);
+    let reference = oracle::apsp_dijkstra(&g);
+    let mut prev_sparse_l = u64::MAX;
+    for h in [2u32, 3, 4, 5] {
+        let n_grid = (1usize << h) - 1;
+        let sparse = SparseApsp::new(SparseApspConfig {
+            height: h,
+            ordering: Ordering::Grid { rows: side, cols: side },
+            ..Default::default()
+        })
+        .run(&g);
+        assert!(sparse.dist.first_mismatch(&reference, 1e-9).is_none(), "h={h}");
+        let dense = fw2d(&g, n_grid);
+        assert!(dense.dist.first_mismatch(&reference, 1e-9).is_none(), "h={h}");
+        assert!(
+            sparse.report.critical_latency() < dense.report.critical_latency(),
+            "h={h}"
+        );
+        // sparse latency grows slowly (log²p-ish), never explosively
+        assert!(sparse.report.critical_latency() < prev_sparse_l.saturating_mul(3));
+        prev_sparse_l = sparse.report.critical_latency();
+    }
+}
+
+#[test]
+#[ignore = "distributed ND at 49 ranks on a 2.5k-vertex mesh"]
+fn distributed_nd_scales() {
+    let side = 50;
+    let g = grid2d(side, side, WeightKind::Unit, 0);
+    let result = dist_nested_dissection(&g, 3, 49, 1);
+    result.ordering.validate(&g).unwrap();
+    // mesh separators stay O(side)
+    assert!(
+        result.ordering.top_separator() <= 3 * side,
+        "top separator {}",
+        result.ordering.top_separator()
+    );
+}
+
+#[test]
+#[ignore = "dc-apsp on 225 ranks"]
+fn dcapsp_on_225_ranks() {
+    let g = grid2d(20, 20, WeightKind::Integer { max: 5 }, 2);
+    let result = dc_apsp(&g, 15, 2);
+    let reference = oracle::apsp_dijkstra(&g);
+    assert!(result.dist.first_mismatch(&reference, 1e-9).is_none());
+}
+
+#[test]
+#[ignore = "larger shared-memory SuperFW vs oracle"]
+fn superfw_on_4k_vertices() {
+    let g = grid2d(64, 64, WeightKind::Unit, 0);
+    let nd = grid_nd(64, 64, 5);
+    let (dist, stats) = superfw_apsp(&g, &nd);
+    // spot-check against single-source Dijkstra (full APSP oracle is slow)
+    for s in [0usize, 2047, 4095] {
+        let row = oracle::dijkstra(&g, s);
+        for (t, &d) in row.iter().enumerate() {
+            assert!((dist.get(s, t) - d).abs() < 1e-9, "({s},{t})");
+        }
+    }
+    // the supernodal elimination must beat n³ comfortably at this scale
+    assert!(stats.ops * 10 < oracle::classical_fw_opcount(g.n()));
+}
