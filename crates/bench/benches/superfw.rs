@@ -18,16 +18,12 @@ fn bench_superfw_vs_dense(c: &mut Criterion) {
         });
         let layout = SupernodalLayout::from_ordering(&nd);
         let gp = g.permuted(&nd.perm);
-        group.bench_with_input(
-            BenchmarkId::new("superfw_parallel", side * side),
-            &gp,
-            |b, gp| {
-                b.iter(|| {
-                    let mut blocks = layout.extract_all_blocks(gp);
-                    superfw_parallel(&layout, &mut blocks)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("superfw_parallel", side * side), &gp, |b, gp| {
+            b.iter(|| {
+                let mut blocks = layout.extract_all_blocks(gp);
+                superfw_parallel(&layout, &mut blocks)
+            });
+        });
         group.bench_with_input(BenchmarkId::new("classical_fw", side * side), &g, |b, g| {
             b.iter(|| oracle::floyd_warshall(g));
         });

@@ -22,6 +22,7 @@
 //!   regimes            E15  all distributed algorithms incl. Johnson
 //!   updates            E16  batched decrease updates vs re-solve
 //!   directed           E17  directed-mode overhead vs the mirror schedule
+//!   phases             E18  span-ledger phase attribution (observability)
 //!   all                     everything above (EXPERIMENTS.md source)
 //! ```
 
@@ -81,15 +82,20 @@ fn main() {
         "per-level" => print!("{}", ex::per_level_costs(side, 4)),
         "figures" => {
             let dir = std::path::Path::new("target/figures");
-            let written = apsp_bench::figures::write_figures(dir, &sweep(side))
-                .expect("write figures");
+            let written =
+                apsp_bench::figures::write_figures(dir, &sweep(side)).expect("write figures");
             for p in written {
                 println!("wrote {}", p.display());
             }
             // communication-matrix heatmap of a 49-rank sparse solve
             use apsp_core::sparse2d::{sparse2d_traced, Sparse2dOptions};
             use apsp_core::SupernodalLayout;
-            let g = apsp_graph::generators::grid2d(side, side, apsp_graph::generators::WeightKind::Unit, 0);
+            let g = apsp_graph::generators::grid2d(
+                side,
+                side,
+                apsp_graph::generators::WeightKind::Unit,
+                0,
+            );
             let nd = apsp_partition::grid_nd(side, side, 3);
             let layout = SupernodalLayout::from_ordering(&nd);
             let gp = g.permuted(&nd.perm);
@@ -107,6 +113,12 @@ fn main() {
         "regimes" => print!("{}", ex::algorithm_regimes(side, 3)),
         "updates" => print!("{}", ex::update_costs(side, 3, &[1, 4, 16])),
         "directed" => print!("{}", ex::directed_overhead(side, &[2, 3])),
+        "phases" => {
+            println!("== per elimination level (depth 0) ==");
+            print!("{}", ex::phase_attribution(side, 3, 0));
+            println!("== per R-unit (depth 1) ==");
+            print!("{}", ex::phase_attribution(side, 3, 1));
+        }
         "all" => {
             let points = sweep(side);
             println!("== E1: Table 2 — memory (words/rank) ==");
@@ -143,6 +155,9 @@ fn main() {
             println!("{}", ex::update_costs(side, 3, &[1, 4, 16]));
             println!("== E17: directed-mode overhead (extension) ==");
             println!("{}", ex::directed_overhead(side, &[2, 3]));
+            println!("== E18: phase attribution (observability extension; p = 49) ==");
+            println!("{}", ex::phase_attribution(side, 3, 0));
+            println!("{}", ex::phase_attribution(side, 3, 1));
         }
         other => {
             eprintln!("unknown command {other:?}; see the module docs for the list");

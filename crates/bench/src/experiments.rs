@@ -79,7 +79,14 @@ pub fn table2_sweep(side: usize, heights: &[u32]) -> Vec<SweepPoint> {
 /// E1 — Table 2, memory row: measured per-rank peak vs `n²/p + |S|²`.
 pub fn table2_memory(points: &[SweepPoint]) -> Table {
     let mut t = Table::new(vec![
-        "sqrt_p", "p", "|S|", "M sparse", "n^2/p+|S|^2", "M dense-fw", "M dc", "LB n^2/p",
+        "sqrt_p",
+        "p",
+        "|S|",
+        "M sparse",
+        "n^2/p+|S|^2",
+        "M dense-fw",
+        "M dc",
+        "LB n^2/p",
     ]);
     for pt in points {
         t.row(vec![
@@ -98,9 +105,8 @@ pub fn table2_memory(points: &[SweepPoint]) -> Table {
 
 /// E2 — Table 2, bandwidth row: measured critical-path words.
 pub fn table2_bandwidth(points: &[SweepPoint]) -> Table {
-    let mut t = Table::new(vec![
-        "sqrt_p", "p", "B sparse", "predicted", "B dense-fw", "B dc", "LB",
-    ]);
+    let mut t =
+        Table::new(vec!["sqrt_p", "p", "B sparse", "predicted", "B dense-fw", "B dc", "LB"]);
     for pt in points {
         t.row(vec![
             format!("{}", (1usize << pt.h) - 1),
@@ -118,7 +124,13 @@ pub fn table2_bandwidth(points: &[SweepPoint]) -> Table {
 /// E3 — Table 2, latency row: measured critical-path messages.
 pub fn table2_latency(points: &[SweepPoint]) -> Table {
     let mut t = Table::new(vec![
-        "sqrt_p", "p", "L sparse", "log^2 p", "L dense-fw", "L dc", "dc pred sqrt_p*log^2 p",
+        "sqrt_p",
+        "p",
+        "L sparse",
+        "log^2 p",
+        "L dense-fw",
+        "L dc",
+        "dc pred sqrt_p*log^2 p",
     ]);
     for pt in points {
         t.row(vec![
@@ -136,12 +148,10 @@ pub fn table2_latency(points: &[SweepPoint]) -> Table {
 
 /// E10 — Theorem 6.5 near-optimality: measured / lower-bound ratios.
 pub fn optimality(points: &[SweepPoint]) -> Table {
-    let mut t = Table::new(vec![
-        "p", "B/LB_B", "log^2 p", "L/LB_L", "optimal?",
-    ]);
+    let mut t = Table::new(vec!["p", "B/LB_B", "log^2 p", "L/LB_L", "optimal?"]);
     for pt in points {
-        let b_ratio =
-            pt.sparse.critical_bandwidth() as f64 / bounds::lower_bound_bandwidth(pt.n, pt.p, pt.sep);
+        let b_ratio = pt.sparse.critical_bandwidth() as f64
+            / bounds::lower_bound_bandwidth(pt.n, pt.p, pt.sep);
         let l_ratio = pt.sparse.critical_latency() as f64 / bounds::lower_bound_latency(pt.p);
         let l2 = bounds::log2p(pt.p).powi(2);
         t.row(vec![
@@ -149,10 +159,7 @@ pub fn optimality(points: &[SweepPoint]) -> Table {
             fnum(b_ratio),
             fnum(l2),
             fnum(l_ratio),
-            format!(
-                "B within {}x of log^2 p gap; L within constant",
-                fnum(b_ratio / l2)
-            ),
+            format!("B within {}x of log^2 p gap; L within constant", fnum(b_ratio / l2)),
         ]);
     }
     t
@@ -160,9 +167,8 @@ pub fn optimality(points: &[SweepPoint]) -> Table {
 
 /// E4 — Fig. 1: empty-block census, natural order vs ND order.
 pub fn fig1_ordering(side: usize, h: u32) -> Table {
-    let mut t = Table::new(vec![
-        "graph", "order", "blocks", "empty", "cousin blocks", "cousin violations",
-    ]);
+    let mut t =
+        Table::new(vec!["graph", "order", "blocks", "empty", "cousin blocks", "cousin violations"]);
     let mut push = |name: &str, g: &Csr, nd: &apsp_partition::NdOrdering, label: &str| {
         let layout = SupernodalLayout::from_ordering(nd);
         let gp = g.permuted(&nd.perm);
@@ -205,9 +211,8 @@ pub fn fig1_ordering(side: usize, h: u32) -> Table {
 /// E5 — Fig. 2/3: region sizes per level of an `h`-level tree.
 pub fn fig3_regions(h: u32) -> Table {
     let t_tree = SchedTree::new(h);
-    let mut t = Table::new(vec![
-        "level", "|Q_l|", "|R1|", "|R2|", "|R3|", "|R4 upper|", "R4 units",
-    ]);
+    let mut t =
+        Table::new(vec!["level", "|Q_l|", "|R1|", "|R2|", "|R3|", "|R4 upper|", "R4 units"]);
     for l in 1..=h {
         t.row(vec![
             format!("{l}"),
@@ -224,9 +229,8 @@ pub fn fig3_regions(h: u32) -> Table {
 
 /// E6 — Lemmas 5.2/5.3: unit counts vs the `p` bound, per height/level.
 pub fn lemma52_units(max_h: u32) -> Table {
-    let mut t = Table::new(vec![
-        "h", "sqrt_p", "p", "level", "units", "<= p", "per-subset", "<= sqrt_p",
-    ]);
+    let mut t =
+        Table::new(vec!["h", "sqrt_p", "p", "level", "units", "<= p", "per-subset", "<= sqrt_p"]);
     for h in 2..=max_h {
         let tree = SchedTree::new(h);
         let n = tree.num_supernodes();
@@ -258,7 +262,14 @@ pub fn lemma52_units(max_h: u32) -> Table {
 /// with the exact §6 3NL operation count `F = Σ|S_ij|` alongside.
 pub fn superfw_ops(sides: &[usize], h: u32) -> Table {
     let mut t = Table::new(vec![
-        "mesh", "n", "|S|", "classical ops", "superfw ops", "3NL F", "reduction", "n/|S|",
+        "mesh",
+        "n",
+        "|S|",
+        "classical ops",
+        "superfw ops",
+        "3NL F",
+        "reduction",
+        "n/|S|",
     ]);
     for &side in sides {
         let g = generators::grid2d(side, side, WeightKind::Unit, 0);
@@ -266,10 +277,7 @@ pub fn superfw_ops(sides: &[usize], h: u32) -> Table {
         let cmp = superfw_opcount_comparison(&g, &nd);
         let layout = SupernodalLayout::from_ordering(&nd);
         let f = bounds::three_nl_operations(&layout);
-        assert!(
-            (cmp.superfw_ops as u128) <= f,
-            "measured ops exceed the 3NL count"
-        );
+        assert!((cmp.superfw_ops as u128) <= f, "measured ops exceed the 3NL count");
         t.row(vec![
             format!("{side}x{side}"),
             format!("{}", cmp.n),
@@ -288,24 +296,21 @@ pub fn superfw_ops(sides: &[usize], h: u32) -> Table {
 pub fn r4_ablation(side: usize, heights: &[u32]) -> Table {
     let g = generators::grid2d(side, side, WeightKind::Unit, 0);
     let mut t = Table::new(vec![
-        "sqrt_p", "p", "L one-to-one", "L sequential", "B one-to-one", "B sequential",
+        "sqrt_p",
+        "p",
+        "L one-to-one",
+        "L sequential",
+        "B one-to-one",
+        "B sequential",
     ]);
     for &h in heights {
         let nd = grid_nd(side, side, h);
         let layout = SupernodalLayout::from_ordering(&nd);
         let gp = g.permuted(&nd.perm);
         let fast = sparse2d(&layout, &gp, R4Strategy::OneToOne);
-        verify(
-            &SupernodalLayout::unpermute(&fast.dist_eliminated, &nd.perm),
-            &g,
-            "one-to-one",
-        );
+        verify(&SupernodalLayout::unpermute(&fast.dist_eliminated, &nd.perm), &g, "one-to-one");
         let slow = sparse2d(&layout, &gp, R4Strategy::SequentialUnits);
-        verify(
-            &SupernodalLayout::unpermute(&slow.dist_eliminated, &nd.perm),
-            &g,
-            "sequential",
-        );
+        verify(&SupernodalLayout::unpermute(&slow.dist_eliminated, &nd.perm), &g, "sequential");
         t.row(vec![
             format!("{}", (1usize << h) - 1),
             format!("{}", ((1usize << h) - 1) * ((1usize << h) - 1)),
@@ -322,9 +327,7 @@ pub fn r4_ablation(side: usize, heights: &[u32]) -> Table {
 /// diagonal pivots of FW-shaped algorithms.
 pub fn layout_ablation(side: usize, n_grid: usize, max_oversub: u32) -> Table {
     let g = generators::grid2d(side, side, WeightKind::Unit, 0);
-    let mut t = Table::new(vec![
-        "layout", "tiles/proc", "L", "B", "total msgs",
-    ]);
+    let mut t = Table::new(vec!["layout", "tiles/proc", "L", "B", "total msgs"]);
     for oversub in 0..=max_oversub {
         let result = cyclic_fw(&g, n_grid, oversub);
         verify(&result.dist, &g, "cyclic_fw");
@@ -386,10 +389,7 @@ pub fn separator_cost(side: usize, heights: &[u32]) -> Table {
             format!("{}", dnd.report.critical_latency()),
             format!("{}", dnd.report.critical_bandwidth()),
             format!("{}", dnd.ordering.max_separator()),
-            format!(
-                "{}",
-                charged.report.critical_latency() - base.report.critical_latency()
-            ),
+            format!("{}", charged.report.critical_latency() - base.report.critical_latency()),
             format!("{}", charged.report.total_words() - base.report.total_words()),
             fnum(bounds::separator_latency(p)),
             fnum(bounds::separator_bandwidth(g.n(), p)),
@@ -410,9 +410,7 @@ pub fn algorithm_regimes(side: usize, h: u32) -> Table {
     let reference = oracle::apsp_dijkstra_parallel(&g);
     let n_grid = (1usize << h) - 1;
     let p = n_grid * n_grid;
-    let mut t = Table::new(vec![
-        "algorithm", "L", "B", "total volume", "compute (critical)",
-    ]);
+    let mut t = Table::new(vec!["algorithm", "L", "B", "total volume", "compute (critical)"]);
     let mut push = |name: &str, dist: &apsp_graph::DenseDist, report: &RunReport| {
         assert!(dist.first_mismatch(&reference, 1e-9).is_none(), "{name} wrong");
         t.row(vec![
@@ -446,7 +444,13 @@ pub fn directed_overhead(side: usize, heights: &[u32]) -> Table {
     use apsp_core::sparse2d::{sparse2d_directed, Sparse2dOptions};
     let g = generators::grid2d(side, side, WeightKind::Integer { max: 7 }, 5);
     let mut t = Table::new(vec![
-        "sqrt_p", "p", "L undirected", "L directed", "B undirected", "B directed", "B ratio",
+        "sqrt_p",
+        "p",
+        "L undirected",
+        "L directed",
+        "B undirected",
+        "B directed",
+        "B ratio",
     ]);
     for &h in heights {
         let nd = grid_nd(side, side, h);
@@ -498,7 +502,12 @@ pub fn update_costs(side: usize, h: u32, batch_sizes: &[usize]) -> Table {
         .collect();
 
     let mut t = Table::new(vec![
-        "batch k", "update L", "update B", "update volume", "re-solve L", "re-solve B",
+        "batch k",
+        "update L",
+        "update B",
+        "update volume",
+        "re-solve L",
+        "re-solve B",
     ]);
     let n = g.n();
     for &k in batch_sizes {
@@ -553,9 +562,7 @@ pub fn per_level_costs(side: usize, h: u32) -> Table {
     verify(&run.dist, &g, "per-level run");
     let p = ((1usize << h) - 1) * ((1usize << h) - 1);
     let log_p = bounds::log2p(p);
-    let mut t = Table::new(vec![
-        "level", "L_l", "4*log p", "B_l", "lemma",
-    ]);
+    let mut t = Table::new(vec!["level", "L_l", "4*log p", "B_l", "lemma"]);
     for (idx, &(lat, bw)) in run.level_costs.iter().enumerate() {
         let l = idx + 1;
         let lemma = if l == 1 { "5.8: n^2 log p/p term" } else { "5.9: separator terms only" };
@@ -585,7 +592,12 @@ pub fn compression_sweep(h: u32) -> Table {
         workloads::erdos_renyi(196, 0.05),
     ];
     let mut t = Table::new(vec![
-        "workload", "volume plain", "volume compressed", "saving", "L plain", "L compressed",
+        "workload",
+        "volume plain",
+        "volume compressed",
+        "saving",
+        "L plain",
+        "L compressed",
     ]);
     for w in workloads {
         let base = SparseApsp::new(SparseApspConfig { height: h, ..Default::default() });
@@ -599,7 +611,9 @@ pub fn compression_sweep(h: u32) -> Table {
         .run(&w.graph);
         verify(&compressed.dist, &w.graph, &w.name);
         let saving = 100.0
-            * (1.0 - compressed.report.total_words() as f64 / plain.report.total_words().max(1) as f64);
+            * (1.0
+                - compressed.report.total_words() as f64
+                    / plain.report.total_words().max(1) as f64);
         t.row(vec![
             w.name.clone(),
             format!("{}", plain.report.total_words()),
@@ -625,9 +639,7 @@ pub fn separator_sweep(h: u32) -> Table {
         workloads::erdos_renyi(196, 0.08),
         workloads::power_law(8),
     ];
-    let mut t = Table::new(vec![
-        "workload", "n", "m", "|S|", "L", "B", "M", "predicted B",
-    ]);
+    let mut t = Table::new(vec!["workload", "n", "m", "|S|", "L", "B", "M", "predicted B"]);
     for w in workloads {
         let solver = SparseApsp::new(SparseApspConfig { height: h, ..Default::default() });
         let run = solver.run(&w.graph);
@@ -645,6 +657,55 @@ pub fn separator_sweep(h: u32) -> Table {
             fnum(bounds::sparse_bandwidth(w.graph.n(), p, s)),
         ]);
     }
+    t
+}
+
+/// E18 — phase-scoped critical-path attribution (observability extension):
+/// the span-ledger breakdown of a profiled 2D-SPARSE-APSP run. `depth = 0`
+/// attributes per elimination level (the rows of Lemma 5.6's telescoping
+/// sum), `depth = 1` per `R¹`–`R⁴` unit within each level. The breakdown is
+/// exact: its rows sum to the critical-path clocks, asserted here.
+pub fn phase_attribution(side: usize, h: u32, depth: u32) -> Table {
+    let g = generators::grid2d(side, side, WeightKind::Unit, 0);
+    let solver = SparseApsp::new(SparseApspConfig {
+        height: h,
+        ordering: Ordering::Grid { rows: side, cols: side },
+        profile: true,
+        ..Default::default()
+    });
+    let run = solver.run(&g);
+    verify(&run.dist, &g, "phase-attribution run");
+    let bd = run.report.phase_breakdown(depth).expect("profiled run");
+    assert!(bd.exact, "uniform SPMD schedule must attribute exactly");
+    let total = bd.total();
+    assert_eq!(total.latency, run.report.critical_latency());
+    assert_eq!(total.bandwidth, run.report.critical_bandwidth());
+    assert_eq!(total.compute, run.report.critical_compute());
+
+    let model = apsp_simnet::TimeModel::default();
+    let total_us = model.micros(&total).max(f64::MIN_POSITIVE);
+    let mut t =
+        Table::new(vec!["phase", "latency", "bandwidth", "compute", "msgs", "words", "time %"]);
+    for row in &bd.rows {
+        t.row(vec![
+            row.label(),
+            format!("{}", row.clocks.latency),
+            format!("{}", row.clocks.bandwidth),
+            format!("{}", row.clocks.compute),
+            format!("{}", row.messages),
+            format!("{}", row.words),
+            fnum(100.0 * model.micros(&row.clocks) / total_us),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        format!("{}", total.latency),
+        format!("{}", total.bandwidth),
+        format!("{}", total.compute),
+        String::new(),
+        String::new(),
+        fnum(100.0),
+    ]);
     t
 }
 
@@ -672,8 +733,7 @@ mod tests {
         assert_eq!(t.len(), 4);
         // nested dissection never leaves finite entries in cousin blocks;
         // the natural order on the mesh does
-        let violations: Vec<usize> =
-            t.rows().iter().map(|r| r[5].parse().unwrap()).collect();
+        let violations: Vec<usize> = t.rows().iter().map(|r| r[5].parse().unwrap()).collect();
         assert_eq!(violations[1], 0, "{violations:?}");
         assert_eq!(violations[3], 0, "{violations:?}");
         assert!(violations[2] > 0, "natural mesh order should violate: {violations:?}");

@@ -47,12 +47,10 @@ impl LineChart {
     /// Panics when any point is non-positive (log axes) or no series has
     /// points.
     pub fn to_svg(&self) -> String {
-        let pts: Vec<(f64, f64)> = self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let pts: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
         assert!(!pts.is_empty(), "nothing to plot");
-        assert!(
-            pts.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
-            "log-log chart needs positive data"
-        );
+        assert!(pts.iter().all(|&(x, y)| x > 0.0 && y > 0.0), "log-log chart needs positive data");
         let (x_lo, x_hi) = decade_bounds(pts.iter().map(|p| p.0));
         let (y_lo, y_hi) = decade_bounds(pts.iter().map(|p| p.1));
         let plot_w = WIDTH - MARGIN_L - MARGIN_R;
@@ -203,10 +201,19 @@ pub fn write_figures(
         x_label: "p (ranks)".into(),
         y_label: "messages".into(),
         series: vec![
-            series(points.iter().map(|pt| pt.sparse.critical_latency() as f64).collect(), "2D-SPARSE-APSP"),
-            series(points.iter().map(|pt| pt.dense_fw.critical_latency() as f64).collect(), "dense FW-2D"),
+            series(
+                points.iter().map(|pt| pt.sparse.critical_latency() as f64).collect(),
+                "2D-SPARSE-APSP",
+            ),
+            series(
+                points.iter().map(|pt| pt.dense_fw.critical_latency() as f64).collect(),
+                "dense FW-2D",
+            ),
             series(points.iter().map(|pt| pt.dc.critical_latency() as f64).collect(), "2D-DC-APSP"),
-            series(points.iter().map(|pt| bounds::lower_bound_latency(pt.p)).collect(), "LB: log^2 p"),
+            series(
+                points.iter().map(|pt| bounds::lower_bound_latency(pt.p)).collect(),
+                "LB: log^2 p",
+            ),
         ],
     };
     let bandwidth = LineChart {
@@ -214,9 +221,18 @@ pub fn write_figures(
         x_label: "p (ranks)".into(),
         y_label: "words".into(),
         series: vec![
-            series(points.iter().map(|pt| pt.sparse.critical_bandwidth() as f64).collect(), "2D-SPARSE-APSP"),
-            series(points.iter().map(|pt| pt.dense_fw.critical_bandwidth() as f64).collect(), "dense FW-2D"),
-            series(points.iter().map(|pt| pt.dc.critical_bandwidth() as f64).collect(), "2D-DC-APSP"),
+            series(
+                points.iter().map(|pt| pt.sparse.critical_bandwidth() as f64).collect(),
+                "2D-SPARSE-APSP",
+            ),
+            series(
+                points.iter().map(|pt| pt.dense_fw.critical_bandwidth() as f64).collect(),
+                "dense FW-2D",
+            ),
+            series(
+                points.iter().map(|pt| pt.dc.critical_bandwidth() as f64).collect(),
+                "2D-DC-APSP",
+            ),
             series(
                 points.iter().map(|pt| bounds::lower_bound_bandwidth(pt.n, pt.p, pt.sep)).collect(),
                 "LB: n^2/p + |S|^2",
@@ -228,8 +244,14 @@ pub fn write_figures(
         x_label: "p (ranks)".into(),
         y_label: "words".into(),
         series: vec![
-            series(points.iter().map(|pt| pt.sparse.max_peak_words() as f64).collect(), "2D-SPARSE-APSP"),
-            series(points.iter().map(|pt| pt.dense_fw.max_peak_words() as f64).collect(), "dense FW-2D"),
+            series(
+                points.iter().map(|pt| pt.sparse.max_peak_words() as f64).collect(),
+                "2D-SPARSE-APSP",
+            ),
+            series(
+                points.iter().map(|pt| pt.dense_fw.max_peak_words() as f64).collect(),
+                "dense FW-2D",
+            ),
             series(
                 points.iter().map(|pt| bounds::sparse_memory(pt.n, pt.p, pt.sep)).collect(),
                 "n^2/p + |S|^2",
@@ -270,7 +292,11 @@ pub fn comm_matrix_svg(p: usize, traces: &[Vec<apsp_simnet::TraceEvent>], title:
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{hgt:.0}" font-family="sans-serif">"#
     );
     let _ = writeln!(s, r#"<rect width="{w:.0}" height="{hgt:.0}" fill="white"/>"#);
-    let _ = writeln!(s, r#"<text x="{ox}" y="24" font-size="14" font-weight="bold">{}</text>"#, xml(title));
+    let _ = writeln!(
+        s,
+        r#"<text x="{ox}" y="24" font-size="14" font-weight="bold">{}</text>"#,
+        xml(title)
+    );
     for src in 0..p {
         for dst in 0..p {
             let v = volume[src * p + dst];
@@ -317,8 +343,14 @@ mod tests {
             x_label: "p".into(),
             y_label: "cost".into(),
             series: vec![
-                Series { name: "a&b".into(), points: vec![(9.0, 12.0), (49.0, 27.0), (225.0, 46.0)] },
-                Series { name: "c".into(), points: vec![(9.0, 120.0), (49.0, 420.0), (225.0, 1200.0)] },
+                Series {
+                    name: "a&b".into(),
+                    points: vec![(9.0, 12.0), (49.0, 27.0), (225.0, 46.0)],
+                },
+                Series {
+                    name: "c".into(),
+                    points: vec![(9.0, 120.0), (49.0, 420.0), (225.0, 1200.0)],
+                },
             ],
         }
     }
@@ -354,8 +386,8 @@ mod tests {
     fn comm_matrix_renders_cells() {
         use apsp_simnet::TraceEvent;
         let traces = vec![
-            vec![TraceEvent { src: 0, dst: 1, words: 100, tag: 0 }],
-            vec![TraceEvent { src: 1, dst: 2, words: 5, tag: 0 }],
+            vec![TraceEvent { src: 0, dst: 1, words: 100, tag: 0, ..Default::default() }],
+            vec![TraceEvent { src: 1, dst: 2, words: 5, tag: 0, ..Default::default() }],
             vec![],
         ];
         let svg = comm_matrix_svg(3, &traces, "demo");

@@ -1,0 +1,223 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the criterion 0.x API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`
+//! / `finish`, [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery this harness times
+//! `sample_size` runs of each closure with `std::time::Instant` and
+//! prints median / min per-iteration wall time (plus element throughput
+//! when declared). That is deliberately simple: the repo's quantitative
+//! claims live in the simulated cost model (`apsp-simnet`), and these
+//! benches exist for relative, order-of-magnitude comparisons.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value computed in a bench loop.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id with a function name and a parameter value.
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Work-per-iteration declaration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| routine(b, input));
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| routine(b));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { nanos: 0, iters: 0 };
+            routine(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.nanos as f64 / bencher.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let (median, min) = match samples.as_slice() {
+            [] => (0.0, 0.0),
+            s => (s[s.len() / 2], s[0]),
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) if median > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / median * 1e3 / 1e6)
+            }
+            Throughput::Bytes(n) if median > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 / median * 1e3 / 1e6)
+            }
+            _ => String::new(),
+        });
+        println!(
+            "  {}/{id}: median {:.3} ms, min {:.3} ms over {} samples{}",
+            self.name,
+            median / 1e6,
+            min / 1e6,
+            samples.len(),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.nanos += start.elapsed().as_nanos();
+        self.iters += 1;
+    }
+}
+
+/// Bundles benchmark functions under one name for `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(3);
+            group.throughput(Throughput::Elements(10));
+            group.bench_function("count", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            group.finish();
+        }
+        assert_eq!(calls, 3);
+    }
+
+    criterion_group!(smoke_group, smoke_fn);
+
+    fn smoke_fn(c: &mut Criterion) {
+        c.benchmark_group("g").bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macros_compose() {
+        smoke_group();
+    }
+}

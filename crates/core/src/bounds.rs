@@ -164,11 +164,7 @@ mod tests {
         let f = three_nl_operations(&layout);
         let (_, stats) = crate::superfw::superfw_apsp(&g, &nd);
         assert!((stats.ops as u128) <= f, "measured {} > F {f}", stats.ops);
-        assert!(
-            (stats.ops as u128) * 2 >= f,
-            "measured {} under half of F {f}",
-            stats.ops
-        );
+        assert!((stats.ops as u128) * 2 >= f, "measured {} under half of F {f}", stats.ops);
         // Lemma 6.4: F ≥ (n − |S|)²·|S|
         assert!(f >= three_nl_lower_bound(g.n(), nd.top_separator()));
     }

@@ -196,6 +196,8 @@ fn summa(
 
     *seq += 1;
     let s0 = *seq;
+    let mut summa_span = comm.span("summa", s0);
+    let comm: &mut Comm = &mut summa_span;
     for step in 0..ng {
         // panel of A: k-tiles owned by processor column `step`
         let step_ks = geo.owned_in(kk.clone(), step);
@@ -262,6 +264,8 @@ fn summa(
 
 /// Tile-pivot blocked FW over `range × range` — the recursion base case.
 fn base_fw(comm: &mut Comm, t: &mut Tiles, range: std::ops::Range<usize>, seq: &mut u64) {
+    let mut fw_span = comm.span("base-fw", range.start as u64);
+    let comm: &mut Comm = &mut fw_span;
     let geo = t.geo;
     let ng = geo.ng;
     let full_row_group: Vec<usize> = (0..ng).map(|c| t.my_row * ng + c).collect();
@@ -389,21 +393,40 @@ pub fn dc_apsp(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
     run_dc(g, n_grid, depth, depth)
 }
 
+/// Like [`dc_apsp`], but the run is profiled: `report.profile` carries the
+/// span ledger (`summa#s` per SUMMA sweep, `base-fw#t0` per base case) and
+/// the p×p communication matrix.
+pub fn dc_apsp_profiled(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
+    run_dc_inner(g, n_grid, depth, depth, true)
+}
+
 /// Shared driver: `tile_depth` controls the block-cyclic oversubscription
 /// (`T = √p · 2^tile_depth` tiles per dimension), `rec_depth ≤ tile_depth`
 /// how many divide-and-conquer levels run before the blocked-FW base case.
 fn run_dc(g: &Csr, n_grid: usize, tile_depth: u32, rec_depth: u32) -> DcApspResult {
+    run_dc_inner(g, n_grid, tile_depth, rec_depth, false)
+}
+
+fn run_dc_inner(
+    g: &Csr,
+    n_grid: usize,
+    tile_depth: u32,
+    rec_depth: u32,
+    profiled: bool,
+) -> DcApspResult {
     assert!(rec_depth <= tile_depth, "cannot recurse below tile granularity");
     let geo = Cyclic::new(g.n(), n_grid, tile_depth);
     let p = n_grid * n_grid;
-    let (tiles_raw, report) = Machine::run(p, |comm| {
+    let program = |comm: &mut Comm| {
         let mut t = Tiles::new(geo, comm.rank(), g);
         let words: usize = t.data.iter().map(|m| m.words()).sum();
         comm.alloc(words);
         let mut seq = 0u64;
         dc(comm, &mut t, 0..geo.tiles, rec_depth, &mut seq);
         t.data
-    });
+    };
+    let (tiles_raw, report) =
+        if profiled { Machine::run_profiled(p, program) } else { Machine::run(p, program) };
     // assemble (crop the padding)
     let n = g.n();
     let mut dist = DenseDist::unconnected(n);
@@ -487,10 +510,7 @@ mod tests {
         let mut latencies = Vec::new();
         for oversub in 0..=2u32 {
             let result = cyclic_fw(&g, 3, oversub);
-            assert!(
-                result.dist.first_mismatch(&reference, 1e-9).is_none(),
-                "oversub {oversub}"
-            );
+            assert!(result.dist.first_mismatch(&reference, 1e-9).is_none(), "oversub {oversub}");
             latencies.push(result.report.critical_latency());
         }
         // the §5.1 argument: more tiles per diagonal processor → more

@@ -77,10 +77,7 @@ fn unpack_graph(data: &[f64]) -> Csr {
 /// Runs the replicated-graph, source-partitioned Johnson/Dijkstra APSP on
 /// `p` simulated ranks.
 pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
-    assert!(
-        g.has_nonnegative_weights(),
-        "undirected APSP requires non-negative weights"
-    );
+    assert!(g.has_nonnegative_weights(), "undirected APSP requires non-negative weights");
     let n = g.n();
     let sizes = balanced_sizes(n, p);
     let mut offsets = vec![0usize];
@@ -103,8 +100,8 @@ pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
         for s in my_sources {
             let row = oracle::dijkstra(&local, s);
             // charge ~ (m + n)·log n heap operations' scalar work
-            ops += (local.m() as u64 * 2 + n as u64)
-                * (usize::BITS - n.max(2).leading_zeros()) as u64;
+            ops +=
+                (local.m() as u64 * 2 + n as u64) * (usize::BITS - n.max(2).leading_zeros()) as u64;
             out.extend_from_slice(&row);
         }
         comm.compute(ops);

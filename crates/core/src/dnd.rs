@@ -82,7 +82,8 @@ impl NodeCtx<'_> {
         }
         if level == 1 {
             // leaf supernode: collect the group's vertices at the root
-            let gathered = comm.gather(group, group[0], tag(label, 0), ids_to_f64(&my_verts));
+            let mut leaf_span = comm.span("nd-leaf", label as u64);
+            let gathered = leaf_span.gather(group, group[0], tag(label, 0), ids_to_f64(&my_verts));
             if let Some(parts) = gathered {
                 let mut all = Vec::new();
                 for part in parts {
@@ -94,7 +95,10 @@ impl NodeCtx<'_> {
         }
 
         // ---- step 0: directory all-gather ----
-        let lists = comm.allgather(group, tag(label, 1), ids_to_f64(&my_verts));
+        let lists = {
+            let mut span = comm.span("nd-directory", label as u64);
+            span.allgather(group, tag(label, 1), ids_to_f64(&my_verts))
+        };
         let mut owner_of: HashMap<usize, usize> = HashMap::new(); // vertex -> group pos
         for (pos, list) in lists.iter().enumerate() {
             for &v in list {
@@ -141,19 +145,23 @@ impl NodeCtx<'_> {
                 }
             }
         }
-        for (&pos, verts) in &to_targets {
-            let mut payload = Vec::with_capacity(2 * verts.len());
-            for &u in verts {
-                payload.push(u as f64);
-                payload.push(cid(my_pos, to_coarse[local_of[&u]]) as f64);
-            }
-            comm.send(group[pos], tag(label, 2), payload);
-        }
         let mut remote_cid: HashMap<usize, usize> = HashMap::new();
-        for &pos in &from_sources {
-            let data = comm.recv(group[pos], tag(label, 2));
-            for pair in data.chunks_exact(2) {
-                remote_cid.insert(pair[0] as usize, pair[1] as usize);
+        {
+            let mut span = comm.span("nd-boundary", label as u64);
+            let comm: &mut Comm = &mut span;
+            for (&pos, verts) in &to_targets {
+                let mut payload = Vec::with_capacity(2 * verts.len());
+                for &u in verts {
+                    payload.push(u as f64);
+                    payload.push(cid(my_pos, to_coarse[local_of[&u]]) as f64);
+                }
+                comm.send(group[pos], tag(label, 2), payload);
+            }
+            for &pos in &from_sources {
+                let data = comm.recv(group[pos], tag(label, 2));
+                for pair in data.chunks_exact(2) {
+                    remote_cid.insert(pair[0] as usize, pair[1] as usize);
+                }
             }
         }
 
@@ -197,7 +205,10 @@ impl NodeCtx<'_> {
             contribution.push(b as f64);
             contribution.push(w as f64);
         }
-        let gathered = comm.allgather(group, tag(label, 3), contribution);
+        let gathered = {
+            let mut span = comm.span("nd-coarse", label as u64);
+            span.allgather(group, tag(label, 3), contribution)
+        };
 
         // replicated coarse graph: parse deterministically in group order
         let mut cid_weight: BTreeMap<usize, u64> = BTreeMap::new();
@@ -261,22 +272,25 @@ impl NodeCtx<'_> {
                 }
             }
         }
-        let gathered_cut = comm.gather(group, group[0], tag(label, 4), cut);
-        let cover_payload = gathered_cut.map(|parts| {
-            let mut pairs = Vec::new();
-            for part in parts {
-                for pair in part.chunks_exact(2) {
-                    pairs.push((pair[0] as usize, pair[1] as usize));
+        let cover: BTreeSet<usize> = {
+            let mut span = comm.span("nd-separator", label as u64);
+            let comm: &mut Comm = &mut span;
+            let gathered_cut = comm.gather(group, group[0], tag(label, 4), cut);
+            let cover_payload = gathered_cut.map(|parts| {
+                let mut pairs = Vec::new();
+                for part in parts {
+                    for pair in part.chunks_exact(2) {
+                        pairs.push((pair[0] as usize, pair[1] as usize));
+                    }
                 }
-            }
-            let cover = min_vertex_cover_bipartite(&pairs);
-            out.push((label, cover.clone()));
-            ids_to_f64(&cover)
-        });
-        let cover: BTreeSet<usize> =
+                let cover = min_vertex_cover_bipartite(&pairs);
+                out.push((label, cover.clone()));
+                ids_to_f64(&cover)
+            });
             f64_to_ids(&comm.bcast(group, group[0], tag(label, 5), cover_payload))
                 .into_iter()
-                .collect();
+                .collect()
+        };
 
         // ---- step 8: split and redistribute ----
         let mut side0 = Vec::new();
@@ -291,24 +305,25 @@ impl NodeCtx<'_> {
                 side1.push(u);
             }
         }
-        let counts = comm.allgather(
-            group,
-            tag(label, 6),
-            vec![side0.len() as f64, side1.len() as f64],
-        );
         let gl = (group.len() / 2).max(1);
         let left_group: Vec<Rank> = group[..gl].to_vec();
         let right_group: Vec<Rank> = group[gl..].to_vec();
 
-        let my_new = redistribute(
-            comm,
-            group,
-            my_pos,
-            label,
-            [&side0, &side1],
-            &counts,
-            [&left_group, &right_group],
-        );
+        let my_new = {
+            let mut span = comm.span("nd-redist", label as u64);
+            let comm: &mut Comm = &mut span;
+            let counts =
+                comm.allgather(group, tag(label, 6), vec![side0.len() as f64, side1.len() as f64]);
+            redistribute(
+                comm,
+                group,
+                my_pos,
+                label,
+                [&side0, &side1],
+                &counts,
+                [&left_group, &right_group],
+            )
+        };
 
         // ---- step 9: recurse into my half (halves run concurrently) ----
         if my_pos < gl {
@@ -332,7 +347,10 @@ impl NodeCtx<'_> {
             &sub,
             level,
             &NdOptions {
-                bisect: BisectOptions { seed: self.seed ^ 0xFA11 ^ idx as u64, ..Default::default() },
+                bisect: BisectOptions {
+                    seed: self.seed ^ 0xFA11 ^ idx as u64,
+                    ..Default::default()
+                },
             },
         );
         let order = nd.perm.as_order();
@@ -441,6 +459,18 @@ fn redistribute(
 /// [`nested_dissection`] (checked by `NdOrdering::validate`); the `report`
 /// is the measured §5.4.4 cost.
 pub fn dist_nested_dissection(g: &Csr, h: u32, p: usize, seed: u64) -> DistNdResult {
+    dist_nd_inner(g, h, p, seed, false)
+}
+
+/// Like [`dist_nested_dissection`], but the run is profiled. Rank groups
+/// halve and recurse concurrently, so the per-rank span sequences diverge —
+/// the phase breakdown falls back to the grouped (`exact = false`)
+/// max-over-ranks attribution.
+pub fn dist_nested_dissection_profiled(g: &Csr, h: u32, p: usize, seed: u64) -> DistNdResult {
+    dist_nd_inner(g, h, p, seed, true)
+}
+
+fn dist_nd_inner(g: &Csr, h: u32, p: usize, seed: u64, profiled: bool) -> DistNdResult {
     assert!(p >= 1, "need at least one rank");
     let tree = SchedTree::new(h);
     let chunk_sizes = balanced_sizes(g.n(), p);
@@ -448,7 +478,7 @@ pub fn dist_nested_dissection(g: &Csr, h: u32, p: usize, seed: u64) -> DistNdRes
     for &c in &chunk_sizes {
         chunk_offsets.push(chunk_offsets.last().unwrap() + c);
     }
-    let (outputs, report) = Machine::run(p, |comm| {
+    let program = |comm: &mut Comm| {
         let r = comm.rank();
         let my_verts: Vec<usize> = (chunk_offsets[r]..chunk_offsets[r + 1]).collect();
         let ctx = NodeCtx { g, tree, seed };
@@ -456,7 +486,9 @@ pub fn dist_nested_dissection(g: &Csr, h: u32, p: usize, seed: u64) -> DistNdRes
         let mut out = Vec::new();
         ctx.recurse(comm, h, 0, &group, my_verts, &mut out);
         out
-    });
+    };
+    let (outputs, report) =
+        if profiled { Machine::run_profiled(p, program) } else { Machine::run(p, program) };
     // merge the per-rank facts
     let mut supernode_vertices: Vec<Vec<usize>> = vec![Vec::new(); tree.num_supernodes()];
     for rank_facts in outputs {
@@ -472,11 +504,8 @@ pub fn dist_nested_dissection(g: &Csr, h: u32, p: usize, seed: u64) -> DistNdRes
     }
     let sizes: Vec<usize> = supernode_vertices.iter().map(|v| v.len()).collect();
     let order: Vec<usize> = supernode_vertices.into_iter().flatten().collect();
-    let ordering = NdOrdering {
-        tree,
-        perm: Permutation::from_order(order),
-        supernode_sizes: sizes,
-    };
+    let ordering =
+        NdOrdering { tree, perm: Permutation::from_order(order), supernode_sizes: sizes };
     DistNdResult { ordering, report }
 }
 
@@ -553,7 +582,8 @@ mod tests {
         let layout = crate::SupernodalLayout::from_ordering(&result.ordering);
         let gp = g.permuted(&result.ordering.perm);
         let solved = crate::sparse2d::sparse2d(&layout, &gp, crate::R4Strategy::OneToOne);
-        let dist = crate::SupernodalLayout::unpermute(&solved.dist_eliminated, &result.ordering.perm);
+        let dist =
+            crate::SupernodalLayout::unpermute(&solved.dist_eliminated, &result.ordering.perm);
         let reference = apsp_graph::oracle::apsp_dijkstra(&g);
         assert!(dist.first_mismatch(&reference, 1e-9).is_none());
     }

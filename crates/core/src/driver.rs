@@ -1,6 +1,6 @@
 //! End-to-end public API: partition → permute → distribute → run → gather.
 
-use crate::sparse2d::{sparse2d_with, R4Strategy, Sparse2dOptions};
+use crate::sparse2d::{sparse2d_profiled, sparse2d_with, R4Strategy, Sparse2dOptions};
 use crate::supernodal::SupernodalLayout;
 use apsp_graph::{Csr, DenseDist};
 use apsp_partition::{grid_nd, nested_dissection, NdOptions, NdOrdering};
@@ -41,6 +41,12 @@ pub struct SparseApspConfig {
     /// Also run the §5.4.4 ordering-distribution step on the machine and
     /// fold its cost into the report (scatter of the permutation).
     pub charge_ordering_distribution: bool,
+    /// Collect the observability payload: span ledgers, the p×p
+    /// communication matrix, and the event stream land on
+    /// [`RunReport::profile`]. Every on-machine stage of the pipeline runs
+    /// profiled, so the merged profile still satisfies the exact-sum
+    /// invariant of [`apsp_simnet::PhaseBreakdown`].
+    pub profile: bool,
 }
 
 impl Default for SparseApspConfig {
@@ -51,6 +57,7 @@ impl Default for SparseApspConfig {
             r4: R4Strategy::OneToOne,
             compress_empty: false,
             charge_ordering_distribution: false,
+            profile: false,
         }
     }
 }
@@ -119,7 +126,11 @@ impl SparseApsp {
             Ordering::Distributed => {
                 let h = self.config.height;
                 let p = ((1usize << h) - 1) * ((1usize << h) - 1);
-                let result = crate::dnd::dist_nested_dissection(g, h, p, 0);
+                let result = if self.config.profile {
+                    crate::dnd::dist_nested_dissection_profiled(g, h, p, 0)
+                } else {
+                    crate::dnd::dist_nested_dissection(g, h, p, 0)
+                };
                 (result.ordering, result.report)
             }
         }
@@ -154,10 +165,7 @@ impl SparseApsp {
     /// pattern, then the directed schedule (`sparse2d_directed`). The
     /// distance matrix is generally asymmetric.
     pub fn run_directed(&self, dg: &apsp_graph::DiCsr) -> ApspRun {
-        assert!(
-            dg.has_nonnegative_weights(),
-            "directed APSP requires non-negative finite weights"
-        );
+        assert!(dg.has_nonnegative_weights(), "directed APSP requires non-negative finite weights");
         let pattern = dg.underlying_pattern();
         let (nd, ordering_report) = self.ordering_for(&pattern);
         nd.validate(&pattern).expect("ordering violates the §4.1 separation invariant");
@@ -165,11 +173,13 @@ impl SparseApsp {
         let dgp = dg.permuted(&nd.perm);
         let mut report = RunReport::default();
         report.absorb(&ordering_report);
-        let opts = Sparse2dOptions {
-            r4: self.config.r4,
-            compress_empty: self.config.compress_empty,
+        let opts =
+            Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
+        let result = if self.config.profile {
+            crate::sparse2d::sparse2d_directed_profiled(&layout, &dgp, &opts)
+        } else {
+            crate::sparse2d::sparse2d_directed(&layout, &dgp, &opts)
         };
-        let result = crate::sparse2d::sparse2d_directed(&layout, &dgp, &opts);
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
         ApspRun { dist, report, ordering: nd, level_costs: result.level_costs() }
@@ -194,13 +204,15 @@ impl SparseApsp {
         let mut report = RunReport::default();
         report.absorb(&ordering_report);
         if self.config.charge_ordering_distribution {
-            report.absorb(&distribute_ordering_cost(&layout, &nd));
+            report.absorb(&distribute_ordering_cost(&layout, &nd, self.config.profile));
         }
-        let opts = Sparse2dOptions {
-            r4: self.config.r4,
-            compress_empty: self.config.compress_empty,
+        let opts =
+            Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
+        let result = if self.config.profile {
+            sparse2d_profiled(&layout, &gp, &opts)
+        } else {
+            sparse2d_with(&layout, &gp, &opts)
         };
-        let result = sparse2d_with(&layout, &gp, &opts);
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
         ApspRun { dist, report, ordering: nd, level_costs: result.level_costs() }
@@ -216,12 +228,18 @@ impl SparseApsp {
 /// happens host-side (see DESIGN.md §1 — the paper likewise adopts the
 /// cited parallel partitioner \[18\] rather than presenting one); its cited
 /// cost is reported separately by `bounds::separator_bandwidth/latency`.
-fn distribute_ordering_cost(layout: &SupernodalLayout, nd: &NdOrdering) -> RunReport {
+fn distribute_ordering_cost(
+    layout: &SupernodalLayout,
+    nd: &NdOrdering,
+    profiled: bool,
+) -> RunReport {
     let p = layout.p();
     let perm: Vec<f64> = nd.perm.as_order().iter().map(|&x| x as f64).collect();
     let sizes: Vec<f64> = (1..=layout.n_super()).map(|k| layout.size(k) as f64).collect();
     let group: Vec<usize> = (0..p).collect();
-    let (_, report) = Machine::run(p, |comm| {
+    let program = |comm: &mut apsp_simnet::Comm| {
+        let mut span = comm.span("distribute-ordering", 0);
+        let comm: &mut apsp_simnet::Comm = &mut span;
         // permutation broadcast
         let payload = (comm.rank() == 0).then(|| perm.clone());
         let data = comm.bcast(&group, 0, 0x0D157, payload);
@@ -233,7 +251,9 @@ fn distribute_ordering_cost(layout: &SupernodalLayout, nd: &NdOrdering) -> RunRe
         let rows = sizes[i - 1] as usize;
         let cols = sizes[j - 1] as usize;
         assert_eq!((rows, cols), (layout.size(i), layout.size(j)));
-    });
+    };
+    let (_, report) =
+        if profiled { Machine::run_profiled(p, program) } else { Machine::run(p, program) };
     report
 }
 
@@ -345,17 +365,70 @@ mod tests {
     #[test]
     fn distributed_ordering_end_to_end() {
         let g = generators::grid2d(8, 8, WeightKind::Integer { max: 4 }, 6);
-        let config = SparseApspConfig {
-            height: 3,
-            ordering: Ordering::Distributed,
-            ..Default::default()
-        };
+        let config =
+            SparseApspConfig { height: 3, ordering: Ordering::Distributed, ..Default::default() };
         let run = SparseApsp::new(config).run(&g);
         let reference = oracle::apsp_dijkstra(&g);
         assert!(run.dist.first_mismatch(&reference, 1e-9).is_none());
         // the pipeline cost is included
-        let host_only = SparseApsp::new(SparseApspConfig { height: 3, ..Default::default() }).run(&g);
+        let host_only =
+            SparseApsp::new(SparseApspConfig { height: 3, ..Default::default() }).run(&g);
         assert!(run.report.total_words() > host_only.report.total_words());
+    }
+
+    #[test]
+    fn profiled_run_breakdown_sums_to_critical_totals() {
+        let g = generators::grid2d(8, 8, WeightKind::Integer { max: 4 }, 3);
+        let config = SparseApspConfig { height: 3, profile: true, ..Default::default() };
+        let run = SparseApsp::new(config).run(&g);
+        let reference = oracle::apsp_dijkstra(&g);
+        assert!(run.dist.first_mismatch(&reference, 1e-9).is_none());
+        let bd = run.report.phase_breakdown(0).expect("profiled run carries a breakdown");
+        assert!(bd.exact, "uniform SPMD schedule should attribute exactly");
+        let total = bd.total();
+        assert_eq!(total.latency, run.report.critical_latency());
+        assert_eq!(total.bandwidth, run.report.critical_bandwidth());
+        assert_eq!(total.compute, run.report.critical_compute());
+        // one `level` phase per elimination level
+        let levels = bd.rows.iter().filter(|r| r.name == "level").count();
+        assert_eq!(levels, 3);
+    }
+
+    #[test]
+    fn profiled_pipeline_with_distribution_stays_exact() {
+        let g = generators::grid2d(6, 6, WeightKind::Unit, 0);
+        let config = SparseApspConfig {
+            charge_ordering_distribution: true,
+            profile: true,
+            ..Default::default()
+        };
+        let run = SparseApsp::new(config).run(&g);
+        let bd = run.report.phase_breakdown(0).expect("profiled");
+        assert!(bd.exact, "distribute + solve is still a uniform schedule");
+        assert!(bd.rows.iter().any(|r| r.name == "distribute-ordering"));
+        let total = bd.total();
+        assert_eq!(total.latency, run.report.critical_latency());
+        assert_eq!(total.bandwidth, run.report.critical_bandwidth());
+        assert_eq!(total.compute, run.report.critical_compute());
+    }
+
+    #[test]
+    fn profiled_distributed_ordering_reports_pipeline_phases() {
+        let g = generators::grid2d(8, 8, WeightKind::Unit, 2);
+        let config = SparseApspConfig {
+            height: 2,
+            ordering: Ordering::Distributed,
+            profile: true,
+            ..Default::default()
+        };
+        let run = SparseApsp::new(config).run(&g);
+        let bd = run.report.phase_breakdown(0).expect("profiled");
+        // ND rank groups diverge, so attribution falls back to grouped —
+        // but the pipeline steps must still show up
+        assert!(bd.rows.iter().any(|r| r.name.starts_with("nd-")));
+        assert!(bd.rows.iter().any(|r| r.name == "level"));
+        let comm = &run.report.profile.as_ref().unwrap().comm_matrix;
+        assert!(comm.words(0, 1) > 0 || comm.words(1, 0) > 0);
     }
 
     #[test]

@@ -90,6 +90,8 @@ fn rank_program(comm: &mut Comm, grid: &Grid, g: &Csr) -> Vec<f64> {
     let full_row: Vec<usize> = (1..=n_grid).map(|j| grid.rank_of(bi, j)).collect();
 
     for t in 1..=n_grid {
+        let mut pivot_span = comm.span("pivot", t as u64);
+        let comm: &mut Comm = &mut pivot_span;
         // pivot closure
         if bi == t && bj == t {
             let ops = fw_in_place(&mut block);
@@ -156,10 +158,25 @@ fn rank_program(comm: &mut Comm, grid: &Grid, g: &Csr) -> Vec<f64> {
 /// Runs the dense blocked-FW APSP on a `n_grid × n_grid` simulated grid
 /// (`p = n_grid²` ranks).
 pub fn fw2d(g: &Csr, n_grid: usize) -> Fw2dResult {
+    fw2d_inner(g, n_grid, false)
+}
+
+/// Like [`fw2d`], but the run is profiled: `report.profile` carries the
+/// per-pivot span ledger (span `pivot#t` per iteration, with the panel
+/// broadcasts nested inside) and the p×p communication matrix.
+pub fn fw2d_profiled(g: &Csr, n_grid: usize) -> Fw2dResult {
+    fw2d_inner(g, n_grid, true)
+}
+
+fn fw2d_inner(g: &Csr, n_grid: usize, profiled: bool) -> Fw2dResult {
     assert!(n_grid >= 1);
     let grid = Grid::new(g.n(), n_grid);
     let p = n_grid * n_grid;
-    let (blocks_raw, report) = Machine::run(p, |comm| rank_program(comm, &grid, g));
+    let (blocks_raw, report) = if profiled {
+        Machine::run_profiled(p, |comm| rank_program(comm, &grid, g))
+    } else {
+        Machine::run(p, |comm| rank_program(comm, &grid, g))
+    };
     // assemble
     let n = g.n();
     let mut dist = DenseDist::unconnected(n);

@@ -35,13 +35,7 @@ impl SolvedApsp {
         let gp = g.permuted(&nd.perm);
         let result = sparse2d_with(&layout, &gp, &Sparse2dOptions::default());
         let blocks = split_blocks(&layout, &result.dist_eliminated);
-        SolvedApsp {
-            graph: g.clone(),
-            ordering: nd,
-            layout,
-            blocks,
-            report: result.report,
-        }
+        SolvedApsp { graph: g.clone(), ordering: nd, layout, blocks, report: result.report }
     }
 
     /// Distance between two input-graph vertices (O(1) lookup).
@@ -213,10 +207,7 @@ impl SolvedApsp {
             return Err("missing graph section".into());
         }
         let rest: Vec<&str> = lines.collect();
-        let split = rest
-            .iter()
-            .position(|&l| l == "blocks")
-            .ok_or("missing blocks section")?;
+        let split = rest.iter().position(|&l| l == "blocks").ok_or("missing blocks section")?;
         let graph = apsp_graph::io::from_edge_list(&rest[..split].join("\n"))?;
 
         let tree = apsp_etree::SchedTree::new(height);
@@ -266,7 +257,8 @@ impl SolvedApsp {
         }
 
         // reconstruct an aggregate bill on rank 0
-        let mut report = RunReport { per_rank: vec![Default::default(); layout.p()] };
+        let mut report =
+            RunReport { per_rank: vec![Default::default(); layout.p()], profile: None };
         report.per_rank[0].clocks.latency = bill[0];
         report.per_rank[0].clocks.bandwidth = bill[1];
         report.per_rank[0].clocks.compute = bill[2];
@@ -284,9 +276,7 @@ fn split_blocks(layout: &SupernodalLayout, dense: &DenseDist) -> Vec<MinPlusMatr
         .map(|rank| {
             let (i, j) = layout.block_of_rank(rank);
             let (ri, rj) = (layout.range(i), layout.range(j));
-            MinPlusMatrix::from_fn(ri.len(), rj.len(), |r, c| {
-                dense.get(ri.start + r, rj.start + c)
-            })
+            MinPlusMatrix::from_fn(ri.len(), rj.len(), |r, c| dense.get(ri.start + r, rj.start + c))
         })
         .collect()
 }
@@ -344,10 +334,7 @@ mod tests {
         assert!(solved.dense().first_mismatch(&restored.dense(), 0.0).is_none());
         assert_eq!(restored.distance(0, 35), 2.0);
         // bill aggregates survive
-        assert_eq!(
-            restored.report().critical_latency(),
-            solved.report().critical_latency()
-        );
+        assert_eq!(restored.report().critical_latency(), solved.report().critical_latency());
         assert_eq!(restored.report().total_words(), solved.report().total_words());
         // the restored handle keeps working: another update + oracle check
         let mut restored = restored;

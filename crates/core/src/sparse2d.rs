@@ -204,106 +204,137 @@ fn rank_program(
     let mut level_clocks = Vec::with_capacity(h as usize);
 
     for l in 1..=h {
+        // phase spans: one top-level "level" span per elimination level,
+        // with the paper's computing units R¹–R⁴ nested inside — free
+        // unless the run is profiled (see `Comm::span`)
+        let mut level_span = comm.span("level", l as u64);
+        let comm: &mut Comm = &mut level_span;
+
         // ---------------- R¹: diagonal pivot closure ----------------
-        if bi == bj && t.level(bi) == l {
-            let ops = fw_in_place(&mut block);
-            comm.compute(ops);
+        {
+            let mut comm = comm.span("r1", l as u64);
+            if bi == bj && t.level(bi) == l {
+                let ops = fw_in_place(&mut block);
+                comm.compute(ops);
+            }
         }
 
         // ---------------- R²: pivot broadcasts + panel updates ----------------
-        // column phase: pivot k = bj broadcasts A(k,k)* down column k
-        if t.level(bj) == l && t.related(bi, bj) {
-            let k = bj;
-            let group: Vec<usize> = rel_with_self(&t, k).iter().map(|&i| rank_of(i, k)).collect();
-            let root = rank_of(k, k);
-            let payload = (bi == k).then(|| encode(&block, compress));
-            let data = comm.bcast(&group, root, tag(l, 1, k, 0), payload);
-            if bi != k {
-                let akk = decode(size(k), size(k), data);
-                comm.alloc(akk.words());
-                let snapshot = block.clone();
-                comm.alloc(snapshot.words());
-                let ops = gemm(&mut block, &snapshot, &akk);
-                comm.compute(ops);
-                comm.release(snapshot.words());
-                comm.release(akk.words());
+        {
+            let mut r2_span = comm.span("r2", l as u64);
+            let comm: &mut Comm = &mut r2_span;
+            // column phase: pivot k = bj broadcasts A(k,k)* down column k
+            if t.level(bj) == l && t.related(bi, bj) {
+                let k = bj;
+                let group: Vec<usize> =
+                    rel_with_self(&t, k).iter().map(|&i| rank_of(i, k)).collect();
+                let root = rank_of(k, k);
+                let payload = (bi == k).then(|| encode(&block, compress));
+                let data = comm.bcast(&group, root, tag(l, 1, k, 0), payload);
+                if bi != k {
+                    let akk = decode(size(k), size(k), data);
+                    comm.alloc(akk.words());
+                    let snapshot = block.clone();
+                    comm.alloc(snapshot.words());
+                    let ops = gemm(&mut block, &snapshot, &akk);
+                    comm.compute(ops);
+                    comm.release(snapshot.words());
+                    comm.release(akk.words());
+                }
             }
-        }
-        // row phase: pivot k = bi broadcasts A(k,k)* along row k
-        if t.level(bi) == l && t.related(bi, bj) {
-            let k = bi;
-            let group: Vec<usize> = rel_with_self(&t, k).iter().map(|&j| rank_of(k, j)).collect();
-            let root = rank_of(k, k);
-            let payload = (bj == k).then(|| encode(&block, compress));
-            let data = comm.bcast(&group, root, tag(l, 2, k, 0), payload);
-            if bj != k {
-                let akk = decode(size(k), size(k), data);
-                comm.alloc(akk.words());
-                let snapshot = block.clone();
-                comm.alloc(snapshot.words());
-                let ops = gemm(&mut block, &akk, &snapshot);
-                comm.compute(ops);
-                comm.release(snapshot.words());
-                comm.release(akk.words());
+            // row phase: pivot k = bi broadcasts A(k,k)* along row k
+            if t.level(bi) == l && t.related(bi, bj) {
+                let k = bi;
+                let group: Vec<usize> =
+                    rel_with_self(&t, k).iter().map(|&j| rank_of(k, j)).collect();
+                let root = rank_of(k, k);
+                let payload = (bj == k).then(|| encode(&block, compress));
+                let data = comm.bcast(&group, root, tag(l, 2, k, 0), payload);
+                if bj != k {
+                    let akk = decode(size(k), size(k), data);
+                    comm.alloc(akk.words());
+                    let snapshot = block.clone();
+                    comm.alloc(snapshot.words());
+                    let ops = gemm(&mut block, &akk, &snapshot);
+                    comm.compute(ops);
+                    comm.release(snapshot.words());
+                    comm.release(akk.words());
+                }
             }
         }
 
         // ---------------- R³: panel broadcasts + single-unit updates ----------------
-        let r3k = r3_pivot(&t, l, bi, bj);
-        // row phase: panel (i, k=bj) broadcasts A(i,k) along row i
-        let mut r3_aik: Option<MinPlusMatrix> = None;
-        if t.level(bj) == l && t.related(bi, bj) && bi != bj {
-            // source role
-            let k = bj;
-            let mut cols = r3_row_targets(&t, l, bi, k);
-            cols.push(k);
-            cols.sort_unstable();
-            let group: Vec<usize> = cols.iter().map(|&j| rank_of(bi, j)).collect();
-            let _ = comm.bcast(&group, rank_of(bi, k), tag(l, 3, k, bi), Some(encode(&block, compress)));
-        } else if let Some(k) = r3k {
-            // receiver role: join the broadcast of panel (bi, k)
-            let mut cols = r3_row_targets(&t, l, bi, k);
-            cols.push(k);
-            cols.sort_unstable();
-            let group: Vec<usize> = cols.iter().map(|&j| rank_of(bi, j)).collect();
-            let data = comm.bcast(&group, rank_of(bi, k), tag(l, 3, k, bi), None);
-            let m = decode(size(bi), size(k), data);
-            comm.alloc(m.words());
-            r3_aik = Some(m);
-        }
-        // column phase: panel (k=bi, j) broadcasts A(k,j) down column j
-        let mut r3_akj: Option<MinPlusMatrix> = None;
-        if t.level(bi) == l && t.related(bi, bj) && bi != bj {
-            let k = bi;
-            let mut rows = r3_row_targets(&t, l, bj, k);
-            rows.push(k);
-            rows.sort_unstable();
-            let group: Vec<usize> = rows.iter().map(|&i| rank_of(i, bj)).collect();
-            let _ = comm.bcast(&group, rank_of(k, bj), tag(l, 4, k, bj), Some(encode(&block, compress)));
-        } else if let Some(k) = r3k {
-            let mut rows = r3_row_targets(&t, l, bj, k);
-            rows.push(k);
-            rows.sort_unstable();
-            let group: Vec<usize> = rows.iter().map(|&i| rank_of(i, bj)).collect();
-            let data = comm.bcast(&group, rank_of(k, bj), tag(l, 4, k, bj), None);
-            let m = decode(size(k), size(bj), data);
-            comm.alloc(m.words());
-            r3_akj = Some(m);
-        }
-        // local update
-        if let (Some(aik), Some(akj)) = (&r3_aik, &r3_akj) {
-            let ops = gemm(&mut block, aik, akj);
-            comm.compute(ops);
-        }
-        if let Some(a) = r3_aik.take() {
-            comm.release(a.words());
-        }
-        if let Some(a) = r3_akj.take() {
-            comm.release(a.words());
+        {
+            let mut r3_span = comm.span("r3", l as u64);
+            let comm: &mut Comm = &mut r3_span;
+            let r3k = r3_pivot(&t, l, bi, bj);
+            // row phase: panel (i, k=bj) broadcasts A(i,k) along row i
+            let mut r3_aik: Option<MinPlusMatrix> = None;
+            if t.level(bj) == l && t.related(bi, bj) && bi != bj {
+                // source role
+                let k = bj;
+                let mut cols = r3_row_targets(&t, l, bi, k);
+                cols.push(k);
+                cols.sort_unstable();
+                let group: Vec<usize> = cols.iter().map(|&j| rank_of(bi, j)).collect();
+                let _ = comm.bcast(
+                    &group,
+                    rank_of(bi, k),
+                    tag(l, 3, k, bi),
+                    Some(encode(&block, compress)),
+                );
+            } else if let Some(k) = r3k {
+                // receiver role: join the broadcast of panel (bi, k)
+                let mut cols = r3_row_targets(&t, l, bi, k);
+                cols.push(k);
+                cols.sort_unstable();
+                let group: Vec<usize> = cols.iter().map(|&j| rank_of(bi, j)).collect();
+                let data = comm.bcast(&group, rank_of(bi, k), tag(l, 3, k, bi), None);
+                let m = decode(size(bi), size(k), data);
+                comm.alloc(m.words());
+                r3_aik = Some(m);
+            }
+            // column phase: panel (k=bi, j) broadcasts A(k,j) down column j
+            let mut r3_akj: Option<MinPlusMatrix> = None;
+            if t.level(bi) == l && t.related(bi, bj) && bi != bj {
+                let k = bi;
+                let mut rows = r3_row_targets(&t, l, bj, k);
+                rows.push(k);
+                rows.sort_unstable();
+                let group: Vec<usize> = rows.iter().map(|&i| rank_of(i, bj)).collect();
+                let _ = comm.bcast(
+                    &group,
+                    rank_of(k, bj),
+                    tag(l, 4, k, bj),
+                    Some(encode(&block, compress)),
+                );
+            } else if let Some(k) = r3k {
+                let mut rows = r3_row_targets(&t, l, bj, k);
+                rows.push(k);
+                rows.sort_unstable();
+                let group: Vec<usize> = rows.iter().map(|&i| rank_of(i, bj)).collect();
+                let data = comm.bcast(&group, rank_of(k, bj), tag(l, 4, k, bj), None);
+                let m = decode(size(k), size(bj), data);
+                comm.alloc(m.words());
+                r3_akj = Some(m);
+            }
+            // local update
+            if let (Some(aik), Some(akj)) = (&r3_aik, &r3_akj) {
+                let ops = gemm(&mut block, aik, akj);
+                comm.compute(ops);
+            }
+            if let Some(a) = r3_aik.take() {
+                comm.release(a.words());
+            }
+            if let Some(a) = r3_akj.take() {
+                comm.release(a.words());
+            }
         }
 
         // ---------------- R⁴ ----------------
         if l < h {
+            let mut r4_span = comm.span("r4", l as u64);
+            let comm: &mut Comm = &mut r4_span;
             match (opts.r4, directed) {
                 (R4Strategy::OneToOne, false) => {
                     r4_one_to_one(comm, layout, &t, l, bi, bj, &mut block, compress)
@@ -440,10 +471,8 @@ fn r4_one_to_one(
             let a = t.level(i);
             let c = t.level(j);
             let f = mapping::unit_row(t, l, a, c);
-            let mut members: Vec<usize> = t
-                .descendants_at(i, l)
-                .map(|k| rank_of(f, mapping::unit_col(t, l, k)))
-                .collect();
+            let mut members: Vec<usize> =
+                t.descendants_at(i, l).map(|k| rank_of(f, mapping::unit_col(t, l, k))).collect();
             members.push(rank_of(i, j));
             members.sort_unstable();
             members.dedup();
@@ -682,10 +711,8 @@ fn r4_one_to_one_directed(
             // upper orientation of the pair decides the worker row
             let (ui, uj) = if t.level(x) <= t.level(y) { (x, y) } else { (y, x) };
             let f = mapping::unit_row(t, l, t.level(ui), t.level(uj));
-            let mut members: Vec<usize> = t
-                .descendants_at(ui, l)
-                .map(|k| rank_of(f, mapping::unit_col(t, l, k)))
-                .collect();
+            let mut members: Vec<usize> =
+                t.descendants_at(ui, l).map(|k| rank_of(f, mapping::unit_col(t, l, k))).collect();
             members.push(rank_of(x, y));
             members.sort_unstable();
             members.dedup();
@@ -828,6 +855,33 @@ pub fn sparse2d_traced(
     (assemble(layout, outputs, report), traces)
 }
 
+/// Like [`sparse2d_with`], additionally profiling the run: the returned
+/// result's `report.profile` carries per-rank span ledgers (levels, with
+/// nested `R¹`–`R⁴` phase spans), the p×p communication matrix, and the
+/// event stream — ready for [`apsp_simnet::Profile::chrome_trace_json`]
+/// or [`apsp_simnet::RunReport::phase_breakdown`].
+pub fn sparse2d_profiled(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+) -> Sparse2dResult {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    run_machine_profiled(layout, &init, opts, false)
+}
+
+/// Profiled variant of [`sparse2d_directed`] — same span ledger as
+/// [`sparse2d_profiled`], over the directed schedule.
+pub fn sparse2d_directed_profiled(
+    layout: &SupernodalLayout,
+    dg_perm: &apsp_graph::DiCsr,
+    opts: &Sparse2dOptions,
+) -> Sparse2dResult {
+    assert_eq!(dg_perm.n(), layout.n(), "layout does not match the graph");
+    let init = |i: usize, j: usize| layout.extract_block_directed(dg_perm, i, j);
+    run_machine_profiled(layout, &init, opts, true)
+}
+
 fn run_machine(
     layout: &SupernodalLayout,
     init: &(dyn Fn(usize, usize) -> MinPlusMatrix + Sync),
@@ -837,6 +891,18 @@ fn run_machine(
     let p = layout.p();
     let (outputs, report) =
         Machine::run(p, |comm| rank_program(comm, layout, init, opts, directed));
+    assemble(layout, outputs, report)
+}
+
+fn run_machine_profiled(
+    layout: &SupernodalLayout,
+    init: &(dyn Fn(usize, usize) -> MinPlusMatrix + Sync),
+    opts: &Sparse2dOptions,
+    directed: bool,
+) -> Sparse2dResult {
+    let p = layout.p();
+    let (outputs, report) =
+        Machine::run_profiled(p, |comm| rank_program(comm, layout, init, opts, directed));
     assemble(layout, outputs, report)
 }
 
@@ -871,7 +937,11 @@ mod tests {
     use apsp_graph::oracle;
     use apsp_partition::{grid_nd, nested_dissection, NdOptions};
 
-    fn check_with(g: &Csr, nd: &apsp_partition::NdOrdering, opts: &Sparse2dOptions) -> Sparse2dResult {
+    fn check_with(
+        g: &Csr,
+        nd: &apsp_partition::NdOrdering,
+        opts: &Sparse2dOptions,
+    ) -> Sparse2dResult {
         let layout = SupernodalLayout::from_ordering(nd);
         let gp = g.permuted(&nd.perm);
         let result = sparse2d_with(&layout, &gp, opts);
@@ -993,7 +1063,12 @@ mod tests {
         b.build()
     }
 
-    fn check_directed(base: &Csr, nd: &apsp_partition::NdOrdering, opts: &Sparse2dOptions, seed: u64) {
+    fn check_directed(
+        base: &Csr,
+        nd: &apsp_partition::NdOrdering,
+        opts: &Sparse2dOptions,
+        seed: u64,
+    ) {
         let dg = random_digraph(base, seed);
         let layout = SupernodalLayout::from_ordering(nd);
         let dgp = dg.permuted(&nd.perm);
@@ -1066,10 +1141,7 @@ mod tests {
         let und = sparse2d(&layout, &gp, R4Strategy::OneToOne);
         let dg = apsp_graph::DiCsr::from_undirected(&g).permuted(&nd.perm);
         let dir = sparse2d_directed(&layout, &dg, &Sparse2dOptions::default());
-        assert!(und
-            .dist_eliminated
-            .first_mismatch(&dir.dist_eliminated, 1e-9)
-            .is_none());
+        assert!(und.dist_eliminated.first_mismatch(&dir.dist_eliminated, 1e-9).is_none());
         // directed costs stay within ~2x of the undirected schedule
         assert!(dir.report.critical_bandwidth() <= 3 * und.report.critical_bandwidth());
     }
@@ -1113,11 +1185,7 @@ mod tests {
         // Lemma 5.6: every level costs O(log p) messages
         let log_p = (225f64).log2();
         for (lvl, &(lat, _)) in per_level.iter().enumerate() {
-            assert!(
-                (lat as f64) <= 4.0 * log_p,
-                "level {}: L_l = {lat} exceeds 4·log p",
-                lvl + 1
-            );
+            assert!((lat as f64) <= 4.0 * log_p, "level {}: L_l = {lat} exceeds 4·log p", lvl + 1);
         }
     }
 
@@ -1127,11 +1195,8 @@ mod tests {
         let g = generators::path(40, WeightKind::Integer { max: 5 }, 3);
         let nd = nested_dissection(&g, 3, &NdOptions::default());
         let plain = check_with(&g, &nd, &Sparse2dOptions::default());
-        let compressed = check_with(
-            &g,
-            &nd,
-            &Sparse2dOptions { compress_empty: true, ..Default::default() },
-        );
+        let compressed =
+            check_with(&g, &nd, &Sparse2dOptions { compress_empty: true, ..Default::default() });
         assert!(
             compressed.report.total_words() < plain.report.total_words(),
             "compression should cut volume: {} vs {}",
@@ -1139,10 +1204,7 @@ mod tests {
             plain.report.total_words()
         );
         // latency is the same schedule
-        assert_eq!(
-            compressed.report.total_messages(),
-            plain.report.total_messages()
-        );
+        assert_eq!(compressed.report.total_messages(), plain.report.total_messages());
     }
 
     #[test]

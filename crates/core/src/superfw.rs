@@ -20,6 +20,19 @@ pub struct SuperFwStats {
     pub block_updates: u64,
     /// Block updates skipped because an operand was structurally empty.
     pub block_skips: u64,
+    /// Scalar ops in the `R¹` diagonal closures.
+    pub r1_ops: u64,
+    /// Scalar ops in the `R²` panel updates.
+    pub r2_ops: u64,
+    /// Scalar ops in the `R³`/`R⁴` outer products.
+    pub r34_ops: u64,
+}
+
+impl SuperFwStats {
+    /// The per-region counters partition the total: `r1 + r2 + r34 = ops`.
+    pub fn region_ops_sum(&self) -> u64 {
+        self.r1_ops + self.r2_ops + self.r34_ops
+    }
 }
 
 /// Runs supernodal FW on the blocks of an eliminated-order graph.
@@ -42,7 +55,9 @@ pub fn superfw(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix]) -> Super
                 continue;
             }
             // R1: diagonal closure
-            stats.ops += fw_in_place(&mut blocks[at(k, k)]);
+            let d = fw_in_place(&mut blocks[at(k, k)]);
+            stats.ops += d;
+            stats.r1_ops += d;
             stats.block_updates += 1;
             let akk = blocks[at(k, k)].clone();
 
@@ -56,14 +71,18 @@ pub fn superfw(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix]) -> Super
                 if col.is_empty_block() {
                     stats.block_skips += 1;
                 } else {
-                    stats.ops += gemm(&mut blocks[at(i, k)], &col, &akk);
+                    let d = gemm(&mut blocks[at(i, k)], &col, &akk);
+                    stats.ops += d;
+                    stats.r2_ops += d;
                     stats.block_updates += 1;
                 }
                 let row = blocks[at(k, i)].clone();
                 if row.is_empty_block() {
                     stats.block_skips += 1;
                 } else {
-                    stats.ops += gemm(&mut blocks[at(k, i)], &akk, &row);
+                    let d = gemm(&mut blocks[at(k, i)], &akk, &row);
+                    stats.ops += d;
+                    stats.r2_ops += d;
                     stats.block_updates += 1;
                 }
             }
@@ -87,7 +106,9 @@ pub fn superfw(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix]) -> Super
                         stats.block_skips += 1;
                         continue;
                     }
-                    stats.ops += gemm(&mut blocks[at(i, j)], &aik, &akj);
+                    let d = gemm(&mut blocks[at(i, j)], &aik, &akj);
+                    stats.ops += d;
+                    stats.r34_ops += d;
                     stats.block_updates += 1;
                 }
             }
@@ -104,8 +125,8 @@ pub fn superfw(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix]) -> Super
 /// order-independent. Bit-identical results to [`superfw`] in exact
 /// arithmetic paths (min/plus of the same operand sets).
 pub fn superfw_parallel(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix]) -> SuperFwStats {
-    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     let t = *layout.tree();
     let n_super = layout.n_super();
@@ -113,11 +134,11 @@ pub fn superfw_parallel(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix])
     let at = |i: usize, j: usize| layout.rank_of_block(i, j);
 
     // move the blocks behind per-block locks for the parallel phase
-    let cells: Vec<Mutex<MinPlusMatrix>> =
-        blocks.iter().map(|b| Mutex::new(b.clone())).collect();
+    let cells: Vec<Mutex<MinPlusMatrix>> = blocks.iter().map(|b| Mutex::new(b.clone())).collect();
     let ops = AtomicU64::new(0);
     let updates = AtomicU64::new(0);
     let skips = AtomicU64::new(0);
+    let region_ops: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
 
     for l in 1..=t.height() {
         let pivots: Vec<usize> = t.level_nodes(l).collect();
@@ -129,10 +150,13 @@ pub fn superfw_parallel(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix])
             let mut local_ops = 0u64;
             let mut local_updates = 0u64;
             let mut local_skips = 0u64;
+            let mut local_region = [0u64; 3];
             // R1: diagonal closure (this pivot's own block — uncontended)
             let akk = {
-                let mut diag = cells[at(k, k)].lock();
-                local_ops += fw_in_place(&mut diag);
+                let mut diag = cells[at(k, k)].lock().expect("worker panicked");
+                let d = fw_in_place(&mut diag);
+                local_ops += d;
+                local_region[0] += d;
                 local_updates += 1;
                 diag.clone()
             };
@@ -143,22 +167,26 @@ pub fn superfw_parallel(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix])
                     continue;
                 }
                 {
-                    let mut col = cells[at(i, k)].lock();
+                    let mut col = cells[at(i, k)].lock().expect("worker panicked");
                     if col.is_empty_block() {
                         local_skips += 1;
                     } else {
                         let snapshot = col.clone();
-                        local_ops += gemm(&mut col, &snapshot, &akk);
+                        let d = gemm(&mut col, &snapshot, &akk);
+                        local_ops += d;
+                        local_region[1] += d;
                         local_updates += 1;
                     }
                 }
                 {
-                    let mut row = cells[at(k, i)].lock();
+                    let mut row = cells[at(k, i)].lock().expect("worker panicked");
                     if row.is_empty_block() {
                         local_skips += 1;
                     } else {
                         let snapshot = row.clone();
-                        local_ops += gemm(&mut row, &akk, &snapshot);
+                        let d = gemm(&mut row, &akk, &snapshot);
+                        local_ops += d;
+                        local_region[1] += d;
                         local_updates += 1;
                     }
                 }
@@ -169,7 +197,7 @@ pub fn superfw_parallel(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix])
                 if layout.size(i) == 0 {
                     continue;
                 }
-                let aik = cells[at(i, k)].lock().clone();
+                let aik = cells[at(i, k)].lock().expect("worker panicked").clone();
                 if aik.is_empty_block() {
                     local_skips += related.len() as u64;
                     continue;
@@ -178,29 +206,38 @@ pub fn superfw_parallel(layout: &SupernodalLayout, blocks: &mut [MinPlusMatrix])
                     if layout.size(j) == 0 {
                         continue;
                     }
-                    let akj = cells[at(k, j)].lock().clone();
+                    let akj = cells[at(k, j)].lock().expect("worker panicked").clone();
                     if akj.is_empty_block() {
                         local_skips += 1;
                         continue;
                     }
-                    let mut target = cells[at(i, j)].lock();
-                    local_ops += gemm(&mut target, &aik, &akj);
+                    let mut target = cells[at(i, j)].lock().expect("worker panicked");
+                    let d = gemm(&mut target, &aik, &akj);
+                    local_ops += d;
+                    local_region[2] += d;
                     local_updates += 1;
                 }
             }
             ops.fetch_add(local_ops, Ordering::Relaxed);
             updates.fetch_add(local_updates, Ordering::Relaxed);
             skips.fetch_add(local_skips, Ordering::Relaxed);
+            for (total, local) in region_ops.iter().zip(local_region) {
+                total.fetch_add(local, Ordering::Relaxed);
+            }
         });
     }
 
     for (cell, out) in cells.into_iter().zip(blocks.iter_mut()) {
-        *out = cell.into_inner();
+        *out = cell.into_inner().expect("worker panicked");
     }
+    let [r1, r2, r34] = region_ops;
     SuperFwStats {
         ops: ops.into_inner(),
         block_updates: updates.into_inner(),
         block_skips: skips.into_inner(),
+        r1_ops: r1.into_inner(),
+        r2_ops: r2.into_inner(),
+        r34_ops: r34.into_inner(),
     }
 }
 
@@ -242,10 +279,7 @@ impl OpcountComparison {
 }
 
 /// Measures classical-vs-supernodal operation counts for a graph/ordering.
-pub fn superfw_opcount_comparison(
-    g: &Csr,
-    nd: &apsp_partition::NdOrdering,
-) -> OpcountComparison {
+pub fn superfw_opcount_comparison(g: &Csr, nd: &apsp_partition::NdOrdering) -> OpcountComparison {
     let (_, stats) = superfw_apsp(g, nd);
     OpcountComparison {
         n: g.n(),
@@ -290,17 +324,15 @@ mod tests {
         for h in 1..=4 {
             let nd = nested_dissection(&g, h, &NdOptions::default());
             let (dist, _) = superfw_apsp(&g, &nd);
-            assert!(
-                dist.first_mismatch(&oracle, 1e-9).is_none(),
-                "h={h}"
-            );
+            assert!(dist.first_mismatch(&oracle, 1e-9).is_none(), "h={h}");
         }
     }
 
     #[test]
     fn random_graphs_correct() {
         for seed in 0..6 {
-            let g = generators::connected_gnp(40, 0.08, WeightKind::Uniform { lo: 0.2, hi: 2.0 }, seed);
+            let g =
+                generators::connected_gnp(40, 0.08, WeightKind::Uniform { lo: 0.2, hi: 2.0 }, seed);
             let nd = nested_dissection(&g, 3, &NdOptions::default());
             let (dist, _) = superfw_apsp(&g, &nd);
             let oracle = oracle::apsp_dijkstra(&g);
@@ -337,6 +369,9 @@ mod tests {
             let par_stats = superfw_parallel(&layout, &mut par_blocks);
             assert_eq!(seq_stats.ops, par_stats.ops, "h={h}");
             assert_eq!(seq_stats.block_updates, par_stats.block_updates);
+            assert_eq!(seq_stats.r1_ops, par_stats.r1_ops, "h={h}");
+            assert_eq!(seq_stats.r2_ops, par_stats.r2_ops, "h={h}");
+            assert_eq!(seq_stats.r34_ops, par_stats.r34_ops, "h={h}");
             for (a, b) in seq_blocks.iter().zip(&par_blocks) {
                 assert!(a.max_diff(b) == 0.0, "h={h}");
             }
@@ -346,7 +381,8 @@ mod tests {
     #[test]
     fn parallel_correct_on_random_graphs() {
         for seed in 0..4 {
-            let g = generators::connected_gnp(50, 0.07, WeightKind::Uniform { lo: 0.3, hi: 2.0 }, seed);
+            let g =
+                generators::connected_gnp(50, 0.07, WeightKind::Uniform { lo: 0.3, hi: 2.0 }, seed);
             let nd = nested_dissection(&g, 3, &NdOptions::default());
             let layout = SupernodalLayout::from_ordering(&nd);
             let gp = g.permuted(&nd.perm);
@@ -369,10 +405,16 @@ mod tests {
         // measured reduction within a small constant of the prediction
         let measured = cmp.reduction();
         let predicted = cmp.predicted_reduction();
-        assert!(
-            measured > predicted / 8.0,
-            "measured {measured:.2} vs predicted {predicted:.2}"
-        );
+        assert!(measured > predicted / 8.0, "measured {measured:.2} vs predicted {predicted:.2}");
+    }
+
+    #[test]
+    fn region_ops_partition_the_total() {
+        let g = generators::grid2d(10, 10, WeightKind::Integer { max: 5 }, 1);
+        let nd = grid_nd(10, 10, 3);
+        let (_, stats) = superfw_apsp(&g, &nd);
+        assert!(stats.r1_ops > 0 && stats.r2_ops > 0 && stats.r34_ops > 0, "{stats:?}");
+        assert_eq!(stats.region_ops_sum(), stats.ops, "{stats:?}");
     }
 
     #[test]

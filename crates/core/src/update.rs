@@ -144,9 +144,7 @@ pub fn apply_decreases(
         assert!(e.u < layout.n() && e.v < layout.n(), "endpoint out of range");
         assert_ne!(e.u, e.v, "self loops carry no distance information");
     }
-    let (out, report) = Machine::run(layout.p(), |comm| {
-        rank_program(comm, layout, blocks, batch)
-    });
+    let (out, report) = Machine::run(layout.p(), |comm| rank_program(comm, layout, blocks, batch));
     let new_blocks: Vec<MinPlusMatrix> = out
         .into_iter()
         .enumerate()
@@ -195,11 +193,7 @@ mod tests {
             .iter()
             .map(|&(u, v, w)| {
                 b.add_edge(u, v, w); // builder keeps the minimum
-                DecreasedEdge {
-                    u: nd.perm.to_new(u),
-                    v: nd.perm.to_new(v),
-                    new_weight: w,
-                }
+                DecreasedEdge { u: nd.perm.to_new(u), v: nd.perm.to_new(v), new_weight: w }
             })
             .collect();
         let modified = b.build();
@@ -259,10 +253,7 @@ mod tests {
     fn negative_decrease_rejected() {
         let layout = SupernodalLayout::new(apsp_etree::SchedTree::new(1), vec![2]);
         let blocks = vec![MinPlusMatrix::identity(2)];
-        let _ = apply_decreases(
-            &layout,
-            &blocks,
-            &[DecreasedEdge { u: 0, v: 1, new_weight: -1.0 }],
-        );
+        let _ =
+            apply_decreases(&layout, &blocks, &[DecreasedEdge { u: 0, v: 1, new_weight: -1.0 }]);
     }
 }

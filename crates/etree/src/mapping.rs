@@ -210,7 +210,7 @@ mod tests {
         assert_eq!(unit_row(&t, 2, 3, 3), 1); // a − l = 1
         assert_eq!(unit_row(&t, 2, 4, 4), 2); // a − l = 2
         assert_eq!(unit_row(&t, 2, 3, 4), 8 + 1); // 2^4 − 2^3 + 1
-        // pivots Q_2 = {9..12} map to columns 1..4
+                                                  // pivots Q_2 = {9..12} map to columns 1..4
         assert_eq!(unit_col(&t, 2, 9), 1);
         assert_eq!(unit_col(&t, 2, 12), 4);
         // unit (13, 15, 10) sits at (9, 2)

@@ -95,11 +95,7 @@ pub fn r4_upper(t: &SchedTree, l: u32) -> Vec<R4Block> {
 
 /// The mirror blocks `(j, i)` of [`r4_upper`] with `i ≠ j`.
 pub fn r4_mirror(t: &SchedTree, l: u32) -> Vec<(usize, usize)> {
-    r4_upper(t, l)
-        .into_iter()
-        .filter(|b| b.i != b.j)
-        .map(|b| (b.j, b.i))
-        .collect()
+    r4_upper(t, l).into_iter().filter(|b| b.i != b.j).map(|b| (b.j, b.i)).collect()
 }
 
 /// The pivots of the computing units updating an `R⁴` block `(i, j)`:
@@ -114,10 +110,7 @@ pub fn r4_unit_pivots(t: &SchedTree, l: u32, block: R4Block) -> std::ops::Range<
 /// Total number of computing units needed to update all of `R⁴_l`
 /// (Lemma 5.2 proves this is `O(p)`).
 pub fn unit_count(t: &SchedTree, l: u32) -> usize {
-    r4_upper(t, l)
-        .into_iter()
-        .map(|b| r4_unit_pivots(t, l, b).len())
-        .sum()
+    r4_upper(t, l).into_iter().map(|b| r4_unit_pivots(t, l, b).len()).sum()
 }
 
 /// Every block `(i, j)` (unordered region union `R_l`) touched by the
@@ -126,10 +119,8 @@ pub fn unit_count(t: &SchedTree, l: u32) -> usize {
 pub fn full_region(t: &SchedTree, l: u32) -> std::collections::BTreeSet<(usize, usize)> {
     let mut out = std::collections::BTreeSet::new();
     for k in t.level_nodes(l) {
-        let rel: Vec<usize> = std::iter::once(k)
-            .chain(t.descendants(k))
-            .chain(t.ancestors(k))
-            .collect();
+        let rel: Vec<usize> =
+            std::iter::once(k).chain(t.descendants(k)).chain(t.ancestors(k)).collect();
         for &i in &rel {
             for &j in &rel {
                 out.insert((i, j));
@@ -290,10 +281,7 @@ mod tests {
             [(13, 13), (13, 15), (14, 14), (14, 15), (15, 15)].into_iter().collect();
         assert_eq!(r4v, expected);
         // units of (13, 15): pivots Q_2 ∩ 𝒟(13) = {9, 10}
-        assert_eq!(
-            r4_unit_pivots(&t, 2, R4Block { i: 13, j: 15 }),
-            9..11
-        );
+        assert_eq!(r4_unit_pivots(&t, 2, R4Block { i: 13, j: 15 }), 9..11);
         assert_eq!(r4_unit_pivots(&t, 2, R4Block { i: 15, j: 15 }), 9..13);
     }
 }

@@ -91,8 +91,8 @@ impl SchedTree {
         debug_assert!((1..=self.num_supernodes()).contains(&k), "label {k} out of range");
         // level l begins at 2^h − 2^{h−l+1} + 1; solve for l
         let rem = (1usize << self.h) - k; // ∈ [1, 2^h − 1]
-        // rem ∈ (2^{h−l−1}, 2^{h−l+1} − ... ]: level = h − floor(log2(rem + ... ))
-        // simpler: nodes at level ≥ l are the top 2^{h−l+1} − 1 labels.
+                                          // rem ∈ (2^{h−l−1}, 2^{h−l+1} − ... ]: level = h − floor(log2(rem + ... ))
+                                          // simpler: nodes at level ≥ l are the top 2^{h−l+1} − 1 labels.
         let h = self.h;
         h - (usize::BITS - 1 - rem.leading_zeros()).min(h - 1)
     }
@@ -303,8 +303,7 @@ mod tests {
         assert_eq!(t.ancestors(5).collect::<Vec<_>>(), vec![7]);
         assert_eq!(t.descendants(5).collect::<Vec<_>>(), vec![1, 2]);
         // cousins of 5: everything not on its root path: {3, 4, 6}
-        let cousins: Vec<usize> =
-            (1..=7).filter(|&x| x != 5 && t.cousins(5, x)).collect();
+        let cousins: Vec<usize> = (1..=7).filter(|&x| x != 5 && t.cousins(5, x)).collect();
         assert_eq!(cousins, vec![3, 4, 6]);
     }
 
@@ -319,11 +318,7 @@ mod tests {
             }
             for l in 1..=h {
                 assert_eq!(count_per_level[l as usize], t.level_count(l), "h={h} l={l}");
-                assert_eq!(
-                    t.level_nodes(l).len(),
-                    t.level_count(l),
-                    "h={h} l={l} range"
-                );
+                assert_eq!(t.level_nodes(l).len(), t.level_count(l), "h={h} l={l} range");
             }
             // levels partition labels and are monotone in label order
             for l in 1..h {

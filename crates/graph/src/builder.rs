@@ -62,8 +62,7 @@ impl GraphBuilder {
     /// symmetrizes, and sorts neighbour lists.
     pub fn build(mut self) -> Csr {
         // Merge duplicates on the canonical (u < v) representation.
-        self.edges
-            .sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
+        self.edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
         self.edges.dedup_by(|next, keep| {
             if next.0 == keep.0 && next.1 == keep.1 {
                 // list is sorted so `keep` already has the smaller weight
@@ -101,11 +100,8 @@ impl GraphBuilder {
         }
         for u in 0..n {
             let (lo, hi) = (xadj[u], xadj[u + 1]);
-            let mut pairs: Vec<(u32, Weight)> = adj[lo..hi]
-                .iter()
-                .copied()
-                .zip(weights[lo..hi].iter().copied())
-                .collect();
+            let mut pairs: Vec<(u32, Weight)> =
+                adj[lo..hi].iter().copied().zip(weights[lo..hi].iter().copied()).collect();
             pairs.sort_unstable_by_key(|&(v, _)| v);
             for (k, (v, w)) in pairs.into_iter().enumerate() {
                 adj[lo + k] = v;
@@ -124,11 +120,7 @@ mod tests {
 
     #[test]
     fn duplicates_keep_minimum_weight() {
-        let g = GraphBuilder::new(2)
-            .edge(0, 1, 5.0)
-            .edge(1, 0, 2.0)
-            .edge(0, 1, 9.0)
-            .build();
+        let g = GraphBuilder::new(2).edge(0, 1, 5.0).edge(1, 0, 2.0).edge(0, 1, 9.0).build();
         assert_eq!(g.m(), 1);
         assert_eq!(g.edge_weight(0, 1), Some(2.0));
     }

@@ -36,11 +36,7 @@ impl Csr {
 
     /// An edgeless graph on `n` vertices.
     pub fn edgeless(n: usize) -> Self {
-        Csr {
-            xadj: vec![0; n + 1],
-            adj: Vec::new(),
-            weights: Vec::new(),
-        }
+        Csr { xadj: vec![0; n + 1], adj: Vec::new(), weights: Vec::new() }
     }
 
     /// Number of vertices.
@@ -76,27 +72,20 @@ impl Csr {
     /// Iterator over `(neighbor, weight)` pairs of `u`.
     #[inline]
     pub fn edges_of(&self, u: usize) -> impl Iterator<Item = (usize, Weight)> + '_ {
-        self.neighbors(u)
-            .iter()
-            .zip(self.weights_of(u))
-            .map(|(&v, &w)| (v as usize, w))
+        self.neighbors(u).iter().zip(self.weights_of(u)).map(|(&v, &w)| (v as usize, w))
     }
 
     /// Iterator over every undirected edge `(u, v, w)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, Weight)> + '_ {
         (0..self.n()).flat_map(move |u| {
-            self.edges_of(u)
-                .filter(move |&(v, _)| u < v)
-                .map(move |(v, w)| (u, v, w))
+            self.edges_of(u).filter(move |&(v, _)| u < v).map(move |(v, w)| (u, v, w))
         })
     }
 
     /// Weight of edge `(u, v)` if present (binary search on the sorted list).
     pub fn edge_weight(&self, u: usize, v: usize) -> Option<Weight> {
         let nbrs = self.neighbors(u);
-        nbrs.binary_search(&(v as u32))
-            .ok()
-            .map(|i| self.weights_of(u)[i])
+        nbrs.binary_search(&(v as u32)).ok().map(|i| self.weights_of(u)[i])
     }
 
     /// `true` when all edge weights are non-negative.
@@ -198,11 +187,8 @@ impl Csr {
         // restore per-vertex sorted order
         for u in 0..n {
             let (lo, hi) = (xadj[u], xadj[u + 1]);
-            let mut pairs: Vec<(u32, Weight)> = adj[lo..hi]
-                .iter()
-                .copied()
-                .zip(weights[lo..hi].iter().copied())
-                .collect();
+            let mut pairs: Vec<(u32, Weight)> =
+                adj[lo..hi].iter().copied().zip(weights[lo..hi].iter().copied()).collect();
             pairs.sort_unstable_by_key(|&(v, _)| v);
             for (k, (v, w)) in pairs.into_iter().enumerate() {
                 adj[lo + k] = v;
@@ -242,11 +228,7 @@ mod tests {
     use crate::builder::GraphBuilder;
 
     fn triangle() -> Csr {
-        GraphBuilder::new(3)
-            .edge(0, 1, 1.0)
-            .edge(1, 2, 2.0)
-            .edge(0, 2, 4.0)
-            .build()
+        GraphBuilder::new(3).edge(0, 1, 1.0).edge(1, 2, 2.0).edge(0, 2, 4.0).build()
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl DenseDist {
 
     /// Compares against another matrix; returns the first mismatch as
     /// `(i, j, self_value, other_value)`.
-    pub fn first_mismatch(&self, other: &DenseDist, tol: f64) -> Option<(usize, usize, Weight, Weight)> {
+    pub fn first_mismatch(
+        &self,
+        other: &DenseDist,
+        tol: f64,
+    ) -> Option<(usize, usize, Weight, Weight)> {
         assert_eq!(self.n, other.n, "dimension mismatch");
         for i in 0..self.n {
             for j in 0..self.n {

@@ -62,7 +62,8 @@ impl DiGraphBuilder {
     pub fn build(self) -> DiCsr {
         let n = self.n;
         // collect per-ordered-pair minimum weight
-        let mut best: std::collections::HashMap<(u32, u32), Weight> = std::collections::HashMap::new();
+        let mut best: std::collections::HashMap<(u32, u32), Weight> =
+            std::collections::HashMap::new();
         for &(u, v, w) in &self.arcs {
             let e = best.entry((u, v)).or_insert(INF);
             if w < *e {
@@ -135,9 +136,7 @@ impl DiCsr {
     /// Weight of arc `u → v`, or `None` when the pair is not in the pattern.
     pub fn arc_weight(&self, u: usize, v: usize) -> Option<Weight> {
         let nbrs = self.neighbors(u);
-        nbrs.binary_search(&(v as u32))
-            .ok()
-            .map(|i| self.weights[self.xadj[u] + i])
+        nbrs.binary_search(&(v as u32)).ok().map(|i| self.weights[self.xadj[u] + i])
     }
 
     /// `true` when all finite weights are non-negative.
@@ -429,11 +428,7 @@ mod tests {
             let reweighted = dijkstra_directed(&rg, s);
             let truth = bellman_ford_directed(&g, s).unwrap();
             for t in 0..3 {
-                let back = if reweighted[t] == INF {
-                    INF
-                } else {
-                    reweighted[t] - h[s] + h[t]
-                };
+                let back = if reweighted[t] == INF { INF } else { reweighted[t] - h[s] + h[t] };
                 assert!(
                     (back - truth[t]).abs() < 1e-12 || (back == INF && truth[t] == INF),
                     "({s},{t}): {back} vs {}",

@@ -53,9 +53,8 @@ pub fn from_edge_list(text: &str) -> Result<Csr, String> {
             builder = Some(GraphBuilder::new(v));
             continue;
         }
-        let b = builder
-            .as_mut()
-            .ok_or_else(|| format!("line {}: edge before n header", lineno + 1))?;
+        let b =
+            builder.as_mut().ok_or_else(|| format!("line {}: edge before n header", lineno + 1))?;
         let u: usize = first.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let v: usize = it
             .next()
@@ -447,14 +446,22 @@ mod tests {
         assert!(from_matrix_market("").is_err());
         assert!(from_matrix_market("junk\n1 1 0\n").is_err());
         assert!(from_matrix_market("%%MatrixMarket matrix array real general\n2 2\n").is_err());
-        assert!(from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n").is_err());
+        assert!(
+            from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n").is_err()
+        );
         // wrong count
-        assert!(from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n").is_err());
+        assert!(from_matrix_market(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n"
+        )
+        .is_err());
     }
 
     #[test]
     fn matrix_market_ignores_diagonal() {
-        let g = from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 5.0\n2 1 3.0\n").unwrap();
+        let g = from_matrix_market(
+            "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 1 5.0\n2 1 3.0\n",
+        )
+        .unwrap();
         assert_eq!(g.m(), 1);
         assert_eq!(g.edge_weight(0, 1), Some(3.0));
     }

@@ -376,7 +376,8 @@ mod tests {
     #[test]
     fn fw_matches_dijkstra_on_random_graphs() {
         for seed in 0..6 {
-            let g = generators::connected_gnp(25, 0.1, WeightKind::Uniform { lo: 0.1, hi: 3.0 }, seed);
+            let g =
+                generators::connected_gnp(25, 0.1, WeightKind::Uniform { lo: 0.1, hi: 3.0 }, seed);
             let a = apsp_dijkstra(&g);
             let b = floyd_warshall(&g);
             assert!(a.first_mismatch(&b, 1e-9).is_none(), "seed {seed}");
@@ -421,7 +422,8 @@ mod tests {
     #[test]
     fn delta_stepping_matches_dijkstra() {
         for seed in 0..5 {
-            let g = generators::connected_gnp(60, 0.06, WeightKind::Uniform { lo: 0.1, hi: 5.0 }, seed);
+            let g =
+                generators::connected_gnp(60, 0.06, WeightKind::Uniform { lo: 0.1, hi: 5.0 }, seed);
             for s in [0usize, 17, 59] {
                 let a = dijkstra(&g, s);
                 for delta in [None, Some(0.5), Some(10.0)] {
@@ -445,11 +447,7 @@ mod tests {
         assert_eq!(d[2], 0.0);
         assert!(is_inf(d[0]));
 
-        let g = crate::GraphBuilder::new(5)
-            .edge(0, 1, 0.0)
-            .edge(1, 2, 0.0)
-            .edge(3, 4, 2.0)
-            .build();
+        let g = crate::GraphBuilder::new(5).edge(0, 1, 0.0).edge(1, 2, 0.0).edge(3, 4, 2.0).build();
         let d = delta_stepping(&g, 0, Some(1.0));
         assert_eq!(d[2], 0.0);
         assert!(is_inf(d[3]));
@@ -464,10 +462,7 @@ mod tests {
 
     #[test]
     fn disconnected_pairs_are_inf_everywhere() {
-        let g = crate::GraphBuilder::new(4)
-            .edge(0, 1, 1.0)
-            .edge(2, 3, 1.0)
-            .build();
+        let g = crate::GraphBuilder::new(4).edge(0, 1, 1.0).edge(2, 3, 1.0).build();
         let d = apsp_dijkstra(&g);
         let f = floyd_warshall(&g);
         assert!(is_inf(d.get(0, 2)) && is_inf(f.get(0, 2)));

@@ -126,7 +126,12 @@ mod tests {
 
     #[test]
     fn random_graph_paths() {
-        check_all_pairs(&generators::connected_gnp(25, 0.12, WeightKind::Uniform { lo: 0.1, hi: 3.0 }, 2));
+        check_all_pairs(&generators::connected_gnp(
+            25,
+            0.12,
+            WeightKind::Uniform { lo: 0.1, hi: 3.0 },
+            2,
+        ));
     }
 
     #[test]

@@ -39,12 +39,8 @@ pub fn graph_stats(g: &Csr) -> GraphStats {
     for &c in &comp {
         sizes[c] += 1;
     }
-    let (largest_idx, largest) = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, s)| *s)
-        .map(|(i, &s)| (i, s))
-        .unwrap_or((0, 0));
+    let (largest_idx, largest) =
+        sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, &s)| (i, s)).unwrap_or((0, 0));
     let seed = comp.iter().position(|&c| c == largest_idx);
 
     // double-sweep BFS for a diameter lower bound

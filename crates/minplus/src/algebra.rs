@@ -228,8 +228,7 @@ mod tests {
     #[test]
     fn minplus_algebra_matches_specialized_kernel() {
         let n = 8;
-        let edges =
-            [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 4.0), (0, 4, 20.0), (5, 6, 1.0)];
+        let edges = [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 1.0), (3, 4, 4.0), (0, 4, 20.0), (5, 6, 1.0)];
         let raw = sym_edges(n, &edges, f64::INFINITY);
         let mut generic = AlgebraMatrix::<MinPlus>::from_fn(n, |i, j| raw[i * n + j]);
         closure_in(&mut generic);

@@ -1,6 +1,6 @@
 //! Property tests: semiring laws and kernel equivalences.
 
-use apsp_minplus::{fw_in_place, gemm, Blocking, BlockedMatrix, MinPlusMatrix, INF};
+use apsp_minplus::{fw_in_place, gemm, BlockedMatrix, Blocking, MinPlusMatrix, INF};
 use proptest::prelude::*;
 
 /// Strategy: square matrix of dimension `n` with ~`density` finite entries.

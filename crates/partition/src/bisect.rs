@@ -94,8 +94,11 @@ fn fm_pass(g: &WorkGraph, side: &mut [u8], balance_eps: f64) -> bool {
     let total = g.total_vwt();
     // minimum weight either side must keep: the balance envelope, and never
     // less than one vertex (a collapsed side is not a bisection)
-    let lo = (((0.5 - balance_eps) * total as f64).ceil().max(0.0) as u64)
-        .max(if n >= 2 { 1 } else { 0 });
+    let lo = (((0.5 - balance_eps) * total as f64).ceil().max(0.0) as u64).max(if n >= 2 {
+        1
+    } else {
+        0
+    });
     let mut weight = [0u64; 2];
     for u in 0..n {
         weight[side[u] as usize] += g.vwt[u];
@@ -114,7 +117,8 @@ fn fm_pass(g: &WorkGraph, side: &mut [u8], balance_eps: f64) -> bool {
     };
     let mut stamp = vec![0u32; n]; // bump to invalidate queued entries
     let mut locked = vec![false; n];
-    let mut heap: BinaryHeap<(i64, usize, u32)> = (0..n).map(|v| (gain_of(side, v), v, 0)).collect();
+    let mut heap: BinaryHeap<(i64, usize, u32)> =
+        (0..n).map(|v| (gain_of(side, v), v, 0)).collect();
 
     let mut cur_cut = cut_weight(g, side) as i64;
     let best_start = cur_cut;

@@ -123,11 +123,7 @@ mod tests {
     fn max_separator_scales_like_sqrt_n() {
         for side in [8usize, 16, 32] {
             let nd = grid_nd(side, side, 4);
-            assert!(
-                nd.max_separator() <= side,
-                "side {side}: separator {}",
-                nd.max_separator()
-            );
+            assert!(nd.max_separator() <= side, "side {side}: separator {}", nd.max_separator());
         }
     }
 

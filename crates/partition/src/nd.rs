@@ -74,10 +74,7 @@ impl NdOrdering {
     /// enters the paper's cost formulas (the top separator dominates for
     /// monotone separator families, §5.4.1).
     pub fn max_separator(&self) -> usize {
-        (2..=self.tree.height())
-            .flat_map(|l| self.level_sizes(l))
-            .max()
-            .unwrap_or(0)
+        (2..=self.tree.height()).flat_map(|l| self.level_sizes(l)).max().unwrap_or(0)
     }
 
     /// The size of the top-level (root) separator.
@@ -101,9 +98,7 @@ impl NdOrdering {
         for (u, v, _) in g.edges() {
             let (su, sv) = (self.supernode_of_old(u), self.supernode_of_old(v));
             if !self.tree.related(su, sv) {
-                return Err(format!(
-                    "edge ({u},{v}) joins cousin supernodes {su} and {sv}"
-                ));
+                return Err(format!("edge ({u},{v}) joins cousin supernodes {su} and {sv}"));
             }
         }
         Ok(())

@@ -121,13 +121,7 @@ pub fn min_vertex_cover_bipartite(cut_edges: &[(usize, usize)]) -> Vec<usize> {
         .enumerate()
         .filter(|&(l, _)| !z_left[l])
         .map(|(_, &id)| id)
-        .chain(
-            right_ids
-                .iter()
-                .enumerate()
-                .filter(|&(r, _)| z_right[r])
-                .map(|(_, &id)| id),
-        )
+        .chain(right_ids.iter().enumerate().filter(|&(r, _)| z_right[r]).map(|(_, &id)| id))
         .collect();
     cover.sort_unstable();
     cover
@@ -157,10 +151,7 @@ pub fn vertex_separator(g: &Csr, side: &[u8]) -> Vec<Part> {
 /// Checks the separator property: no edge joins `V1` to `V2`.
 pub fn separates(g: &Csr, part: &[Part]) -> bool {
     g.edges().all(|(u, v, _)| {
-        !matches!(
-            (&part[u], &part[v]),
-            (Part::V1, Part::V2) | (Part::V2, Part::V1)
-        )
+        !matches!((&part[u], &part[v]), (Part::V1, Part::V2) | (Part::V2, Part::V1))
     })
 }
 
@@ -178,11 +169,7 @@ mod tests {
     #[test]
     fn single_cut_edge_yields_one_separator_vertex() {
         // 0-1 cut edge between sides
-        let g = GraphBuilder::new(4)
-            .edge(0, 1, 1.0)
-            .edge(1, 2, 1.0)
-            .edge(2, 3, 1.0)
-            .build();
+        let g = GraphBuilder::new(4).edge(0, 1, 1.0).edge(1, 2, 1.0).edge(2, 3, 1.0).build();
         let side = vec![0, 0, 1, 1];
         let part = vertex_separator(&g, &side);
         assert!(separates(&g, &part));

@@ -145,7 +145,8 @@ mod tests {
 
     #[test]
     fn from_edges_merges_parallel() {
-        let w = WorkGraph::from_edges(3, &[(0, 1, 2), (1, 0, 3), (1, 2, 1), (2, 2, 9)], vec![1, 2, 3]);
+        let w =
+            WorkGraph::from_edges(3, &[(0, 1, 2), (1, 0, 3), (1, 2, 1), (2, 2, 9)], vec![1, 2, 3]);
         assert_eq!(w.degree(0), 1);
         assert_eq!(w.edge_weights(0), &[5]);
         assert_eq!(w.degree(2), 1, "self loop dropped");

@@ -37,6 +37,17 @@ impl Comm {
         tag: u64,
         data: Option<Vec<f64>>,
     ) -> Vec<f64> {
+        let mut span = self.span("bcast", tag);
+        span.bcast_inner(group, root, tag, data)
+    }
+
+    pub(crate) fn bcast_inner(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        data: Option<Vec<f64>>,
+    ) -> Vec<f64> {
         let g = group.len();
         let me = position(group, self.rank());
         let root_pos = position(group, root);
@@ -79,6 +90,18 @@ impl Comm {
     /// `group[root_pos]`, combining with `combine(acc, incoming)`.
     /// Returns `Some(result)` on the root, `None` elsewhere.
     pub fn reduce(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        contribution: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Option<Vec<f64>> {
+        let mut span = self.span("reduce", tag);
+        span.reduce_inner(group, root, tag, contribution, combine)
+    }
+
+    pub(crate) fn reduce_inner(
         &mut self,
         group: &[Rank],
         root: Rank,
@@ -144,6 +167,17 @@ impl Comm {
         tag: u64,
         payload: Vec<f64>,
     ) -> Option<Vec<Vec<f64>>> {
+        let mut span = self.span("gather", tag);
+        span.gather_inner(group, root, tag, payload)
+    }
+
+    pub(crate) fn gather_inner(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> Option<Vec<Vec<f64>>> {
         position(group, self.rank());
         position(group, root);
         if self.rank() != root {
@@ -164,6 +198,17 @@ impl Comm {
     /// Linear scatter from `root`: the root passes one payload per member
     /// (group order); every member returns its slice.
     pub fn scatter(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payloads: Option<Vec<Vec<f64>>>,
+    ) -> Vec<f64> {
+        let mut span = self.span("scatter", tag);
+        span.scatter_inner(group, root, tag, payloads)
+    }
+
+    pub(crate) fn scatter_inner(
         &mut self,
         group: &[Rank],
         root: Rank,
@@ -195,9 +240,11 @@ impl Comm {
     /// Tree barrier over the group: a zero-word reduce followed by a
     /// zero-word broadcast (`2⌈log₂ g⌉` latency).
     pub fn barrier(&mut self, group: &[Rank], tag: u64) {
+        let mut span = self.span("barrier", tag);
         let root = group[0];
-        let done = self.reduce(group, root, tag ^ 0xBA55, Vec::new(), |_, _| {});
-        let _ = self.bcast(group, root, tag ^ 0xBA55, done.map(|_| Vec::new()));
+        let this = &mut *span;
+        let done = this.reduce_inner(group, root, tag ^ 0xBA55, Vec::new(), |_, _| {});
+        let _ = this.bcast_inner(group, root, tag ^ 0xBA55, done.map(|_| Vec::new()));
     }
 
     /// All-gather over the group: every member contributes a payload and
@@ -210,17 +257,19 @@ impl Comm {
     /// contributions may have different lengths (and zero-length ones are
     /// preserved).
     pub fn allgather(&mut self, group: &[Rank], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>> {
-        let me = position(group, self.rank());
+        let mut span = self.span("allgather", tag);
+        let this = &mut *span;
+        let me = position(group, this.rank());
         // frame: [index, len, words...] triplets concatenated
         let mut framed = Vec::with_capacity(payload.len() + 2);
         framed.push(me as f64);
         framed.push(payload.len() as f64);
         framed.extend_from_slice(&payload);
         let root = group[0];
-        let gathered = self.reduce(group, root, tag ^ 0xA116, framed, |acc, inc| {
+        let gathered = this.reduce_inner(group, root, tag ^ 0xA116, framed, |acc, inc| {
             acc.extend_from_slice(inc);
         });
-        let all = self.bcast(group, root, tag ^ 0xA117, gathered);
+        let all = this.bcast_inner(group, root, tag ^ 0xA117, gathered);
         // unframe into group order
         let mut out: Vec<Vec<f64>> = (0..group.len()).map(|_| Vec::new()).collect();
         let mut cursor = 0usize;
@@ -245,9 +294,11 @@ impl Comm {
         contribution: Vec<f64>,
         combine: impl Fn(&mut Vec<f64>, &[f64]),
     ) -> Vec<f64> {
+        let mut span = self.span("allreduce", tag);
+        let this = &mut *span;
         let root = group[0];
-        let combined = self.reduce(group, root, tag ^ 0xA11E, contribution, combine);
-        self.bcast(group, root, tag ^ 0xA11F, combined)
+        let combined = this.reduce_inner(group, root, tag ^ 0xA11E, contribution, combine);
+        this.bcast_inner(group, root, tag ^ 0xA11F, combined)
     }
 }
 
@@ -335,18 +386,14 @@ mod tests {
                 None
             }
         });
-        assert_eq!(
-            outs[2],
-            Some(vec![vec![0.0], vec![2.0], vec![3.0]])
-        );
+        assert_eq!(outs[2], Some(vec![vec![0.0], vec![2.0], vec![3.0]]));
     }
 
     #[test]
     fn scatter_distributes_slices() {
         let group = vec![0, 1, 2];
         let (outs, _) = Machine::run(3, |comm| {
-            let payloads = (comm.rank() == 1)
-                .then(|| vec![vec![10.0], vec![11.0], vec![12.0]]);
+            let payloads = (comm.rank() == 1).then(|| vec![vec![10.0], vec![11.0], vec![12.0]]);
             comm.scatter(&group, 1, 6, payloads)
         });
         assert_eq!(outs, vec![vec![10.0], vec![11.0], vec![12.0]]);

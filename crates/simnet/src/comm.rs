@@ -1,7 +1,9 @@
 //! The machine, rank communicators, and point-to-point messaging.
 
 use crate::report::{Clocks, RankStats, RunReport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::trace::{Profile, RankProfile, SendTotal, SpanLedger, SpanSnapshot};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A process id, `0 .. p`.
 pub type Rank = usize;
@@ -14,8 +16,9 @@ struct Msg {
     sender_clocks: Clocks,
 }
 
-/// One recorded message, when tracing is on ([`Machine::run_traced`]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// One recorded message, when tracing is on ([`Machine::run_traced`] or
+/// [`Machine::run_profiled`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Sender rank.
     pub src: Rank,
@@ -25,6 +28,39 @@ pub struct TraceEvent {
     pub words: usize,
     /// Message tag (phase-identifying, algorithm-specific).
     pub tag: u64,
+    /// The sender's critical-path clocks immediately *after* the send —
+    /// the simulated time at which the message is on the wire. Ordering
+    /// events by this snapshot time-orders a merged trace.
+    pub clocks: Clocks,
+}
+
+impl TraceEvent {
+    /// Lexicographic sort key: simulated send time, then endpoints/tag.
+    /// The clock components order first, so sorting by this key merges
+    /// per-rank streams into one globally time-ordered stream.
+    pub fn sort_key(&self) -> (u64, u64, u64, Rank, Rank, u64, usize) {
+        (
+            self.clocks.latency,
+            self.clocks.bandwidth,
+            self.clocks.compute,
+            self.src,
+            self.dst,
+            self.tag,
+            self.words,
+        )
+    }
+}
+
+impl PartialOrd for TraceEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TraceEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
 }
 
 /// The simulated machine.
@@ -54,7 +90,7 @@ impl Machine {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        let (outs, report, _) = Self::run_inner(p, f, false);
+        let (outs, report, _) = Self::run_inner(p, f, Mode { traced: false, profiled: false });
         (outs, report)
     }
 
@@ -66,10 +102,24 @@ impl Machine {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        Self::run_inner(p, f, true)
+        Self::run_inner(p, f, Mode { traced: true, profiled: false })
     }
 
-    fn run_inner<T, F>(p: usize, f: F, traced: bool) -> (Vec<T>, RunReport, Vec<Vec<TraceEvent>>)
+    /// Like [`Machine::run`], additionally collecting the full
+    /// observability payload: each rank's span ledger ([`Comm::span`]),
+    /// per-`(dst, tag)` send counters, and the message event stream. The
+    /// returned report carries it as [`RunReport::profile`]. Profiling
+    /// observes the clocks without perturbing them.
+    pub fn run_profiled<T, F>(p: usize, f: F) -> (Vec<T>, RunReport)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let (outs, report, _) = Self::run_inner(p, f, Mode { traced: true, profiled: true });
+        (outs, report)
+    }
+
+    fn run_inner<T, F>(p: usize, f: F, mode: Mode) -> (Vec<T>, RunReport, Vec<Vec<TraceEvent>>)
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
@@ -80,21 +130,20 @@ impl Machine {
         // a dying rank disconnects its channels (unblocking any peer stuck
         // in recv, which then fails loudly instead of hanging).
         let mut tx_rows: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(p);
-        let mut rx_rows: Vec<Vec<Option<Receiver<Msg>>>> = (0..p)
-            .map(|_| (0..p).map(|_| None).collect::<Vec<_>>())
-            .collect();
+        let mut rx_rows: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect::<Vec<_>>()).collect();
         for src in 0..p {
             let mut row = Vec::with_capacity(p);
             for rx_row in rx_rows.iter_mut() {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 row.push(tx);
                 rx_row[src] = Some(rx);
             }
             tx_rows.push(row);
         }
 
-        let mut results: Vec<Option<(T, RankStats, Vec<TraceEvent>)>> =
-            (0..p).map(|_| None).collect();
+        type RankOutcome<T> = (T, RankStats, Vec<TraceEvent>, Option<RankProfile>);
+        let mut results: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
         {
             let slots: Vec<_> = results.iter_mut().collect();
             let f = &f;
@@ -115,7 +164,9 @@ impl Machine {
                             sent_words: 0,
                             peak_words: 0,
                             resident_words: 0,
-                            trace: traced.then(Vec::new),
+                            trace: mode.traced.then(Vec::new),
+                            ledger: mode.profiled.then(SpanLedger::default),
+                            sends: mode.profiled.then(BTreeMap::new),
                         };
                         let out = f(&mut comm);
                         let stats = RankStats {
@@ -125,7 +176,24 @@ impl Machine {
                             peak_words: comm.peak_words,
                             resident_words: comm.resident_words,
                         };
-                        *slot = Some((out, stats, comm.trace.take().unwrap_or_default()));
+                        let profile = comm.ledger.take().map(|ledger| RankProfile {
+                            ledger,
+                            sends: comm
+                                .sends
+                                .take()
+                                .unwrap_or_default()
+                                .into_iter()
+                                .map(|((dst, tag), (messages, words))| SendTotal {
+                                    dst,
+                                    tag,
+                                    messages,
+                                    words,
+                                })
+                                .collect(),
+                            events: comm.trace.clone().unwrap_or_default(),
+                            final_clocks: comm.clocks,
+                        });
+                        *slot = Some((out, stats, comm.trace.take().unwrap_or_default(), profile));
                     }));
                 }
                 let mut first_panic = None;
@@ -142,15 +210,29 @@ impl Machine {
 
         let mut outs = Vec::with_capacity(p);
         let mut traces = Vec::with_capacity(p);
-        let mut report = RunReport { per_rank: Vec::with_capacity(p) };
+        let mut rank_profiles = Vec::with_capacity(p);
+        let mut report = RunReport { per_rank: Vec::with_capacity(p), profile: None };
         for r in results {
-            let (out, stats, trace) = r.expect("rank completed");
+            let (out, stats, trace, profile) = r.expect("rank completed");
             outs.push(out);
             report.per_rank.push(stats);
             traces.push(trace);
+            if let Some(rp) = profile {
+                rank_profiles.push(rp);
+            }
+        }
+        if mode.profiled {
+            report.profile = Some(Profile::from_ranks(rank_profiles));
         }
         (outs, report, traces)
     }
+}
+
+/// What a run records beyond the cost clocks.
+#[derive(Clone, Copy)]
+struct Mode {
+    traced: bool,
+    profiled: bool,
 }
 
 /// A rank's handle to the machine: point-to-point messaging, cost clocks,
@@ -166,6 +248,10 @@ pub struct Comm {
     peak_words: u64,
     resident_words: u64,
     trace: Option<Vec<TraceEvent>>,
+    /// Span ledger, present in profiled runs ([`Machine::run_profiled`]).
+    ledger: Option<SpanLedger>,
+    /// Per-`(dst, tag)` send counters, present in profiled runs.
+    sends: Option<BTreeMap<(Rank, u64), (u64, u64)>>,
 }
 
 impl Comm {
@@ -200,8 +286,20 @@ impl Comm {
         self.clocks.bandwidth += payload.len() as u64;
         self.sent_messages += 1;
         self.sent_words += payload.len() as u64;
+        if let Some(sends) = &mut self.sends {
+            let e = sends.entry((dst, tag)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += payload.len() as u64;
+        }
         if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent { src: self.rank, dst, words: payload.len(), tag });
+            // post-send clocks: the simulated instant the message departs
+            trace.push(TraceEvent {
+                src: self.rank,
+                dst,
+                words: payload.len(),
+                tag,
+                clocks: self.clocks,
+            });
         }
         let msg = Msg { tag, payload, sender_clocks: self.clocks };
         self.tx[dst].send(msg).expect("receiver alive for the whole run");
@@ -250,6 +348,77 @@ impl Comm {
         debug_assert!(self.resident_words >= words as u64, "release underflow");
         self.resident_words = self.resident_words.saturating_sub(words as u64);
     }
+
+    /// Opens a phase span: the guard snapshots this rank's clocks, memory,
+    /// and send counters now and again when it drops, recording the pair
+    /// in the rank's span ledger. Spans nest — call `span` again on the
+    /// returned guard (it derefs to the communicator) — and close LIFO.
+    ///
+    /// Outside profiled runs ([`Machine::run_profiled`]) there is no
+    /// ledger and the guard is free; algorithms instrument themselves
+    /// unconditionally and pay nothing unless someone is watching.
+    ///
+    /// ```
+    /// use apsp_simnet::Machine;
+    ///
+    /// let (_, report) = Machine::run_profiled(2, |comm| {
+    ///     let mut phase = comm.span("exchange", 1);
+    ///     match phase.rank() {
+    ///         0 => phase.send(1, 7, vec![1.0, 2.0]),
+    ///         _ => drop(phase.recv(0, 7)),
+    ///     }
+    /// });
+    /// let profile = report.profile.as_ref().unwrap();
+    /// assert_eq!(profile.per_rank[0].ledger.spans[0].name, "exchange");
+    /// assert_eq!(profile.comm_matrix.words(0, 1), 2);
+    /// ```
+    pub fn span(&mut self, name: &'static str, tag: u64) -> SpanGuard<'_> {
+        let idx = self.ledger.is_some().then(|| {
+            let at = self.snapshot();
+            self.ledger.as_mut().expect("checked above").enter(name, tag, at)
+        });
+        SpanGuard { comm: self, idx }
+    }
+
+    fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            clocks: self.clocks,
+            resident_words: self.resident_words,
+            sent_messages: self.sent_messages,
+            sent_words: self.sent_words,
+        }
+    }
+}
+
+/// RAII guard for a [`Comm::span`]. Derefs to the communicator, so sends,
+/// receives, collectives, and nested spans all go through the guard; the
+/// span closes when the guard drops.
+pub struct SpanGuard<'a> {
+    comm: &'a mut Comm,
+    /// Ledger index of the open span; `None` when the run is unprofiled.
+    idx: Option<usize>,
+}
+
+impl std::ops::Deref for SpanGuard<'_> {
+    type Target = Comm;
+    fn deref(&self) -> &Comm {
+        self.comm
+    }
+}
+
+impl std::ops::DerefMut for SpanGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Comm {
+        self.comm
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(idx) = self.idx {
+            let at = self.comm.snapshot();
+            self.comm.ledger.as_mut().expect("profiled span").exit(idx, at);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -258,20 +427,18 @@ mod tests {
 
     #[test]
     fn ping_pong_critical_path() {
-        let (_, report) = Machine::run(2, |comm| {
-            match comm.rank() {
-                0 => {
-                    comm.send(1, 1, vec![1.0, 2.0, 3.0]);
-                    let back = comm.recv(1, 2);
-                    assert_eq!(back, vec![9.0]);
-                }
-                1 => {
-                    let data = comm.recv(0, 1);
-                    assert_eq!(data, vec![1.0, 2.0, 3.0]);
-                    comm.send(0, 2, vec![9.0]);
-                }
-                _ => unreachable!(),
+        let (_, report) = Machine::run(2, |comm| match comm.rank() {
+            0 => {
+                comm.send(1, 1, vec![1.0, 2.0, 3.0]);
+                let back = comm.recv(1, 2);
+                assert_eq!(back, vec![9.0]);
             }
+            1 => {
+                let data = comm.recv(0, 1);
+                assert_eq!(data, vec![1.0, 2.0, 3.0]);
+                comm.send(0, 2, vec![9.0]);
+            }
+            _ => unreachable!(),
         });
         // critical path: two messages, 4 words
         assert_eq!(report.critical_latency(), 2);

@@ -30,6 +30,11 @@
 pub mod collectives;
 pub mod comm;
 pub mod report;
+pub mod trace;
 
-pub use comm::{Comm, Machine, Rank, TraceEvent};
+pub use comm::{Comm, Machine, Rank, SpanGuard, TraceEvent};
 pub use report::{Clocks, RankStats, RunReport};
+pub use trace::{
+    CommMatrix, PhaseBreakdown, PhaseRow, Profile, RankProfile, SpanLedger, SpanRecord,
+    SpanSnapshot, TimeModel,
+};

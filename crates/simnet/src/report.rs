@@ -1,5 +1,7 @@
 //! Cost accounting: per-rank clocks and the aggregated run report.
 
+use crate::trace::{phase_breakdown, PhaseBreakdown, Profile};
+
 /// Critical-path clocks carried by each rank (§3.1 cost model).
 ///
 /// `latency` counts messages, `bandwidth` counts words, `compute` counts
@@ -46,6 +48,9 @@ pub struct RankStats {
 pub struct RunReport {
     /// Statistics per rank.
     pub per_rank: Vec<RankStats>,
+    /// Observability payload (span ledgers, comm matrix, event streams),
+    /// present when the run was started with [`crate::Machine::run_profiled`].
+    pub profile: Option<Profile>,
 }
 
 impl RunReport {
@@ -91,13 +96,30 @@ impl RunReport {
             + gamma * self.critical_compute() as f64
     }
 
+    /// Per-phase attribution of the critical-path cost, built from the
+    /// span ledgers at nesting `depth` (0 = top-level phases). `None`
+    /// unless the run was profiled. See
+    /// [`PhaseBreakdown::exact`] for the exact-sum guarantee.
+    pub fn phase_breakdown(&self, depth: u32) -> Option<PhaseBreakdown> {
+        self.profile.as_ref().map(|p| phase_breakdown(p, depth))
+    }
+
     /// Merges another report (used to accumulate multi-phase pipelines).
+    /// Profiles merge too when both sides carry one: the other run's span
+    /// ledger is appended with its snapshots shifted past this run's end
+    /// state (the same sequential-composition rule as the clocks).
     pub fn absorb(&mut self, other: &RunReport) {
         if self.per_rank.is_empty() {
             self.per_rank = other.per_rank.clone();
+            self.profile = other.profile.clone();
             return;
         }
         assert_eq!(self.per_rank.len(), other.per_rank.len(), "rank count mismatch");
+        match (&mut self.profile, &other.profile) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (profile @ Some(_), None) => *profile = None,
+            _ => {}
+        }
         for (a, b) in self.per_rank.iter_mut().zip(&other.per_rank) {
             a.clocks.latency += b.clocks.latency;
             a.clocks.bandwidth += b.clocks.bandwidth;
@@ -140,6 +162,7 @@ mod tests {
                     resident_words: 5,
                 },
             ],
+            profile: None,
         };
         assert_eq!(report.critical_latency(), 6);
         assert_eq!(report.critical_bandwidth(), 100);
@@ -156,6 +179,7 @@ mod tests {
                 clocks: Clocks { latency: 10, bandwidth: 1000, compute: 100_000 },
                 ..Default::default()
             }],
+            profile: None,
         };
         let t = report.projected_time(1e-6, 1e-9, 1e-10);
         assert!((t - (10e-6 + 1e-6 + 1e-5)).abs() < 1e-12);
@@ -172,6 +196,7 @@ mod tests {
                 peak_words: 8,
                 resident_words: 8,
             }],
+            profile: None,
         };
         let mut acc = RunReport::default();
         acc.absorb(&r1);

@@ -17,15 +17,13 @@ struct Pattern {
 
 fn arb_pattern(max_p: usize) -> impl Strategy<Value = Pattern> {
     (2..max_p).prop_flat_map(|p| {
-        let msg = (0..p, 0..p, 0usize..40).prop_filter_map("no self-sends", |(s, d, w)| {
-            (s != d).then_some((s, d, w))
-        });
-        proptest::collection::vec(msg, 0..30)
-            .prop_map(move |mut messages| {
-                // deterministic global order shared by senders and receivers
-                messages.sort();
-                Pattern { p, messages }
-            })
+        let msg = (0..p, 0..p, 0usize..40)
+            .prop_filter_map("no self-sends", |(s, d, w)| (s != d).then_some((s, d, w)));
+        proptest::collection::vec(msg, 0..30).prop_map(move |mut messages| {
+            // deterministic global order shared by senders and receivers
+            messages.sort();
+            Pattern { p, messages }
+        })
     })
 }
 
@@ -186,5 +184,109 @@ fn trace_audits_a_broadcast_tree() {
         }
         assert_eq!(seen[0], 0);
         assert!(seen[1..].iter().all(|&c| c == 1));
+    }
+}
+
+/// Like [`run_pattern`], but profiled and with a span hierarchy: one
+/// top-level `work` span whose `send`/`recv` children tile it exactly (no
+/// clock activity happens between a child's exit and the next enter).
+fn run_pattern_profiled(pattern: &Pattern) -> apsp_simnet::RunReport {
+    let msgs = &pattern.messages;
+    let (_, report) = Machine::run_profiled(pattern.p, |comm| {
+        let me = comm.rank();
+        let mut work = comm.span("work", 0);
+        let comm: &mut apsp_simnet::Comm = &mut work;
+        {
+            let mut comm = comm.span("send", 0);
+            for (idx, &(s, d, w)) in msgs.iter().enumerate() {
+                if s == me {
+                    comm.send(d, idx as u64, vec![0.5; w]);
+                }
+            }
+        }
+        {
+            let mut comm = comm.span("recv", 0);
+            for (idx, &(s, d, w)) in msgs.iter().enumerate() {
+                if d == me {
+                    let data = comm.recv(s, idx as u64);
+                    assert_eq!(data.len(), w);
+                }
+            }
+        }
+    });
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn nested_span_deltas_are_nonnegative_and_sum_to_parent(pattern in arb_pattern(8)) {
+        let report = run_pattern_profiled(&pattern);
+        let profile = report.profile.as_ref().expect("profiled run");
+        for rank in &profile.per_rank {
+            for (idx, span) in rank.ledger.spans.iter().enumerate() {
+                // monotone §3.1 clocks: every snapshot pair is ordered
+                prop_assert!(span.exit.clocks.latency >= span.enter.clocks.latency);
+                prop_assert!(span.exit.clocks.bandwidth >= span.enter.clocks.bandwidth);
+                prop_assert!(span.exit.clocks.compute >= span.enter.clocks.compute);
+                prop_assert!(span.exit.sent_messages >= span.enter.sent_messages);
+                prop_assert!(span.exit.sent_words >= span.enter.sent_words);
+                // the send/recv children tile the parent exactly
+                let d = span.clocks_delta();
+                let children: Vec<_> = rank.ledger.children(idx).collect();
+                if !children.is_empty() {
+                    let (mut l, mut b, mut c) = (0u64, 0u64, 0u64);
+                    for ch in &children {
+                        let cd = ch.clocks_delta();
+                        l += cd.latency;
+                        b += cd.bandwidth;
+                        c += cd.compute;
+                    }
+                    prop_assert_eq!((l, b, c), (d.latency, d.bandwidth, d.compute));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_spans_sum_to_rank_clocks(pattern in arb_pattern(8)) {
+        let report = run_pattern_profiled(&pattern);
+        let profile = report.profile.as_ref().expect("profiled run");
+        for (rank, stats) in profile.per_rank.iter().zip(&report.per_rank) {
+            let (mut l, mut b, mut c) = (0u64, 0u64, 0u64);
+            for span in rank.ledger.top_level() {
+                let d = span.clocks_delta();
+                l += d.latency;
+                b += d.bandwidth;
+                c += d.compute;
+            }
+            prop_assert_eq!(l, stats.clocks.latency);
+            prop_assert_eq!(b, stats.clocks.bandwidth);
+            prop_assert_eq!(c, stats.clocks.compute);
+        }
+    }
+
+    #[test]
+    fn comm_matrix_rows_and_columns_sum_to_rank_totals(pattern in arb_pattern(9)) {
+        let report = run_pattern_profiled(&pattern);
+        let profile = report.profile.as_ref().expect("profiled run");
+        let m = &profile.comm_matrix;
+        for (r, stats) in report.per_rank.iter().enumerate() {
+            prop_assert_eq!(m.row_messages(r), stats.sent_messages);
+            prop_assert_eq!(m.row_words(r), stats.sent_words);
+        }
+        for d in 0..pattern.p {
+            let msgs =
+                pattern.messages.iter().filter(|&&(_, dd, _)| dd == d).count() as u64;
+            let words: usize = pattern
+                .messages
+                .iter()
+                .filter(|&&(_, dd, _)| dd == d)
+                .map(|&(_, _, w)| w)
+                .sum();
+            prop_assert_eq!(m.col_messages(d), msgs);
+            prop_assert_eq!(m.col_words(d), words as u64);
+        }
     }
 }

@@ -11,9 +11,7 @@
 //! cargo run --release --example bottleneck
 //! ```
 
-use sparse_apsp::minplus::algebra::{
-    closure_in, AlgebraMatrix, MaxMin, MostReliable, PathAlgebra,
-};
+use sparse_apsp::minplus::algebra::{closure_in, AlgebraMatrix, MaxMin, MostReliable, PathAlgebra};
 use sparse_apsp::prelude::*;
 
 fn main() {
@@ -33,9 +31,8 @@ fn main() {
     let n = g.n();
 
     // widest paths: capacities, (max, min)
-    let mut cap = AlgebraMatrix::<MaxMin>::from_fn(n, |i, j| {
-        g.edge_weight(i, j).unwrap_or(MaxMin::ZERO)
-    });
+    let mut cap =
+        AlgebraMatrix::<MaxMin>::from_fn(n, |i, j| g.edge_weight(i, j).unwrap_or(MaxMin::ZERO));
     closure_in(&mut cap);
 
     // reliability: per-link success probability, (max, ×)
@@ -74,8 +71,5 @@ fn main() {
         }
         hb.build()
     });
-    println!(
-        "\nhop distance 6 → 11: {} (through leaf and spine layers)",
-        run.dist.get(6, 11)
-    );
+    println!("\nhop distance 6 → 11: {} (through leaf and spine layers)", run.dist.get(6, 11));
 }

@@ -89,13 +89,12 @@ fn main() {
     println!("\n== Corollary 5.5: R⁴ computing-unit placement ==");
     for l in 1..h {
         let units = sparse_apsp::etree::mapping::level_units(&t, l);
-        println!(
-            "level {l}: {} units (Lemma 5.2 bound: ≤ p = {})",
-            units.len(),
-            n_super * n_super
-        );
+        println!("level {l}: {} units (Lemma 5.2 bound: ≤ p = {})", units.len(), n_super * n_super);
         for u in units.iter().take(8) {
-            println!("   A({},{}) ⊕= A({},{}) ⊗ A({},{})  on  P({},{})", u.i, u.j, u.i, u.k, u.k, u.j, u.f, u.g);
+            println!(
+                "   A({},{}) ⊕= A({},{}) ⊗ A({},{})  on  P({},{})",
+                u.i, u.j, u.i, u.k, u.k, u.j, u.f, u.g
+            );
         }
         if units.len() > 8 {
             println!("   … {} more", units.len() - 8);

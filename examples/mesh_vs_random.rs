@@ -31,10 +31,7 @@ fn main() {
     let n_side = 14; // 196 vertices
     let n = n_side * n_side;
     println!("p = 49 simulated ranks, n = {n} vertices\n");
-    println!(
-        "{:<22} {:>9}   {:>9}   {:>12}",
-        "workload", "separator", "latency", "bandwidth"
-    );
+    println!("{:<22} {:>9}   {:>9}   {:>12}", "workload", "separator", "latency", "bandwidth");
 
     // separator-friendly: 2-D mesh
     let mesh = grid2d(n_side, n_side, WeightKind::Unit, 1);

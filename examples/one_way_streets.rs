@@ -9,8 +9,8 @@
 //! ```
 
 use sparse_apsp::graph::digraph::apsp_dijkstra_directed;
-use sparse_apsp::prelude::*;
 use sparse_apsp::graph::DiGraphBuilder;
+use sparse_apsp::prelude::*;
 
 fn main() {
     let side = 10;

@@ -49,11 +49,7 @@ fn main() {
     // sparse distributed solve (multilevel ND handles the highway shortcuts)
     let solver = SparseApsp::new(SparseApspConfig { height: 3, ..Default::default() });
     let run = solver.run(&g);
-    println!(
-        "top separator: {} vertices (of {})",
-        run.ordering.top_separator(),
-        g.n()
-    );
+    println!("top separator: {} vertices (of {})", run.ordering.top_separator(), g.n());
 
     // oracle check + route reconstruction straight from the distance matrix
     let reference = oracle::apsp_dijkstra(&g);
@@ -76,19 +72,7 @@ fn main() {
     assert!(dense.dist.first_mismatch(&reference, 1e-9).is_none());
     let (rs, rd) = (&run.report, &dense.report);
     println!("\n                   2D-SPARSE-APSP    dense blocked FW");
-    println!(
-        "latency  (msgs)  {:>12}    {:>12}",
-        rs.critical_latency(),
-        rd.critical_latency()
-    );
-    println!(
-        "bandwidth(words) {:>12}    {:>12}",
-        rs.critical_bandwidth(),
-        rd.critical_bandwidth()
-    );
-    println!(
-        "volume   (words) {:>12}    {:>12}",
-        rs.total_words(),
-        rd.total_words()
-    );
+    println!("latency  (msgs)  {:>12}    {:>12}", rs.critical_latency(), rd.critical_latency());
+    println!("bandwidth(words) {:>12}    {:>12}", rs.critical_bandwidth(), rd.critical_bandwidth());
+    println!("volume   (words) {:>12}    {:>12}", rs.total_words(), rd.total_words());
 }

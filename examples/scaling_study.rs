@@ -8,10 +8,7 @@
 use sparse_apsp::prelude::*;
 
 fn main() {
-    let side: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let side: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let g = grid2d(side, side, WeightKind::Unit, 0);
     let n = g.n();
     let reference = oracle::apsp_dijkstra(&g);

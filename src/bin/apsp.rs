@@ -25,11 +25,11 @@ struct Args(Vec<String>);
 
 impl Args {
     fn opt(&self, name: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.0.get(i + 1))
-            .map(String::as_str)
+        let i = self.0.iter().position(|a| a == name)?;
+        match self.0.get(i + 1).map(String::as_str) {
+            Some(v) if !v.starts_with("--") => Some(v),
+            _ => die(&format!("{name} requires a value")),
+        }
     }
 
     fn get(&self, name: &str) -> &str {
@@ -70,6 +70,46 @@ fn report_json(report: &RunReport, level_costs: &[(u64, u64)]) -> String {
     s
 }
 
+/// `true` when the run should collect the observability payload
+/// (`--trace DIR` or `--profile` given).
+fn wants_profile(args: &Args) -> bool {
+    args.opt("--trace").is_some() || args.flag("--profile")
+}
+
+/// Renders the per-phase attribution as an aligned text table.
+fn breakdown_table(bd: &sparse_apsp::simnet::PhaseBreakdown) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:>10} {:>12} {:>12} {:>9} {:>10}",
+        "phase", "latency", "bandwidth", "compute", "messages", "words"
+    );
+    for row in &bd.rows {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>10} {:>12} {:>12} {:>9} {:>10}",
+            row.label(),
+            row.clocks.latency,
+            row.clocks.bandwidth,
+            row.clocks.compute,
+            row.messages,
+            row.words
+        );
+    }
+    let t = bd.total();
+    let _ = writeln!(s, "{:<24} {:>10} {:>12} {:>12}", "total", t.latency, t.bandwidth, t.compute);
+    let _ = writeln!(
+        s,
+        "attribution: {}",
+        if bd.exact {
+            "exact (rows sum to the critical-path clocks)"
+        } else {
+            "grouped (per-rank schedules diverge; rows are cross-rank maxima)"
+        }
+    );
+    s
+}
+
 fn distances_tsv(dist: &DenseDist) -> String {
     let mut s = String::new();
     for i in 0..dist.n() {
@@ -105,9 +145,12 @@ fn cmd_generate(args: &Args) {
             grid3d(s, s, s, weights, seed)
         }
         "gnp" => connected_gnp(args.num("--n", 100usize), args.num("--p", 0.05f64), weights, seed),
-        "geometric" => {
-            random_geometric(args.num("--n", 100usize), args.num("--radius", 0.15f64), weights, seed)
-        }
+        "geometric" => random_geometric(
+            args.num("--n", 100usize),
+            args.num("--radius", 0.15f64),
+            weights,
+            seed,
+        ),
         "rmat" => rmat(args.num("--scale", 8u32), args.num("--edge-factor", 4usize), weights, seed),
         "path" => path(args.num("--n", 100usize), weights, seed),
         other => die(&format!("unknown graph kind {other}")),
@@ -137,6 +180,7 @@ fn solve_directed(args: &Args) -> (DiCsr, DenseDist, RunReport, Vec<(u64, u64)>)
             R4Strategy::OneToOne
         },
         compress_empty: args.flag("--compress-empty"),
+        profile: wants_profile(args),
         ..Default::default()
     };
     let run = SparseApsp::new(config).run_directed(&dg);
@@ -158,20 +202,29 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
                 },
                 compress_empty: args.flag("--compress-empty"),
                 charge_ordering_distribution: args.flag("--charge-ordering"),
+                profile: wants_profile(args),
                 ..Default::default()
             };
             let run = SparseApsp::new(config).run(g);
             (run.dist, run.report, run.level_costs)
         }
         "fw2d" => {
-            let out = fw2d(g, n_grid);
+            let out = if wants_profile(args) { fw2d_profiled(g, n_grid) } else { fw2d(g, n_grid) };
             (out.dist, out.report, Vec::new())
         }
         "dcapsp" => {
-            let out = dc_apsp(g, n_grid, args.num("--depth", 1u32));
+            let depth = args.num("--depth", 1u32);
+            let out = if wants_profile(args) {
+                dc_apsp_profiled(g, n_grid, depth)
+            } else {
+                dc_apsp(g, n_grid, depth)
+            };
             (out.dist, out.report, Vec::new())
         }
         "superfw" => {
+            if wants_profile(args) {
+                die("--trace/--profile need the simulated machine; superfw is shared-memory");
+            }
             let nd = nested_dissection(g, height, &NdOptions::default());
             let (dist, _) = superfw_apsp(g, &nd);
             (dist, RunReport::default(), Vec::new())
@@ -187,9 +240,7 @@ fn cmd_solve(args: &Args) {
             let reference = sparse_apsp::graph::digraph::apsp_dijkstra_directed(&dg);
             match dist.first_mismatch(&reference, 1e-9) {
                 None => eprintln!("verified against directed Dijkstra: OK"),
-                Some((i, j, a, b)) => {
-                    die(&format!("verification FAILED at ({i},{j}): {a} vs {b}"))
-                }
+                Some((i, j, a, b)) => die(&format!("verification FAILED at ({i},{j}): {a} vs {b}")),
             }
         }
         (dist, report, level_costs)
@@ -200,13 +251,32 @@ fn cmd_solve(args: &Args) {
             let reference = oracle::apsp_dijkstra(&g);
             match dist.first_mismatch(&reference, 1e-9) {
                 None => eprintln!("verified against Dijkstra: OK"),
-                Some((i, j, a, b)) => {
-                    die(&format!("verification FAILED at ({i},{j}): {a} vs {b}"))
-                }
+                Some((i, j, a, b)) => die(&format!("verification FAILED at ({i},{j}): {a} vs {b}")),
             }
         }
         (dist, report, level_costs)
     };
+    if let Some(dir) = args.opt("--trace") {
+        let profile = report
+            .profile
+            .as_ref()
+            .unwrap_or_else(|| die("this run produced no profile (see --algorithm)"));
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("cannot create {dir}: {e}")));
+        let trace_path = format!("{dir}/trace.json");
+        std::fs::write(&trace_path, profile.chrome_trace_json(&TimeModel::default()))
+            .unwrap_or_else(|e| die(&format!("cannot write {trace_path}: {e}")));
+        let events_path = format!("{dir}/events.jsonl");
+        std::fs::write(&events_path, profile.events_jsonl())
+            .unwrap_or_else(|e| die(&format!("cannot write {events_path}: {e}")));
+        eprintln!("trace written to {trace_path} (open in Perfetto / chrome://tracing)");
+        eprintln!("message stream written to {events_path}");
+    }
+    if args.flag("--profile") {
+        match report.phase_breakdown(0) {
+            Some(bd) => eprint!("{}", breakdown_table(&bd)),
+            None => eprintln!("no phase breakdown available"),
+        }
+    }
     if let Some(path) = args.opt("--distances") {
         std::fs::write(path, distances_tsv(&dist))
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
@@ -215,7 +285,8 @@ fn cmd_solve(args: &Args) {
     let json = report_json(&report, &level_costs);
     match args.opt("--report") {
         Some(path) => {
-            std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             eprintln!("report written to {path}");
         }
         None => println!("{json}"),
@@ -252,13 +323,20 @@ USAGE:
   apsp solve    --input FILE [--algorithm sparse2d|fw2d|dcapsp|superfw]
                 [--height H] [--verify] [--distances FILE] [--report FILE]
                 [--sequential-r4] [--compress-empty] [--charge-ordering]
+                [--trace DIR] [--profile]
                 [--directed]   (.gr inputs keep their arc orientation)
   apsp path     --input FILE --from A --to B [--algorithm ...] [--height H]
   apsp info     --input FILE [--height H]   (graph statistics + separator probe)
   apsp help
 
 The simulated machine has p = (2^H - 1)^2 ranks; the JSON report carries
-the critical-path latency/bandwidth the paper's Table 2 analyzes.";
+the critical-path latency/bandwidth the paper's Table 2 analyzes.
+
+Observability: --trace DIR writes DIR/trace.json (Chrome-trace JSON of the
+span ledger over simulated critical-path time; open in Perfetto) and
+DIR/events.jsonl (one sent message per line); --profile prints a per-phase
+table of the critical-path cost (exact-sum attribution on uniform SPMD
+schedules). Both work with sparse2d, fw2d and dcapsp.";
 
 fn cmd_info(args: &Args) {
     let g = load_graph(args.get("--input"));

@@ -53,24 +53,30 @@ pub use apsp_simnet as simnet;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use apsp_core::bounds;
-    pub use apsp_core::dcapsp::{cyclic_fw, dc_apsp};
+    pub use apsp_core::dcapsp::{cyclic_fw, dc_apsp, dc_apsp_profiled};
     pub use apsp_core::djohnson::distributed_johnson;
-    pub use apsp_core::dnd::dist_nested_dissection;
+    pub use apsp_core::dnd::{dist_nested_dissection, dist_nested_dissection_profiled};
     pub use apsp_core::driver::Ordering;
-    pub use apsp_core::fw2d::fw2d;
-    pub use apsp_core::sparse2d::{sparse2d, sparse2d_directed, sparse2d_with, Sparse2dOptions};
-    pub use apsp_core::update::{apply_decreases, DecreasedEdge};
+    pub use apsp_core::fw2d::{fw2d, fw2d_profiled};
+    pub use apsp_core::sparse2d::{
+        sparse2d, sparse2d_directed, sparse2d_profiled, sparse2d_with, Sparse2dOptions,
+    };
     pub use apsp_core::superfw::{superfw_apsp, superfw_opcount_comparison, superfw_parallel};
-    pub use apsp_core::{ApspRun, R4Strategy, SolvedApsp, SparseApsp, SparseApspConfig, SupernodalLayout};
+    pub use apsp_core::update::{apply_decreases, DecreasedEdge};
+    pub use apsp_core::{
+        ApspRun, R4Strategy, SolvedApsp, SparseApsp, SparseApspConfig, SupernodalLayout,
+    };
     pub use apsp_etree::SchedTree;
     pub use apsp_graph::generators::{
-        balanced_tree, barabasi_albert, caterpillar, complete, connected_gnp, cycle, gnp,
-        grid2d, grid3d, paper_fig1, path, random_geometric, rmat, star, tri_mesh,
-        watts_strogatz, WeightKind,
+        balanced_tree, barabasi_albert, caterpillar, complete, connected_gnp, cycle, gnp, grid2d,
+        grid3d, paper_fig1, path, random_geometric, rmat, star, tri_mesh, watts_strogatz,
+        WeightKind,
     };
     pub use apsp_graph::paths::{path_weight, reconstruct_path};
-    pub use apsp_graph::{oracle, Csr, DenseDist, DiCsr, DiGraphBuilder, GraphBuilder, Permutation, INF};
+    pub use apsp_graph::{
+        oracle, Csr, DenseDist, DiCsr, DiGraphBuilder, GraphBuilder, Permutation, INF,
+    };
     pub use apsp_minplus::{fw_with_via, ViaMatrix};
     pub use apsp_partition::{grid_nd, nested_dissection, BisectOptions, NdOptions, NdOrdering};
-    pub use apsp_simnet::{Clocks, Comm, Machine, RunReport};
+    pub use apsp_simnet::{Clocks, Comm, Machine, PhaseBreakdown, Profile, RunReport, TimeModel};
 }

@@ -47,13 +47,9 @@ fn generate_then_solve_then_path() {
 
     // report JSON mentions the fields we promise
     let json = std::fs::read_to_string(&report).unwrap();
-    for key in [
-        "critical_latency",
-        "critical_bandwidth",
-        "total_words",
-        "max_peak_words",
-        "level_costs",
-    ] {
+    for key in
+        ["critical_latency", "critical_bandwidth", "total_words", "max_peak_words", "level_costs"]
+    {
         assert!(json.contains(key), "missing {key} in {json}");
     }
 
@@ -86,11 +82,7 @@ fn all_algorithms_agree_via_cli() {
             .arg(&graph)
             .output()
             .unwrap();
-        assert!(
-            out.status.success(),
-            "{algo}: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
     }
 }
 
@@ -137,10 +129,8 @@ fn directed_solve_via_cli() {
         .unwrap()
         .success());
     let text = std::fs::read_to_string(&dist).unwrap();
-    let rows: Vec<Vec<f64>> = text
-        .lines()
-        .map(|l| l.split('\t').map(|x| x.parse().unwrap()).collect())
-        .collect();
+    let rows: Vec<Vec<f64>> =
+        text.lines().map(|l| l.split('\t').map(|x| x.parse().unwrap()).collect()).collect();
     assert_eq!(rows[0][1], 1.0);
     assert_eq!(rows[1][0], 6.0, "around the ring the long way");
 }
@@ -174,4 +164,200 @@ fn bad_usage_fails_cleanly() {
     let out = apsp().args(["help"]).output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+/// Minimal recursive-descent JSON validator (the workspace has no serde):
+/// consumes one JSON value and returns the rest of the input, or the byte
+/// offset of the first syntax error.
+mod json {
+    pub fn validate(s: &str) -> Result<(), usize> {
+        let b = s.as_bytes();
+        let i = value(b, skip_ws(b, 0))?;
+        let i = skip_ws(b, i);
+        if i == b.len() {
+            Ok(())
+        } else {
+            Err(i)
+        }
+    }
+
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        i
+    }
+
+    fn value(b: &[u8], i: usize) -> Result<usize, usize> {
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(i);
+                    }
+                    i = value(b, skip_ws(b, i + 1))?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(i),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(i),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => literal(b, i, b"true"),
+            Some(b'f') => literal(b, i, b"false"),
+            Some(b'n') => literal(b, i, b"null"),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+            _ => Err(i),
+        }
+    }
+
+    fn literal(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, usize> {
+        if b[i..].starts_with(lit) {
+            Ok(i + lit.len())
+        } else {
+            Err(i)
+        }
+    }
+
+    fn string(b: &[u8], mut i: usize) -> Result<usize, usize> {
+        if b.get(i) != Some(&b'"') {
+            return Err(i);
+        }
+        i += 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'"' => return Ok(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        Err(i)
+    }
+
+    fn number(b: &[u8], mut i: usize) -> Result<usize, usize> {
+        let start = i;
+        while i < b.len() && matches!(b[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            i += 1;
+        }
+        if i > start {
+            Ok(i)
+        } else {
+            Err(i)
+        }
+    }
+}
+
+/// Pulls a field's raw value out of a single-line hand-serialized event.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim_matches('"'))
+}
+
+#[test]
+fn trace_export_via_cli() {
+    let graph = tmp("traced.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    let dir = tmp("trace-out");
+    let out = apsp()
+        .args(["solve", "--algorithm", "sparse2d", "--height", "2", "--verify"])
+        .args(["--profile", "--input"])
+        .arg(&graph)
+        .arg("--trace")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("trace written to"), "{stderr}");
+    assert!(stderr.contains("attribution: exact"), "{stderr}");
+
+    // the Chrome-trace JSON parses
+    let text = std::fs::read_to_string(dir.join("trace.json")).unwrap();
+    json::validate(&text).unwrap_or_else(|at| {
+        panic!("trace.json: syntax error at byte {at}: …{}…", &text[at..(at + 40).min(text.len())])
+    });
+
+    // one complete ("X") event per instrumented phase per rank: p = 9
+    // ranks (h = 2), phases level#1/level#2, each with nested r1/r2/r3 and
+    // r4 on the non-final level only
+    let mut count = std::collections::HashMap::new();
+    for line in text.lines().filter(|l| l.contains("\"ph\":\"X\"")) {
+        let name = field(line, "name").unwrap().to_string();
+        let tid: usize = field(line, "tid").unwrap().parse().unwrap();
+        let tag: u64 = field(line, "tag").unwrap().parse().unwrap();
+        *count.entry((name, tid, tag)).or_insert(0u32) += 1;
+    }
+    for rank in 0..9 {
+        for level in 1..=2u64 {
+            assert_eq!(
+                count.get(&("level".into(), rank, level)),
+                Some(&1),
+                "level#{level} rank {rank}"
+            );
+            for unit in ["r1", "r2", "r3"] {
+                assert_eq!(
+                    count.get(&(unit.into(), rank, level)),
+                    Some(&1),
+                    "{unit}#{level} rank {rank}"
+                );
+            }
+        }
+        assert_eq!(count.get(&("r4".into(), rank, 1)), Some(&1), "r4 rank {rank}");
+        assert_eq!(count.get(&("r4".into(), rank, 2)), None, "no r4 on the last level");
+    }
+
+    // the JSONL event stream parses line by line
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    assert!(!events.is_empty());
+    for (no, line) in events.lines().enumerate() {
+        json::validate(line).unwrap_or_else(|at| panic!("events.jsonl:{no}: bad JSON at {at}"));
+    }
+}
+
+#[test]
+fn trace_rejected_for_hostside_algorithm() {
+    let graph = tmp("nosup.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "path", "--n", "10", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    let out = apsp()
+        .args(["solve", "--algorithm", "superfw", "--height", "2", "--profile", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simulated machine"));
 }

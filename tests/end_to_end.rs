@@ -24,8 +24,8 @@ fn mesh_all_heights_all_strategies() {
     let g = grid2d(10, 10, WeightKind::Integer { max: 9 }, 11);
     for h in 1..=3u32 {
         for r4 in [R4Strategy::OneToOne, R4Strategy::SequentialUnits] {
-            let run = SparseApsp::new(SparseApspConfig { height: h, r4, ..Default::default() })
-                .run(&g);
+            let run =
+                SparseApsp::new(SparseApspConfig { height: h, r4, ..Default::default() }).run(&g);
             verify(&run, &g);
         }
     }
@@ -82,10 +82,7 @@ fn workloads_gallery() {
     for (name, g) in graphs {
         let run = SparseApsp::with_height(2).run(&g);
         let reference = oracle::apsp_dijkstra(&g);
-        assert!(
-            run.dist.first_mismatch(&reference, 1e-9).is_none(),
-            "workload {name} failed"
-        );
+        assert!(run.dist.first_mismatch(&reference, 1e-9).is_none(), "workload {name} failed");
     }
 }
 

@@ -27,11 +27,8 @@ fn per_phase_message_counts_match_the_tree_combinatorics() {
     let nd = grid_nd(side, side, h);
     let layout = SupernodalLayout::from_ordering(&nd);
     let gp = g.permuted(&nd.perm);
-    let (result, traces) = sparse_apsp::core::sparse2d::sparse2d_traced(
-        &layout,
-        &gp,
-        &Sparse2dOptions::default(),
-    );
+    let (result, traces) =
+        sparse_apsp::core::sparse2d::sparse2d_traced(&layout, &gp, &Sparse2dOptions::default());
     // correctness first
     let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
     let reference = oracle::apsp_dijkstra(&g);
@@ -113,11 +110,7 @@ fn per_phase_message_counts_match_the_tree_combinatorics() {
             members.dedup();
             r4_reduce += bcast_sends(members.len());
         }
-        assert_eq!(
-            measured.get(&(l, 7)).copied().unwrap_or(0),
-            r4_reduce,
-            "R4 reduce, l={l}"
-        );
+        assert_eq!(measured.get(&(l, 7)).copied().unwrap_or(0), r4_reduce, "R4 reduce, l={l}");
 
         // transpose mirrors: one send per off-diagonal upper block
         let mirrors = regions::r4_upper(&t, l).iter().filter(|b| b.i != b.j).count();

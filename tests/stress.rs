@@ -46,10 +46,7 @@ fn full_table2_sweep_with_dense_baselines() {
         assert!(sparse.dist.first_mismatch(&reference, 1e-9).is_none(), "h={h}");
         let dense = fw2d(&g, n_grid);
         assert!(dense.dist.first_mismatch(&reference, 1e-9).is_none(), "h={h}");
-        assert!(
-            sparse.report.critical_latency() < dense.report.critical_latency(),
-            "h={h}"
-        );
+        assert!(sparse.report.critical_latency() < dense.report.critical_latency(), "h={h}");
         // sparse latency grows slowly (log²p-ish), never explosively
         assert!(sparse.report.critical_latency() < prev_sparse_l.saturating_mul(3));
         prev_sparse_l = sparse.report.critical_latency();
