@@ -23,7 +23,7 @@
 
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
-use apsp_simnet::{Comm, Machine, RunReport};
+use apsp_simnet::{Comm, FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
 
 /// Result of a [`dc_apsp`] run.
 pub struct DcApspResult {
@@ -397,14 +397,28 @@ pub fn dc_apsp(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
 /// span ledger (`summa#s` per SUMMA sweep, `base-fw#t0` per base case) and
 /// the p×p communication matrix.
 pub fn dc_apsp_profiled(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
-    run_dc_inner(g, n_grid, depth, depth, true)
+    run_dc_inner(g, n_grid, depth, depth, Launch::Profiled)
+}
+
+/// Like [`dc_apsp`], under a deterministic fault plan: the run recovers
+/// (or fails loudly with a [`FaultError`]) and reports its fault history.
+pub fn dc_apsp_faulty(
+    g: &Csr,
+    n_grid: usize,
+    depth: u32,
+    plan: &FaultPlan,
+    profiled: bool,
+) -> Result<(DcApspResult, FaultSummary), FaultError> {
+    let how = if profiled { Launch::Profiled } else { Launch::Plain };
+    run_dc_launch(g, n_grid, depth, depth, how.with_faults(plan))
+        .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
 }
 
 /// Shared driver: `tile_depth` controls the block-cyclic oversubscription
 /// (`T = √p · 2^tile_depth` tiles per dimension), `rec_depth ≤ tile_depth`
 /// how many divide-and-conquer levels run before the blocked-FW base case.
 fn run_dc(g: &Csr, n_grid: usize, tile_depth: u32, rec_depth: u32) -> DcApspResult {
-    run_dc_inner(g, n_grid, tile_depth, rec_depth, false)
+    run_dc_inner(g, n_grid, tile_depth, rec_depth, Launch::Plain)
 }
 
 fn run_dc_inner(
@@ -412,8 +426,18 @@ fn run_dc_inner(
     n_grid: usize,
     tile_depth: u32,
     rec_depth: u32,
-    profiled: bool,
+    how: Launch<'_>,
 ) -> DcApspResult {
+    run_dc_launch(g, n_grid, tile_depth, rec_depth, how).expect("fault-free launch cannot fail").0
+}
+
+fn run_dc_launch(
+    g: &Csr,
+    n_grid: usize,
+    tile_depth: u32,
+    rec_depth: u32,
+    how: Launch<'_>,
+) -> Result<(DcApspResult, Option<FaultSummary>), FaultError> {
     assert!(rec_depth <= tile_depth, "cannot recurse below tile granularity");
     let geo = Cyclic::new(g.n(), n_grid, tile_depth);
     let p = n_grid * n_grid;
@@ -425,8 +449,7 @@ fn run_dc_inner(
         dc(comm, &mut t, 0..geo.tiles, rec_depth, &mut seq);
         t.data
     };
-    let (tiles_raw, report) =
-        if profiled { Machine::run_profiled(p, program) } else { Machine::run(p, program) };
+    let (tiles_raw, report, faults) = Machine::launch(p, how, program)?;
     // assemble (crop the padding)
     let n = g.n();
     let mut dist = DenseDist::unconnected(n);
@@ -448,7 +471,7 @@ fn run_dc_inner(
             }
         }
     }
-    DcApspResult { dist, report }
+    Ok((DcApspResult { dist, report }, faults))
 }
 
 #[cfg(test)]

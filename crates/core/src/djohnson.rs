@@ -22,7 +22,7 @@
 
 use crate::fw2d::balanced_sizes;
 use apsp_graph::{oracle, Csr, DenseDist};
-use apsp_simnet::{Machine, RunReport};
+use apsp_simnet::{FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
 
 /// Result of a [`distributed_johnson`] run.
 pub struct DJohnsonResult {
@@ -77,6 +77,28 @@ fn unpack_graph(data: &[f64]) -> Csr {
 /// Runs the replicated-graph, source-partitioned Johnson/Dijkstra APSP on
 /// `p` simulated ranks.
 pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
+    djohnson_launch(g, p, Launch::Plain).expect("fault-free launch cannot fail").0
+}
+
+/// Like [`distributed_johnson`], under a deterministic fault plan: the
+/// replication broadcast recovers (or fails loudly with a [`FaultError`])
+/// and the run reports its fault history.
+pub fn distributed_johnson_faulty(
+    g: &Csr,
+    p: usize,
+    plan: &FaultPlan,
+    profiled: bool,
+) -> Result<(DJohnsonResult, FaultSummary), FaultError> {
+    let how = if profiled { Launch::Profiled } else { Launch::Plain };
+    djohnson_launch(g, p, how.with_faults(plan))
+        .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
+}
+
+fn djohnson_launch(
+    g: &Csr,
+    p: usize,
+    how: Launch<'_>,
+) -> Result<(DJohnsonResult, Option<FaultSummary>), FaultError> {
     assert!(g.has_nonnegative_weights(), "undirected APSP requires non-negative weights");
     let n = g.n();
     let sizes = balanced_sizes(n, p);
@@ -86,7 +108,7 @@ pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
     }
     let packed = pack_graph(g);
     let group: Vec<usize> = (0..p).collect();
-    let (rows, report) = Machine::run(p, |comm| {
+    let (rows, report, faults) = Machine::launch(p, how, |comm| {
         // graph replication (rank 0 holds the input)
         let payload = (comm.rank() == 0).then(|| packed.clone());
         let data = comm.bcast(&group, 0, 0x10, payload);
@@ -107,7 +129,7 @@ pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
         comm.compute(ops);
         comm.alloc(out.len());
         out
-    });
+    })?;
     // assemble (host-side, mirroring the other algorithms' result handling)
     let mut dist = DenseDist::unconnected(n);
     for (r, block) in rows.into_iter().enumerate() {
@@ -118,7 +140,7 @@ pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
             }
         }
     }
-    DJohnsonResult { dist, report }
+    Ok((DJohnsonResult { dist, report }, faults))
 }
 
 #[cfg(test)]

@@ -1,10 +1,12 @@
 //! End-to-end public API: partition → permute → distribute → run → gather.
 
-use crate::sparse2d::{sparse2d_profiled, sparse2d_with, R4Strategy, Sparse2dOptions};
+use crate::sparse2d::{
+    sparse2d_faulty, sparse2d_profiled, sparse2d_with, R4Strategy, Sparse2dOptions,
+};
 use crate::supernodal::SupernodalLayout;
 use apsp_graph::{Csr, DenseDist};
 use apsp_partition::{grid_nd, nested_dissection, NdOptions, NdOrdering};
-use apsp_simnet::{Machine, RunReport};
+use apsp_simnet::{FaultError, FaultPlan, FaultSummary, Machine, RunReport};
 
 /// How the nested-dissection ordering is obtained.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +76,10 @@ pub struct ApspRun {
     /// Per-elimination-level `(latency, bandwidth)` critical-path deltas
     /// (Lemmas 5.6, 5.8, 5.9) — excludes the ordering-distribution step.
     pub level_costs: Vec<(u64, u64)>,
+    /// Fault history, present when the run went through
+    /// [`SparseApsp::run_faulty`]: injected/recovered counts per rank
+    /// (`unrecoverable` is always 0 on a run that returned).
+    pub faults: Option<FaultSummary>,
 }
 
 impl ApspRun {
@@ -182,7 +188,7 @@ impl SparseApsp {
         };
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
-        ApspRun { dist, report, ordering: nd, level_costs: result.level_costs() }
+        ApspRun { dist, report, ordering: nd, level_costs: result.level_costs(), faults: None }
     }
 
     /// Runs the full pipeline on `g`. Distances come back in the input
@@ -215,7 +221,49 @@ impl SparseApsp {
         };
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
-        ApspRun { dist, report, ordering: nd, level_costs: result.level_costs() }
+        ApspRun { dist, report, ordering: nd, level_costs: result.level_costs(), faults: None }
+    }
+
+    /// Runs the full pipeline on `g` with a deterministic fault plan
+    /// active during the distributed solve. The ordering is computed
+    /// host-side exactly as in [`SparseApsp::run`] (an ordering corrupted
+    /// by a fault would be a different experiment); the solve itself runs
+    /// under the plan and must recover or fail.
+    ///
+    /// On success, [`ApspRun::faults`] carries the injected/recovered
+    /// counts and the recovery traffic is part of [`ApspRun::report`].
+    ///
+    /// # Errors
+    /// A [`FaultError`] naming the first undeliverable message — the run
+    /// never returns silently wrong distances.
+    pub fn run_faulty(&self, g: &Csr, plan: &FaultPlan) -> Result<ApspRun, FaultError> {
+        assert!(
+            g.has_nonnegative_weights(),
+            "undirected APSP requires non-negative weights (a negative \
+             undirected edge is a negative cycle)"
+        );
+        let (nd, ordering_report) = self.ordering_for(g);
+        nd.validate(g).expect("ordering violates the §4.1 separation invariant");
+        let layout = SupernodalLayout::from_ordering(&nd);
+        let gp = g.permuted(&nd.perm);
+
+        let mut report = RunReport::default();
+        report.absorb(&ordering_report);
+        if self.config.charge_ordering_distribution {
+            report.absorb(&distribute_ordering_cost(&layout, &nd, self.config.profile));
+        }
+        let opts =
+            Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
+        let (result, faults) = sparse2d_faulty(&layout, &gp, &opts, plan, self.config.profile)?;
+        report.absorb(&result.report);
+        let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
+        Ok(ApspRun {
+            dist,
+            report,
+            ordering: nd,
+            level_costs: result.level_costs(),
+            faults: Some(faults),
+        })
     }
 }
 
@@ -429,6 +477,50 @@ mod tests {
         assert!(bd.rows.iter().any(|r| r.name == "level"));
         let comm = &run.report.profile.as_ref().unwrap().comm_matrix;
         assert!(comm.words(0, 1) > 0 || comm.words(1, 0) > 0);
+    }
+
+    #[test]
+    fn faulty_run_recovers_to_oracle() {
+        let g = generators::grid2d(6, 6, WeightKind::Integer { max: 5 }, 1);
+        let plan = apsp_simnet::FaultPlan::new(99).with_drop(0.05).with_dup(0.03);
+        let run = SparseApsp::new(SparseApspConfig::default())
+            .run_faulty(&g, &plan)
+            .expect("recoverable plan");
+        let reference = oracle::apsp_dijkstra(&g);
+        assert!(run.dist.first_mismatch(&reference, 1e-9).is_none());
+        let summary = run.faults.expect("faulty run carries a summary");
+        assert!(summary.injected() > 0, "5% drop over a real schedule must fire");
+        assert_eq!(summary.unrecoverable, 0);
+        // recovery traffic is charged: strictly more messages than clean
+        let clean = SparseApsp::new(SparseApspConfig::default()).run(&g);
+        assert!(run.report.total_messages() > clean.report.total_messages());
+    }
+
+    #[test]
+    fn empty_plan_run_is_byte_identical_to_plain() {
+        let g = generators::grid2d(6, 6, WeightKind::Integer { max: 5 }, 1);
+        let config = SparseApspConfig { profile: true, ..Default::default() };
+        let plain = SparseApsp::new(config).run(&g);
+        let faulty = SparseApsp::new(config)
+            .run_faulty(&g, &apsp_simnet::FaultPlan::new(123))
+            .expect("empty plan cannot fail");
+        assert!(plain.dist.first_mismatch(&faulty.dist, 0.0).is_none());
+        assert_eq!(plain.report.per_rank, faulty.report.per_rank);
+        assert_eq!(plain.report.profile, faulty.report.profile);
+        assert_eq!(faulty.faults.unwrap().injected(), 0);
+    }
+
+    #[test]
+    fn dead_link_fails_the_driver_loudly() {
+        let g = generators::grid2d(6, 6, WeightKind::Unit, 0);
+        // rank 0 (block A11) must ship its closure to rank 2 (block A13) —
+        // a link the default 9-rank schedule provably uses
+        let plan = apsp_simnet::FaultPlan::new(5).with_kill(0, 2);
+        let err = match SparseApsp::new(SparseApspConfig::default()).run_faulty(&g, &plan) {
+            Ok(_) => panic!("a dead link in a 9-rank solve is unrecoverable"),
+            Err(e) => e,
+        };
+        assert_eq!((err.src, err.dst), (0, 2));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
-use apsp_simnet::{Comm, Machine, RunReport};
+use apsp_simnet::{Comm, FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
 
 /// Balanced partition of `n` into `parts` consecutive chunks.
 pub fn balanced_sizes(n: usize, parts: usize) -> Vec<usize> {
@@ -158,25 +158,43 @@ fn rank_program(comm: &mut Comm, grid: &Grid, g: &Csr) -> Vec<f64> {
 /// Runs the dense blocked-FW APSP on a `n_grid × n_grid` simulated grid
 /// (`p = n_grid²` ranks).
 pub fn fw2d(g: &Csr, n_grid: usize) -> Fw2dResult {
-    fw2d_inner(g, n_grid, false)
+    fw2d_inner(g, n_grid, Launch::Plain)
 }
 
 /// Like [`fw2d`], but the run is profiled: `report.profile` carries the
 /// per-pivot span ledger (span `pivot#t` per iteration, with the panel
 /// broadcasts nested inside) and the p×p communication matrix.
 pub fn fw2d_profiled(g: &Csr, n_grid: usize) -> Fw2dResult {
-    fw2d_inner(g, n_grid, true)
+    fw2d_inner(g, n_grid, Launch::Profiled)
 }
 
-fn fw2d_inner(g: &Csr, n_grid: usize, profiled: bool) -> Fw2dResult {
+/// Like [`fw2d`], under a deterministic fault plan: the run recovers (or
+/// fails loudly with a [`FaultError`]) and reports its fault history.
+pub fn fw2d_faulty(
+    g: &Csr,
+    n_grid: usize,
+    plan: &FaultPlan,
+    profiled: bool,
+) -> Result<(Fw2dResult, FaultSummary), FaultError> {
+    let how = if profiled { Launch::Profiled } else { Launch::Plain };
+    fw2d_launch(g, n_grid, how.with_faults(plan))
+        .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
+}
+
+fn fw2d_inner(g: &Csr, n_grid: usize, how: Launch<'_>) -> Fw2dResult {
+    fw2d_launch(g, n_grid, how).expect("fault-free launch cannot fail").0
+}
+
+fn fw2d_launch(
+    g: &Csr,
+    n_grid: usize,
+    how: Launch<'_>,
+) -> Result<(Fw2dResult, Option<FaultSummary>), FaultError> {
     assert!(n_grid >= 1);
     let grid = Grid::new(g.n(), n_grid);
     let p = n_grid * n_grid;
-    let (blocks_raw, report) = if profiled {
-        Machine::run_profiled(p, |comm| rank_program(comm, &grid, g))
-    } else {
-        Machine::run(p, |comm| rank_program(comm, &grid, g))
-    };
+    let (blocks_raw, report, faults) =
+        Machine::launch(p, how, |comm| rank_program(comm, &grid, g))?;
     // assemble
     let n = g.n();
     let mut dist = DenseDist::unconnected(n);
@@ -190,7 +208,7 @@ fn fw2d_inner(g: &Csr, n_grid: usize, profiled: bool) -> Fw2dResult {
             }
         }
     }
-    Fw2dResult { dist, report }
+    Ok((Fw2dResult { dist, report }, faults))
 }
 
 #[cfg(test)]

@@ -48,7 +48,7 @@ use crate::supernodal::SupernodalLayout;
 use apsp_etree::{mapping, SchedTree};
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
-use apsp_simnet::{Clocks, Comm, Machine, RunReport};
+use apsp_simnet::{Clocks, Comm, FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
 
 /// How the `R⁴` computing units are scheduled (§5.2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -882,16 +882,32 @@ pub fn sparse2d_directed_profiled(
     run_machine_profiled(layout, &init, opts, true)
 }
 
+/// Like [`sparse2d_with`], under a deterministic fault plan: the schedule
+/// recovers (or fails loudly with a [`FaultError`]) and the run reports
+/// its fault history alongside the result.
+pub fn sparse2d_faulty(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+    plan: &FaultPlan,
+    profiled: bool,
+) -> Result<(Sparse2dResult, FaultSummary), FaultError> {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let how = if profiled { Launch::Profiled } else { Launch::Plain };
+    run_machine_launch(layout, &init, opts, false, how.with_faults(plan))
+        .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
+}
+
 fn run_machine(
     layout: &SupernodalLayout,
     init: &(dyn Fn(usize, usize) -> MinPlusMatrix + Sync),
     opts: &Sparse2dOptions,
     directed: bool,
 ) -> Sparse2dResult {
-    let p = layout.p();
-    let (outputs, report) =
-        Machine::run(p, |comm| rank_program(comm, layout, init, opts, directed));
-    assemble(layout, outputs, report)
+    run_machine_launch(layout, init, opts, directed, Launch::Plain)
+        .expect("fault-free launch cannot fail")
+        .0
 }
 
 fn run_machine_profiled(
@@ -900,10 +916,22 @@ fn run_machine_profiled(
     opts: &Sparse2dOptions,
     directed: bool,
 ) -> Sparse2dResult {
+    run_machine_launch(layout, init, opts, directed, Launch::Profiled)
+        .expect("fault-free launch cannot fail")
+        .0
+}
+
+fn run_machine_launch(
+    layout: &SupernodalLayout,
+    init: &(dyn Fn(usize, usize) -> MinPlusMatrix + Sync),
+    opts: &Sparse2dOptions,
+    directed: bool,
+    how: Launch<'_>,
+) -> Result<(Sparse2dResult, Option<FaultSummary>), FaultError> {
     let p = layout.p();
-    let (outputs, report) =
-        Machine::run_profiled(p, |comm| rank_program(comm, layout, init, opts, directed));
-    assemble(layout, outputs, report)
+    let (outputs, report, faults) =
+        Machine::launch(p, how, |comm| rank_program(comm, layout, init, opts, directed))?;
+    Ok((assemble(layout, outputs, report), faults))
 }
 
 fn assemble(

@@ -1,5 +1,6 @@
 //! The machine, rank communicators, and point-to-point messaging.
 
+use crate::faults::{checksum, FaultError, FaultPlan, FaultStats, FaultSummary, Injection};
 use crate::report::{Clocks, RankStats, RunReport};
 use crate::trace::{Profile, RankProfile, SendTotal, SpanLedger, SpanSnapshot};
 use std::collections::BTreeMap;
@@ -8,12 +9,37 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 /// A process id, `0 .. p`.
 pub type Rank = usize;
 
+/// Constant-size reliability envelope carried by fault-mode messages:
+/// part of the per-message α cost in the §3.1 model, so it adds **no**
+/// words to the bandwidth clock.
+#[derive(Clone, Copy, Debug)]
+struct MsgMeta {
+    /// Per-`(src, dst)` channel sequence number, starting at 1.
+    seq: u64,
+    /// [`checksum`] of the payload at send time.
+    checksum: u64,
+}
+
 /// A message in flight: payload words plus the sender's post-send clock
 /// snapshot (which drives the receiver's critical-path merge).
 struct Msg {
     tag: u64,
     payload: Vec<f64>,
     sender_clocks: Clocks,
+    /// Present exactly when the run has a fault layer.
+    meta: Option<MsgMeta>,
+}
+
+/// Per-rank state of the fault layer ([`Machine::run_faulty`]).
+struct FaultState {
+    plan: FaultPlan,
+    /// This rank's compute-clock multiplier (1 = full speed).
+    slowdown: u64,
+    /// Next sequence number per destination channel.
+    seq_next: Vec<u64>,
+    /// Highest accepted sequence number per source channel.
+    seq_seen: Vec<u64>,
+    stats: FaultStats,
 }
 
 /// One recorded message, when tracing is on ([`Machine::run_traced`] or
@@ -90,7 +116,8 @@ impl Machine {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        let (outs, report, _) = Self::run_inner(p, f, Mode { traced: false, profiled: false });
+        let (outs, report, _, _) = Self::run_inner(p, f, Mode::PLAIN)
+            .expect("a run without a fault layer cannot fail with a fault error");
         (outs, report)
     }
 
@@ -102,7 +129,9 @@ impl Machine {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        Self::run_inner(p, f, Mode { traced: true, profiled: false })
+        let (outs, report, traces, _) = Self::run_inner(p, f, Mode { traced: true, ..Mode::PLAIN })
+            .expect("a run without a fault layer cannot fail with a fault error");
+        (outs, report, traces)
     }
 
     /// Like [`Machine::run`], additionally collecting the full
@@ -115,11 +144,82 @@ impl Machine {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        let (outs, report, _) = Self::run_inner(p, f, Mode { traced: true, profiled: true });
+        let (outs, report, _, _) =
+            Self::run_inner(p, f, Mode { traced: true, profiled: true, faults: None })
+                .expect("a run without a fault layer cannot fail with a fault error");
         (outs, report)
     }
 
-    fn run_inner<T, F>(p: usize, f: F, mode: Mode) -> (Vec<T>, RunReport, Vec<Vec<TraceEvent>>)
+    /// Like [`Machine::run`], with a deterministic fault layer active:
+    /// `plan` injects message drops, duplications, corruptions, delays,
+    /// and per-rank slowdowns, and the reliability protocol (sequence
+    /// numbers, checksums, bounded retransmission with exponential
+    /// backoff — see [`crate::faults`]) recovers from them, charging the
+    /// recovery traffic to the ordinary cost clocks.
+    ///
+    /// # Errors
+    /// Returns a [`FaultError`] naming the first message whose retry
+    /// budget ran out (e.g. under a `kill` rule) — the run never returns
+    /// silently wrong data.
+    pub fn run_faulty<T, F>(
+        p: usize,
+        plan: &FaultPlan,
+        f: F,
+    ) -> Result<(Vec<T>, RunReport, FaultSummary), FaultError>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let (outs, report, faults) = Self::launch(p, Launch::Faulty(plan), f)?;
+        Ok((outs, report, faults.expect("faulty run carries a summary")))
+    }
+
+    /// [`Machine::run_faulty`] with the full observability payload of
+    /// [`Machine::run_profiled`]: recovery traffic appears in the span
+    /// ledgers and the comm matrix.
+    pub fn run_faulty_profiled<T, F>(
+        p: usize,
+        plan: &FaultPlan,
+        f: F,
+    ) -> Result<(Vec<T>, RunReport, FaultSummary), FaultError>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let (outs, report, faults) = Self::launch(p, Launch::FaultyProfiled(plan), f)?;
+        Ok((outs, report, faults.expect("faulty run carries a summary")))
+    }
+
+    /// Unified entry point over the observability × fault-layer matrix —
+    /// the hook solvers use to expose plain/profiled/faulty variants
+    /// without duplicating their rank programs.
+    pub fn launch<T, F>(
+        p: usize,
+        how: Launch<'_>,
+        f: F,
+    ) -> Result<(Vec<T>, RunReport, Option<FaultSummary>), FaultError>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let mode = match how {
+            Launch::Plain => Mode::PLAIN,
+            Launch::Profiled => Mode { traced: true, profiled: true, faults: None },
+            Launch::Faulty(plan) => Mode { faults: Some(plan), ..Mode::PLAIN },
+            Launch::FaultyProfiled(plan) => {
+                Mode { traced: true, profiled: true, faults: Some(plan) }
+            }
+        };
+        let (outs, report, _, faults) = Self::run_inner(p, f, mode)?;
+        Ok((outs, report, faults))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_inner<T, F>(
+        p: usize,
+        f: F,
+        mode: Mode<'_>,
+    ) -> Result<(Vec<T>, RunReport, Vec<Vec<TraceEvent>>, Option<FaultSummary>), FaultError>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
@@ -142,12 +242,25 @@ impl Machine {
             tx_rows.push(row);
         }
 
-        type RankOutcome<T> = (T, RankStats, Vec<TraceEvent>, Option<RankProfile>);
+        // the rank's receiver ports ride along in the outcome so they stay
+        // open until every thread has finished: a fault-mode duplicate of a
+        // rank's final message may land after that rank's program returns,
+        // and must evaporate at a still-open port rather than SendError the
+        // sender. A *panicking* rank unwinds before depositing its outcome,
+        // so its ports still close and unblock peers stuck in recv.
+        type RankOutcome<T> = (
+            T,
+            RankStats,
+            Vec<TraceEvent>,
+            Option<RankProfile>,
+            Option<FaultStats>,
+            Vec<Receiver<Msg>>,
+        );
         let mut results: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
         {
             let slots: Vec<_> = results.iter_mut().collect();
             let f = &f;
-            std::thread::scope(|scope| {
+            let scope_outcome = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(p);
                 let rank_iter = tx_rows.drain(..).zip(rx_rows.drain(..)).zip(slots).enumerate();
                 for (rank, ((tx_row, rx_row), slot)) in rank_iter {
@@ -167,6 +280,15 @@ impl Machine {
                             trace: mode.traced.then(Vec::new),
                             ledger: mode.profiled.then(SpanLedger::default),
                             sends: mode.profiled.then(BTreeMap::new),
+                            faults: mode.faults.map(|plan| {
+                                Box::new(FaultState {
+                                    slowdown: plan.slowdown(rank),
+                                    plan: plan.clone(),
+                                    seq_next: vec![1; p],
+                                    seq_seen: vec![0; p],
+                                    stats: FaultStats::default(),
+                                })
+                            }),
                         };
                         let out = f(&mut comm);
                         let stats = RankStats {
@@ -193,46 +315,106 @@ impl Machine {
                             events: comm.trace.clone().unwrap_or_default(),
                             final_clocks: comm.clocks,
                         });
-                        *slot = Some((out, stats, comm.trace.take().unwrap_or_default(), profile));
+                        let fault_stats = comm.faults.take().map(|st| st.stats);
+                        let ports = std::mem::take(&mut comm.rx);
+                        *slot = Some((
+                            out,
+                            stats,
+                            comm.trace.take().unwrap_or_default(),
+                            profile,
+                            fault_stats,
+                            ports,
+                        ));
                     }));
                 }
-                let mut first_panic = None;
+                let mut panics = Vec::new();
                 for h in handles {
                     if let Err(payload) = h.join() {
-                        first_panic.get_or_insert(payload);
+                        panics.push(payload);
                     }
                 }
-                if let Some(payload) = first_panic {
-                    std::panic::resume_unwind(payload);
+                if panics.is_empty() {
+                    return Ok(());
                 }
+                // an unrecoverable injected fault aborts its rank with a
+                // typed payload; peers then die on channel disconnect —
+                // surface the root cause, not the cascade
+                if mode.faults.is_some() {
+                    if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<FaultError>())
+                    {
+                        return Err(err.clone());
+                    }
+                }
+                std::panic::resume_unwind(panics.remove(0));
             });
+            scope_outcome?;
         }
 
         let mut outs = Vec::with_capacity(p);
         let mut traces = Vec::with_capacity(p);
         let mut rank_profiles = Vec::with_capacity(p);
+        let mut fault_ranks = Vec::with_capacity(p);
         let mut report = RunReport { per_rank: Vec::with_capacity(p), profile: None };
         for r in results {
-            let (out, stats, trace, profile) = r.expect("rank completed");
+            let (out, stats, trace, profile, fault_stats, _ports) = r.expect("rank completed");
             outs.push(out);
             report.per_rank.push(stats);
             traces.push(trace);
             if let Some(rp) = profile {
                 rank_profiles.push(rp);
             }
+            if let Some(fs) = fault_stats {
+                fault_ranks.push(fs);
+            }
         }
         if mode.profiled {
             report.profile = Some(Profile::from_ranks(rank_profiles));
         }
-        (outs, report, traces)
+        let faults = mode
+            .faults
+            .is_some()
+            .then_some(FaultSummary { per_rank: fault_ranks, unrecoverable: 0 });
+        Ok((outs, report, traces, faults))
+    }
+}
+
+/// How to launch a [`Machine`] run: the observability and fault layers
+/// are orthogonal, and solvers thread this through to expose all four
+/// combinations from one rank program.
+#[derive(Clone, Copy)]
+pub enum Launch<'a> {
+    /// Cost clocks only ([`Machine::run`]).
+    Plain,
+    /// Plus span ledgers, comm matrix, and the event stream
+    /// ([`Machine::run_profiled`]).
+    Profiled,
+    /// Plus deterministic fault injection ([`Machine::run_faulty`]).
+    Faulty(&'a FaultPlan),
+    /// Faults and profiling together ([`Machine::run_faulty_profiled`]).
+    FaultyProfiled(&'a FaultPlan),
+}
+
+impl<'a> Launch<'a> {
+    /// The faulty counterpart of a plain/profiled launch (identity on
+    /// already-faulty launches).
+    pub fn with_faults(self, plan: &'a FaultPlan) -> Launch<'a> {
+        match self {
+            Launch::Plain | Launch::Faulty(_) => Launch::Faulty(plan),
+            Launch::Profiled | Launch::FaultyProfiled(_) => Launch::FaultyProfiled(plan),
+        }
     }
 }
 
 /// What a run records beyond the cost clocks.
 #[derive(Clone, Copy)]
-struct Mode {
+struct Mode<'a> {
     traced: bool,
     profiled: bool,
+    faults: Option<&'a FaultPlan>,
+}
+
+impl Mode<'_> {
+    const PLAIN: Mode<'static> = Mode { traced: false, profiled: false, faults: None };
 }
 
 /// A rank's handle to the machine: point-to-point messaging, cost clocks,
@@ -252,6 +434,9 @@ pub struct Comm {
     ledger: Option<SpanLedger>,
     /// Per-`(dst, tag)` send counters, present in profiled runs.
     sends: Option<BTreeMap<(Rank, u64), (u64, u64)>>,
+    /// Fault layer, present in faulty runs ([`Machine::run_faulty`]).
+    /// Boxed so the fault-free hot path pays one pointer of state.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Comm {
@@ -282,27 +467,124 @@ impl Comm {
     pub fn send(&mut self, dst: Rank, tag: u64, payload: Vec<f64>) {
         assert!(dst < self.p, "rank {dst} out of range (p = {})", self.p);
         assert_ne!(dst, self.rank, "self-send: use local data instead");
+        if self.faults.is_some() {
+            return self.send_faulty(dst, tag, payload);
+        }
+        self.put_on_wire(dst, tag, payload, None, 0);
+    }
+
+    /// Charges one send's clocks, counters, and trace event — everything a
+    /// physical message attempt costs the sender, delivered or not.
+    fn charge_send(&mut self, dst: Rank, tag: u64, words: usize) {
         self.clocks.latency += 1;
-        self.clocks.bandwidth += payload.len() as u64;
+        self.clocks.bandwidth += words as u64;
         self.sent_messages += 1;
-        self.sent_words += payload.len() as u64;
+        self.sent_words += words as u64;
         if let Some(sends) = &mut self.sends {
             let e = sends.entry((dst, tag)).or_insert((0, 0));
             e.0 += 1;
-            e.1 += payload.len() as u64;
+            e.1 += words as u64;
         }
         if let Some(trace) = &mut self.trace {
             // post-send clocks: the simulated instant the message departs
-            trace.push(TraceEvent {
-                src: self.rank,
-                dst,
-                words: payload.len(),
-                tag,
-                clocks: self.clocks,
-            });
+            trace.push(TraceEvent { src: self.rank, dst, words, tag, clocks: self.clocks });
         }
-        let msg = Msg { tag, payload, sender_clocks: self.clocks };
+    }
+
+    /// Charges a send and pushes the message, with `delay` extra latency
+    /// units folded into the carried clock snapshot (the receiver sees a
+    /// late arrival; the sender's own clock is unaffected).
+    fn put_on_wire(
+        &mut self,
+        dst: Rank,
+        tag: u64,
+        payload: Vec<f64>,
+        meta: Option<MsgMeta>,
+        delay: u64,
+    ) {
+        self.charge_send(dst, tag, payload.len());
+        let mut snapshot = self.clocks;
+        snapshot.latency += delay;
+        let msg = Msg { tag, payload, sender_clocks: snapshot, meta };
         self.tx[dst].send(msg).expect("receiver alive for the whole run");
+    }
+
+    /// Fault-mode send: stamps the reliability envelope, consults the plan
+    /// per attempt, and retransmits with exponential backoff until the
+    /// message is cleanly on the wire or the retry budget runs out.
+    fn send_faulty(&mut self, dst: Rank, tag: u64, payload: Vec<f64>) {
+        let (seq, retries) = {
+            let st = self.faults.as_mut().expect("fault mode");
+            let seq = st.seq_next[dst];
+            st.seq_next[dst] += 1;
+            (seq, st.plan.retries())
+        };
+        let meta = MsgMeta { seq, checksum: checksum(&payload) };
+        let mut attempt = 0u32;
+        loop {
+            let injection = {
+                let st = self.faults.as_ref().expect("fault mode");
+                st.plan.injection(self.rank, dst, tag, seq, attempt)
+            };
+            match injection {
+                Injection::Drop => {
+                    // the attempt leaves the sender's port (and is charged)
+                    // but never arrives
+                    self.charge_send(dst, tag, payload.len());
+                    self.fstats().drops_injected += 1;
+                }
+                Injection::Deliver { corrupt: true, .. } => {
+                    // deliver a copy with one payload bit flipped (or, for
+                    // empty payloads, a poisoned checksum): the receiver's
+                    // checksum test rejects it and waits for a retransmit
+                    let (bad, bad_meta) = if payload.is_empty() {
+                        (Vec::new(), MsgMeta { checksum: meta.checksum ^ 1, ..meta })
+                    } else {
+                        let mut bad = payload.clone();
+                        let idx = (seq as usize).wrapping_mul(31) % bad.len();
+                        let bit = seq.wrapping_mul(0x9E37) % 64;
+                        bad[idx] = f64::from_bits(bad[idx].to_bits() ^ (1u64 << bit));
+                        (bad, meta)
+                    };
+                    self.put_on_wire(dst, tag, bad, Some(bad_meta), 0);
+                    self.fstats().corruptions_injected += 1;
+                }
+                Injection::Deliver { corrupt: false, duplicate, delay } => {
+                    if delay > 0 {
+                        self.fstats().delays_injected += 1;
+                    }
+                    if duplicate {
+                        self.put_on_wire(dst, tag, payload.clone(), Some(meta), delay);
+                        self.fstats().duplicates_injected += 1;
+                    }
+                    self.put_on_wire(dst, tag, payload, Some(meta), delay);
+                    if attempt > 0 {
+                        self.fstats().recovered_messages += 1;
+                    }
+                    return;
+                }
+            }
+            attempt += 1;
+            if attempt > retries {
+                std::panic::panic_any(FaultError {
+                    src: self.rank,
+                    dst,
+                    tag,
+                    seq,
+                    attempts: attempt,
+                });
+            }
+            // simulated-clock timeout: the sender waits out the backoff
+            // window before retransmitting, and that wait is real latency
+            let backoff = {
+                let st = self.faults.as_ref().expect("fault mode");
+                st.plan.backoff(attempt)
+            };
+            self.clocks.latency += backoff;
+            let st = self.fstats();
+            st.backoff_latency += backoff;
+            st.retransmissions += 1;
+        }
     }
 
     /// Receives the next message from `src` (FIFO per channel; blocks).
@@ -310,15 +592,21 @@ impl Comm {
     /// # Panics
     /// Panics when the arriving message's tag differs from `expected_tag` —
     /// that is always an algorithm-schedule bug worth failing loudly on.
+    /// The diagnostic names both tags and dumps the pending queue.
     pub fn recv(&mut self, src: Rank, expected_tag: u64) -> Vec<f64> {
         assert!(src < self.p, "rank {src} out of range (p = {})", self.p);
         assert_ne!(src, self.rank, "self-receive: use local data instead");
+        if self.faults.is_some() {
+            return self.recv_faulty(src, expected_tag);
+        }
         let msg = self.rx[src].recv().expect("sender alive for the whole run");
-        assert_eq!(
-            msg.tag, expected_tag,
-            "rank {}: message from {src} has tag {:#x}, expected {:#x} — schedule mismatch",
-            self.rank, msg.tag, expected_tag
-        );
+        self.check_tag(src, expected_tag, msg.tag);
+        self.charge_recv(&msg);
+        msg.payload
+    }
+
+    /// Charges this rank's port for one physical arrival.
+    fn charge_recv(&mut self, msg: &Msg) {
         // §3.1 assumption (2): a processor receives one message at a time,
         // so the receive occupies this rank's port for (1, w) — while the
         // message itself arrives no earlier than the sender's post-send
@@ -328,12 +616,77 @@ impl Comm {
         self.clocks.latency = (self.clocks.latency + 1).max(msg.sender_clocks.latency);
         self.clocks.bandwidth = (self.clocks.bandwidth + w).max(msg.sender_clocks.bandwidth);
         self.clocks.compute = self.clocks.compute.max(msg.sender_clocks.compute);
-        msg.payload
     }
 
-    /// Records `ops` scalar operations of local compute.
+    /// Fault-mode receive: every physical arrival occupies the port (and
+    /// is charged), but only the first clean, in-order copy is accepted —
+    /// corrupted copies fail the checksum, stale sequence numbers are
+    /// duplicate retransmissions.
+    fn recv_faulty(&mut self, src: Rank, expected_tag: u64) -> Vec<f64> {
+        loop {
+            let msg = self.rx[src].recv().expect("sender alive for the whole run");
+            self.charge_recv(&msg);
+            let meta = msg.meta.expect("fault-mode messages carry an envelope");
+            if checksum(&msg.payload) != meta.checksum {
+                self.fstats().corruptions_detected += 1;
+                continue;
+            }
+            let seen = &mut self.faults.as_mut().expect("fault mode").seq_seen[src];
+            if meta.seq <= *seen {
+                self.fstats().duplicates_discarded += 1;
+                continue;
+            }
+            debug_assert_eq!(
+                meta.seq,
+                *seen + 1,
+                "per-channel FIFO delivers sequence numbers in order"
+            );
+            *seen = meta.seq;
+            self.check_tag(src, expected_tag, msg.tag);
+            return msg.payload;
+        }
+    }
+
+    /// Fails loudly on a tag mismatch, naming the endpoints, both tags,
+    /// and up to 8 still-pending messages on the same channel.
+    fn check_tag(&mut self, src: Rank, expected: u64, actual: u64) {
+        if actual == expected {
+            return;
+        }
+        let mut pending = Vec::new();
+        while pending.len() < 8 {
+            match self.rx[src].try_recv() {
+                Ok(m) => pending.push((m.tag, m.payload.len())),
+                Err(_) => break,
+            }
+        }
+        let pending: Vec<String> =
+            pending.iter().map(|(tag, words)| format!("tag {tag:#x} ({words} words)")).collect();
+        panic!(
+            "rank {}: message from {src} has tag {actual:#x}, expected {expected:#x} — \
+             schedule mismatch; pending from {src}: [{}]",
+            self.rank,
+            pending.join(", ")
+        );
+    }
+
+    /// Records `ops` scalar operations of local compute. A straggler rank
+    /// (see [`FaultPlan::with_straggler`](crate::faults::FaultPlan)) pays a
+    /// multiple of every operation.
     pub fn compute(&mut self, ops: u64) {
         self.clocks.compute += ops;
+        if let Some(st) = &mut self.faults {
+            if st.slowdown > 1 {
+                let extra = ops.saturating_mul(st.slowdown - 1);
+                self.clocks.compute += extra;
+                st.stats.straggler_ops += extra;
+            }
+        }
+    }
+
+    /// The fault-stats ledger; only callable in fault mode.
+    fn fstats(&mut self) -> &mut FaultStats {
+        &mut self.faults.as_mut().expect("fault mode").stats
     }
 
     /// Tracks an allocation of `words` words of resident data (blocks,
@@ -573,5 +926,182 @@ mod tests {
     fn results_returned_in_rank_order() {
         let (outs, _) = Machine::run(5, |comm| comm.rank() * 10);
         assert_eq!(outs, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn tag_mismatch_diagnostic_lists_pending_queue() {
+        let result = std::panic::catch_unwind(|| {
+            Machine::run(2, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 0xA, vec![1.0]);
+                    comm.send(1, 0xB, vec![2.0, 3.0]);
+                } else {
+                    comm.recv(0, 0xC);
+                }
+            })
+        });
+        let payload = result.expect_err("mismatch must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("string panic payload");
+        assert!(msg.contains("schedule mismatch"), "kept the grep-able phrase: {msg}");
+        assert!(msg.contains("tag 0xa"), "actual tag named: {msg}");
+        assert!(msg.contains("expected 0xc"), "expected tag named: {msg}");
+        assert!(msg.contains("pending from 0"), "pending queue dumped: {msg}");
+        assert!(msg.contains("tag 0xb (2 words)"), "queued message described: {msg}");
+    }
+
+    /// A two-rank ping-pong under a given plan; returns per-rank clocks,
+    /// the report, and the summary.
+    fn faulty_ping_pong(plan: &FaultPlan) -> (RunReport, FaultSummary) {
+        let (outs, report, summary) = Machine::run_faulty(2, plan, |comm| match comm.rank() {
+            0 => {
+                comm.send(1, 1, vec![1.0, 2.0, 3.0]);
+                comm.recv(1, 2)
+            }
+            _ => {
+                let data = comm.recv(0, 1);
+                assert_eq!(data, vec![1.0, 2.0, 3.0]);
+                comm.send(0, 2, vec![9.0]);
+                data
+            }
+        })
+        .expect("recoverable plan");
+        assert_eq!(outs[0], vec![9.0]);
+        (report, summary)
+    }
+
+    #[test]
+    fn empty_plan_is_zero_overhead() {
+        let plain = Machine::run(2, |comm| match comm.rank() {
+            0 => {
+                comm.send(1, 1, vec![1.0, 2.0, 3.0]);
+                comm.recv(1, 2)
+            }
+            _ => {
+                let data = comm.recv(0, 1);
+                comm.send(0, 2, vec![9.0]);
+                data
+            }
+        })
+        .1;
+        let (faulty, summary) = faulty_ping_pong(&FaultPlan::new(42));
+        assert_eq!(plain.per_rank, faulty.per_rank, "empty plan must not perturb any clock");
+        assert_eq!(summary.injected(), 0);
+        assert_eq!(summary.totals(), FaultStats::default());
+    }
+
+    #[test]
+    fn drops_are_retransmitted_and_charged() {
+        let plan = FaultPlan::new(7).with_drop(1.0); // every eligible attempt drops
+        let (report, summary) = faulty_ping_pong(&plan);
+        let t = summary.totals();
+        assert_eq!(t.drops_injected, 2 * crate::faults::INJECT_ATTEMPTS as u64);
+        assert_eq!(t.retransmissions, t.drops_injected);
+        assert_eq!(t.recovered_messages, 2);
+        assert!(t.backoff_latency > 0);
+        // recovery traffic lands in the ordinary counters: 2 logical
+        // messages became 2 * (INJECT_ATTEMPTS + 1) physical sends
+        let sent: u64 = report.per_rank.iter().map(|r| r.sent_messages).sum();
+        assert_eq!(sent, 2 * (crate::faults::INJECT_ATTEMPTS as u64 + 1));
+        let (clean, _) = faulty_ping_pong(&FaultPlan::new(7));
+        assert!(
+            report.critical_latency() > clean.critical_latency(),
+            "drops + backoff must lengthen the critical path"
+        );
+    }
+
+    #[test]
+    fn corruption_is_detected_and_recovered() {
+        let plan = FaultPlan::new(11).with_corrupt(1.0);
+        let (_, summary) = faulty_ping_pong(&plan);
+        let t = summary.totals();
+        assert_eq!(t.corruptions_injected, 2 * crate::faults::INJECT_ATTEMPTS as u64);
+        assert_eq!(t.corruptions_detected, t.corruptions_injected);
+        assert_eq!(t.recovered_messages, 2);
+    }
+
+    #[test]
+    fn duplicates_are_discarded() {
+        // three messages on one channel: each duplicate is discarded when
+        // the receiver pulls the next message (the last one's copy stays
+        // in the queue — nothing ever asks for it)
+        let plan = FaultPlan::new(13).with_dup(1.0);
+        let (_, _, summary) = Machine::run_faulty(2, &plan, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..3 {
+                    comm.send(1, i, vec![i as f64]);
+                }
+            } else {
+                for i in 0..3 {
+                    assert_eq!(comm.recv(0, i), vec![i as f64]);
+                }
+            }
+        })
+        .expect("duplication is always recoverable");
+        let t = summary.totals();
+        assert_eq!(t.duplicates_injected, 3);
+        assert_eq!(t.duplicates_discarded, 2);
+        assert_eq!(t.recovered_messages, 0, "duplication needs no retransmit");
+    }
+
+    #[test]
+    fn delay_inflates_receiver_latency_only() {
+        let delayed = faulty_ping_pong(&FaultPlan::new(17).with_delay(1.0, 10)).0;
+        let clean = faulty_ping_pong(&FaultPlan::new(17)).0;
+        // sender clock at each hop is unchanged; the receive-side merge
+        // observes the late arrival, so the critical path stretches
+        assert!(delayed.critical_latency() >= clean.critical_latency() + 10);
+    }
+
+    #[test]
+    fn straggler_multiplies_compute() {
+        let plan = FaultPlan::new(19).with_straggler(1, 4);
+        let (_, report, summary) = Machine::run_faulty(2, &plan, |comm| {
+            comm.compute(100);
+        })
+        .expect("no message faults possible");
+        assert_eq!(report.per_rank[0].clocks.compute, 100);
+        assert_eq!(report.per_rank[1].clocks.compute, 400);
+        assert_eq!(summary.per_rank[1].straggler_ops, 300);
+    }
+
+    #[test]
+    fn dead_link_fails_loudly_with_the_culprit() {
+        let plan = FaultPlan::new(23).with_kill(0, 1);
+        let err = Machine::run_faulty(2, &plan, |comm| match comm.rank() {
+            0 => comm.send(1, 5, vec![1.0]),
+            _ => drop(comm.recv(0, 5)),
+        })
+        .expect_err("dead link is unrecoverable");
+        assert_eq!((err.src, err.dst, err.tag), (0, 1, 5));
+        assert!(err.to_string().contains("unrecoverable fault"));
+    }
+
+    #[test]
+    fn faulty_runs_replay_bit_identically() {
+        let plan = FaultPlan::new(29).with_drop(0.4).with_dup(0.3).with_corrupt(0.2);
+        let run = || {
+            Machine::run_faulty(4, &plan, |comm| {
+                let r = comm.rank();
+                let peer = r ^ 1;
+                if r < peer {
+                    comm.send(peer, 3, vec![r as f64; 5]);
+                    comm.recv(peer, 4)
+                } else {
+                    let got = comm.recv(peer, 3);
+                    comm.send(peer, 4, vec![0.5]);
+                    got
+                }
+            })
+            .expect("recoverable plan")
+        };
+        let (outs_a, report_a, summary_a) = run();
+        let (outs_b, report_b, summary_b) = run();
+        assert_eq!(outs_a, outs_b);
+        assert_eq!(report_a.per_rank, report_b.per_rank);
+        assert_eq!(summary_a, summary_b);
     }
 }

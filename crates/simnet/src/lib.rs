@@ -19,6 +19,17 @@
 //!   built from those sends, so their `O(log g)` latency and `O(w log g)`
 //!   bandwidth *emerge* from the simulation instead of being formulas.
 //!
+//! ## Fault injection
+//!
+//! [`Machine::run_faulty`] activates a deterministic fault layer (see
+//! [`faults`]): a seeded [`faults::FaultPlan`] injects message drops,
+//! duplications, corruptions, delays, and per-rank slowdowns, and a
+//! reliability protocol (sequence numbers, checksums, bounded
+//! retransmission with exponential backoff) recovers from them — charging
+//! all recovery traffic to the same cost clocks, so resilience overhead
+//! is measured by the very model the paper's Table 2 uses. With an empty
+//! plan the layer is bit-for-bit invisible in every report.
+//!
 //! ## Deadlock discipline
 //!
 //! Sends never block (unbounded channels); receives block. A distributed
@@ -29,10 +40,12 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod faults;
 pub mod report;
 pub mod trace;
 
-pub use comm::{Comm, Machine, Rank, SpanGuard, TraceEvent};
+pub use comm::{Comm, Launch, Machine, Rank, SpanGuard, TraceEvent};
+pub use faults::{FaultError, FaultPlan, FaultStats, FaultSummary, Injection};
 pub use report::{Clocks, RankStats, RunReport};
 pub use trace::{
     CommMatrix, PhaseBreakdown, PhaseRow, Profile, RankProfile, SpanLedger, SpanRecord,

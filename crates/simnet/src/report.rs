@@ -28,7 +28,7 @@ impl Clocks {
 }
 
 /// Per-rank statistics collected by a run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RankStats {
     /// Critical-path clocks at rank exit.
     pub clocks: Clocks,

@@ -46,7 +46,7 @@ pub struct SpanSnapshot {
 }
 
 /// One completed span on one rank.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Static phase name (e.g. `"level"`, `"r4"`, `"bcast"`).
     pub name: &'static str,
@@ -86,7 +86,7 @@ impl SpanRecord {
 }
 
 /// A rank's ordered collection of spans (entry order, i.e. preorder).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpanLedger {
     /// All spans, in entry order.
     pub spans: Vec<SpanRecord>,
@@ -219,7 +219,7 @@ pub struct SendTotal {
 }
 
 /// One rank's complete observability payload.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RankProfile {
     /// The rank's span ledger.
     pub ledger: SpanLedger,
@@ -233,7 +233,7 @@ pub struct RankProfile {
 
 /// Aggregated observability payload of a profiled run, attached to
 /// [`crate::RunReport`] by [`crate::Machine::run_profiled`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Profile {
     /// Per-rank payloads, indexed by rank.
     pub per_rank: Vec<RankProfile>,

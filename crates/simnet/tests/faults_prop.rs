@@ -1,0 +1,283 @@
+//! Chaos suite for the fault-injection layer: random traffic and the real
+//! APSP solvers under random recoverable fault plans still produce exact
+//! results, replay bit-identically from their seed, and pay nothing when
+//! the plan is empty.
+//!
+//! `CHAOS_SEED` (env var) reseeds the solver-level chaos runs; the seed in
+//! use is printed so any CI failure replays locally with
+//! `CHAOS_SEED=<seed> cargo test -p apsp-simnet --test faults_prop`.
+
+use apsp_core::dcapsp::dc_apsp_faulty;
+use apsp_core::djohnson::distributed_johnson_faulty;
+use apsp_core::fw2d::fw2d_faulty;
+use apsp_core::sparse2d::{sparse2d_faulty, Sparse2dOptions};
+use apsp_core::supernodal::SupernodalLayout;
+use apsp_graph::generators::{self, WeightKind};
+use apsp_graph::{oracle, DenseDist};
+use apsp_simnet::{FaultPlan, Machine, Rank};
+use proptest::prelude::*;
+
+/// The chaos seed: fixed by default, overridable for the CI randomized run.
+fn chaos_seed() -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => s.parse().unwrap_or_else(|_| panic!("CHAOS_SEED must be a u64, got `{s}`")),
+        Err(_) => 0xC1A05,
+    }
+}
+
+/// A random recoverable plan: probabilistic faults only (no kill rules),
+/// which the default retry budget recovers from by construction.
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (0u64..1 << 48, 0.0f64..0.4, 0.0f64..0.3, 0.0f64..0.3, 0.0f64..0.4, 1u64..16, 1u64..4).prop_map(
+        |(seed, drop, dup, corrupt, delay, units, slow)| {
+            FaultPlan::new(seed)
+                .with_drop(drop)
+                .with_dup(dup)
+                .with_corrupt(corrupt)
+                .with_delay(delay, units)
+                .with_straggler(0, slow)
+        },
+    )
+}
+
+/// A random one-shot traffic pattern (send-before-receive discipline, so
+/// any pattern is deadlock-free), with position-dependent payloads so a
+/// mis-delivered or corrupted word cannot go unnoticed.
+#[derive(Clone, Debug)]
+struct Pattern {
+    p: usize,
+    /// (src, dst, words), src ≠ dst
+    messages: Vec<(Rank, Rank, usize)>,
+}
+
+fn arb_pattern(max_p: usize) -> impl Strategy<Value = Pattern> {
+    (2..max_p).prop_flat_map(|p| {
+        let msg = (0..p, 0..p, 0usize..24)
+            .prop_filter_map("no self-sends", |(s, d, w)| (s != d).then_some((s, d, w)));
+        proptest::collection::vec(msg, 1..24).prop_map(move |mut messages| {
+            messages.sort();
+            Pattern { p, messages }
+        })
+    })
+}
+
+fn payload_for(idx: usize, w: usize) -> Vec<f64> {
+    (0..w).map(|k| (idx * 1000 + k) as f64 + 0.25).collect()
+}
+
+fn run_pattern_faulty(
+    pattern: &Pattern,
+    plan: &FaultPlan,
+) -> (apsp_simnet::RunReport, apsp_simnet::FaultSummary) {
+    let msgs = &pattern.messages;
+    let (_, report, summary) = Machine::run_faulty(pattern.p, plan, |comm| {
+        let me = comm.rank();
+        for (idx, &(s, d, w)) in msgs.iter().enumerate() {
+            if s == me {
+                comm.send(d, idx as u64, payload_for(idx, w));
+            }
+        }
+        for (idx, &(s, d, w)) in msgs.iter().enumerate() {
+            if d == me {
+                let data = comm.recv(s, idx as u64);
+                assert_eq!(data, payload_for(idx, w), "payload survived the faults");
+            }
+        }
+    })
+    .expect("probabilistic plans are recoverable by construction");
+    (report, summary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_faults_deliver_exact_payloads(
+        pattern in arb_pattern(9),
+        plan in arb_plan(),
+    ) {
+        // correctness is asserted inside the rank program
+        let (report, summary) = run_pattern_faulty(&pattern, &plan);
+        prop_assert_eq!(summary.unrecoverable, 0);
+        // every injected drop/corruption forced a visible retransmission
+        let t = summary.totals();
+        prop_assert_eq!(t.retransmissions, t.drops_injected + t.corruptions_injected);
+        // recovery traffic is charged to the ordinary counters
+        let physical: u64 = report.per_rank.iter().map(|r| r.sent_messages).sum();
+        prop_assert_eq!(
+            physical,
+            pattern.messages.len() as u64 + t.retransmissions + t.duplicates_injected
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_bit_identically(
+        pattern in arb_pattern(8),
+        plan in arb_plan(),
+    ) {
+        let (report_a, summary_a) = run_pattern_faulty(&pattern, &plan);
+        let (report_b, summary_b) = run_pattern_faulty(&pattern, &plan);
+        prop_assert_eq!(report_a.per_rank, report_b.per_rank);
+        prop_assert_eq!(summary_a, summary_b);
+    }
+
+    #[test]
+    fn empty_plan_is_byte_identical_to_no_fault_layer(
+        pattern in arb_pattern(8),
+        seed in 0u64..1 << 48,
+    ) {
+        // identical runs, with and without the (inactive) fault layer:
+        // clocks, counters, span ledgers, comm matrix, and event streams
+        // must all match exactly — the zero-overhead invariant guarding
+        // the paper's Table 2 measurements
+        let msgs = &pattern.messages;
+        let program = |comm: &mut apsp_simnet::Comm| {
+            let me = comm.rank();
+            let mut work = comm.span("work", 0);
+            let comm: &mut apsp_simnet::Comm = &mut work;
+            for (idx, &(s, d, w)) in msgs.iter().enumerate() {
+                if s == me {
+                    comm.send(d, idx as u64, payload_for(idx, w));
+                }
+            }
+            for (idx, &(s, d, _)) in msgs.iter().enumerate() {
+                if d == me {
+                    comm.recv(s, idx as u64);
+                }
+            }
+            comm.compute(17);
+        };
+        let (_, plain) = Machine::run_profiled(pattern.p, program);
+        let (_, faulty, summary) =
+            Machine::run_faulty_profiled(pattern.p, &FaultPlan::new(seed), program)
+                .expect("empty plan cannot fail");
+        prop_assert_eq!(&plain.per_rank, &faulty.per_rank);
+        prop_assert_eq!(&plain.profile, &faulty.profile);
+        prop_assert_eq!(summary.injected(), 0);
+        prop_assert_eq!(summary.totals(), apsp_simnet::FaultStats::default());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solver-level chaos: every solver, faulted, still equals the oracle
+// ---------------------------------------------------------------------------
+
+/// A few recoverable plans derived from the chaos seed, spanning the fault
+/// modes (the last one mixes everything).
+fn solver_plans(seed: u64) -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::new(seed).with_drop(0.08),
+        FaultPlan::new(seed ^ 0xD00D).with_corrupt(0.06).with_dup(0.05),
+        FaultPlan::new(seed ^ 0xBEEF).with_delay(0.1, 6).with_straggler(1, 3),
+        FaultPlan::new(seed ^ 0xFACE)
+            .with_drop(0.05)
+            .with_dup(0.04)
+            .with_corrupt(0.04)
+            .with_delay(0.05, 4),
+    ]
+}
+
+fn corpus(seed: u64) -> Vec<apsp_graph::Csr> {
+    let s = seed & 0xFFFF_FFFF;
+    vec![
+        generators::grid2d(5, 5, WeightKind::Integer { max: 6 }, s),
+        generators::connected_gnp(24, 0.12, WeightKind::Uniform { lo: 0.3, hi: 2.0 }, s + 1),
+        generators::path(17, WeightKind::Unit, 0),
+    ]
+}
+
+fn assert_oracle(dist: &DenseDist, g: &apsp_graph::Csr, what: &str) {
+    let reference = oracle::apsp_dijkstra(g);
+    if let Some((i, j, a, b)) = dist.first_mismatch(&reference, 1e-9) {
+        panic!("{what}: mismatch at ({i},{j}): got {a}, expected {b}");
+    }
+}
+
+#[test]
+fn fw2d_recovers_on_all_grid_sizes() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    for g in corpus(seed) {
+        for n_grid in 1..=4usize {
+            for (k, plan) in solver_plans(seed).into_iter().enumerate() {
+                let (result, summary) = fw2d_faulty(&g, n_grid, &plan, false)
+                    .unwrap_or_else(|e| panic!("p={}: {e}", n_grid * n_grid));
+                assert_oracle(&result.dist, &g, &format!("fw2d p={} plan {k}", n_grid * n_grid));
+                assert_eq!(summary.unrecoverable, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn dcapsp_recovers_on_all_grid_sizes() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    for g in corpus(seed) {
+        for n_grid in 1..=4usize {
+            let plan = solver_plans(seed).pop().expect("mixed plan");
+            let (result, summary) = dc_apsp_faulty(&g, n_grid, 1, &plan, false)
+                .unwrap_or_else(|e| panic!("p={}: {e}", n_grid * n_grid));
+            assert_oracle(&result.dist, &g, &format!("dcapsp p={}", n_grid * n_grid));
+            assert_eq!(summary.unrecoverable, 0);
+        }
+    }
+}
+
+#[test]
+fn djohnson_recovers_on_all_rank_counts() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    for g in corpus(seed) {
+        for p in [1usize, 4, 9, 16] {
+            let plan = solver_plans(seed).swap_remove(1);
+            let (result, summary) = distributed_johnson_faulty(&g, p, &plan, false)
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+            assert_oracle(&result.dist, &g, &format!("djohnson p={p}"));
+            assert_eq!(summary.unrecoverable, 0);
+        }
+    }
+}
+
+#[test]
+fn sparse2d_recovers_under_chaos() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    for g in corpus(seed) {
+        for h in [1u32, 2] {
+            let nd =
+                apsp_partition::nested_dissection(&g, h, &apsp_partition::NdOptions::default());
+            nd.validate(&g).expect("valid ordering");
+            let layout = SupernodalLayout::from_ordering(&nd);
+            let gp = g.permuted(&nd.perm);
+            for (k, plan) in solver_plans(seed).into_iter().enumerate() {
+                let (result, summary) =
+                    sparse2d_faulty(&layout, &gp, &Sparse2dOptions::default(), &plan, false)
+                        .unwrap_or_else(|e| panic!("h={h} plan {k}: {e}"));
+                let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
+                assert_oracle(&dist, &g, &format!("sparse2d h={h} plan {k}"));
+                assert_eq!(summary.unrecoverable, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_chaos_replays_bit_identically() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let g = generators::grid2d(5, 5, WeightKind::Integer { max: 6 }, seed & 0xFFFF);
+    let plan = solver_plans(seed).pop().expect("mixed plan");
+    let run = || fw2d_faulty(&g, 3, &plan, true).expect("recoverable");
+    let (res_a, sum_a) = run();
+    let (res_b, sum_b) = run();
+    assert_eq!(res_a.report.per_rank, res_b.report.per_rank);
+    assert_eq!(res_a.report.profile, res_b.report.profile);
+    assert_eq!(sum_a, sum_b);
+    // and the fault history is visible in the profile's comm matrix:
+    // physical messages (including retransmissions) are what it records
+    let m = &res_a.report.profile.as_ref().expect("profiled").comm_matrix;
+    let physical: u64 = (0..9).map(|s| m.row_messages(s)).sum();
+    let logical = physical - sum_a.totals().retransmissions - sum_a.totals().duplicates_injected;
+    assert!(logical > 0 && physical > logical, "recovery traffic shows in the comm matrix");
+}

@@ -76,6 +76,23 @@ fn wants_profile(args: &Args) -> bool {
     args.opt("--trace").is_some() || args.flag("--profile")
 }
 
+/// Parses `--faults SPEC` (seeded by `--fault-seed`, default 0) into a
+/// [`FaultPlan`], dying with the grammar error on a bad spec.
+fn fault_plan(args: &Args) -> Option<FaultPlan> {
+    let spec = args.opt("--faults")?;
+    let seed: u64 = args.num("--fault-seed", 0);
+    Some(FaultPlan::parse(spec, seed).unwrap_or_else(|e| die(&format!("bad --faults spec: {e}"))))
+}
+
+/// Announces a completed faulty run's recovery history on stderr.
+fn report_faults(summary: &FaultSummary) {
+    eprintln!("faults: {}", summary.digest());
+}
+
+fn die_unrecoverable(e: FaultError) -> ! {
+    die(&format!("{e}"))
+}
+
 /// Renders the per-phase attribution as an aligned text table.
 fn breakdown_table(bd: &sparse_apsp::simnet::PhaseBreakdown) -> String {
     let mut s = String::new();
@@ -164,6 +181,9 @@ fn cmd_generate(args: &Args) {
 /// orientation; other formats go through the undirected reader and get
 /// symmetric weights) and runs the directed schedule.
 fn solve_directed(args: &Args) -> (DiCsr, DenseDist, RunReport, Vec<(u64, u64)>) {
+    if args.opt("--faults").is_some() {
+        die("--faults is not supported with --directed yet");
+    }
     let input = args.get("--input");
     let dg = if input.ends_with(".gr") {
         let text = std::fs::read_to_string(input)
@@ -191,6 +211,7 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
     let algorithm = args.opt("--algorithm").unwrap_or("sparse2d");
     let height: u32 = args.num("--height", 3);
     let n_grid = (1usize << height) - 1;
+    let plan = fault_plan(args);
     match algorithm {
         "sparse2d" => {
             let config = SparseApspConfig {
@@ -205,25 +226,65 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
                 profile: wants_profile(args),
                 ..Default::default()
             };
-            let run = SparseApsp::new(config).run(g);
+            let run = match &plan {
+                Some(p) => {
+                    let run = SparseApsp::new(config)
+                        .run_faulty(g, p)
+                        .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(run.faults.as_ref().expect("faulty run carries a summary"));
+                    run
+                }
+                None => SparseApsp::new(config).run(g),
+            };
             (run.dist, run.report, run.level_costs)
         }
         "fw2d" => {
-            let out = if wants_profile(args) { fw2d_profiled(g, n_grid) } else { fw2d(g, n_grid) };
+            let out = match &plan {
+                Some(p) => {
+                    let (out, summary) = fw2d_faulty(g, n_grid, p, wants_profile(args))
+                        .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    out
+                }
+                None if wants_profile(args) => fw2d_profiled(g, n_grid),
+                None => fw2d(g, n_grid),
+            };
             (out.dist, out.report, Vec::new())
         }
         "dcapsp" => {
             let depth = args.num("--depth", 1u32);
-            let out = if wants_profile(args) {
-                dc_apsp_profiled(g, n_grid, depth)
-            } else {
-                dc_apsp(g, n_grid, depth)
+            let out = match &plan {
+                Some(p) => {
+                    let (out, summary) = dc_apsp_faulty(g, n_grid, depth, p, wants_profile(args))
+                        .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    out
+                }
+                None if wants_profile(args) => dc_apsp_profiled(g, n_grid, depth),
+                None => dc_apsp(g, n_grid, depth),
+            };
+            (out.dist, out.report, Vec::new())
+        }
+        "djohnson" => {
+            let ranks = n_grid * n_grid;
+            let out = match &plan {
+                Some(p) => {
+                    let (out, summary) =
+                        distributed_johnson_faulty(g, ranks, p, wants_profile(args))
+                            .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    out
+                }
+                None => distributed_johnson(g, ranks),
             };
             (out.dist, out.report, Vec::new())
         }
         "superfw" => {
             if wants_profile(args) {
                 die("--trace/--profile need the simulated machine; superfw is shared-memory");
+            }
+            if plan.is_some() {
+                die("--faults needs the simulated machine; superfw is shared-memory");
             }
             let nd = nested_dissection(g, height, &NdOptions::default());
             let (dist, _) = superfw_apsp(g, &nd);
@@ -320,10 +381,11 @@ USAGE:
   apsp generate --kind <grid|grid3d|gnp|geometric|rmat|path> --out FILE
                 [--rows N --cols N | --n N | --side N | --scale N]
                 [--weights unit|integer|uniform] [--seed N]
-  apsp solve    --input FILE [--algorithm sparse2d|fw2d|dcapsp|superfw]
+  apsp solve    --input FILE [--algorithm sparse2d|fw2d|dcapsp|djohnson|superfw]
                 [--height H] [--verify] [--distances FILE] [--report FILE]
                 [--sequential-r4] [--compress-empty] [--charge-ordering]
                 [--trace DIR] [--profile]
+                [--faults SPEC] [--fault-seed N]
                 [--directed]   (.gr inputs keep their arc orientation)
   apsp path     --input FILE --from A --to B [--algorithm ...] [--height H]
   apsp info     --input FILE [--height H]   (graph statistics + separator probe)
@@ -336,7 +398,18 @@ Observability: --trace DIR writes DIR/trace.json (Chrome-trace JSON of the
 span ledger over simulated critical-path time; open in Perfetto) and
 DIR/events.jsonl (one sent message per line); --profile prints a per-phase
 table of the critical-path cost (exact-sum attribution on uniform SPMD
-schedules). Both work with sparse2d, fw2d and dcapsp.";
+schedules). Both work with sparse2d, fw2d and dcapsp.
+
+Fault injection: --faults SPEC runs the solver under deterministic,
+seed-reproducible message faults on the simulated machine; recovery is
+charged to the same cost ledgers and summarized on stderr. SPEC is
+comma-separated clauses: drop=P, dup=P, corrupt=P, delay=P[:UNITS],
+straggle=RANK:FACTOR, kill=SRC>DST, retries=N (probabilities in [0,1)).
+The same --faults/--fault-seed pair replays bit-identically. A kill=
+rule on a used link is unrecoverable: the solver exits loudly instead
+of returning distances. Example:
+  apsp solve --input mesh.el --algorithm fw2d \\
+             --faults \"drop=0.05,dup=0.02\" --fault-seed 7 --verify";
 
 fn cmd_info(args: &Args) {
     let g = load_graph(args.get("--input"));

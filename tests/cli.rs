@@ -76,7 +76,7 @@ fn all_algorithms_agree_via_cli() {
         .status()
         .unwrap()
         .success());
-    for algo in ["sparse2d", "fw2d", "dcapsp", "superfw"] {
+    for algo in ["sparse2d", "fw2d", "dcapsp", "djohnson", "superfw"] {
         let out = apsp()
             .args(["solve", "--algorithm", algo, "--height", "2", "--verify", "--input"])
             .arg(&graph)
@@ -150,6 +150,94 @@ fn info_reports_statistics() {
     assert!(text.contains("vertices          49"));
     assert!(text.contains("diameter          >= 12"));
     assert!(text.contains("top separator"));
+}
+
+#[test]
+fn faulty_solve_recovers_and_reports() {
+    let graph = tmp("faulted.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--seed", "2", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // a recoverable plan: the answer still verifies against Dijkstra, and
+    // the recovery history lands on stderr
+    let out = apsp()
+        .args(["solve", "--height", "2", "--verify"])
+        .args(["--faults", "drop=0.05,dup=0.02", "--fault-seed", "7", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("verified against Dijkstra: OK"), "{stderr}");
+    assert!(stderr.contains("faults: injected"), "{stderr}");
+    assert!(stderr.contains("unrecoverable 0"), "{stderr}");
+
+    // same plan + same seed → bit-identical digest line
+    let again = apsp()
+        .args(["solve", "--height", "2"])
+        .args(["--faults", "drop=0.05,dup=0.02", "--fault-seed", "7", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(again.status.success());
+    let digest = |s: &str| s.lines().find(|l| l.starts_with("faults:")).map(String::from);
+    assert_eq!(
+        digest(&stderr),
+        digest(&String::from_utf8_lossy(&again.stderr)),
+        "fault replay must be deterministic"
+    );
+}
+
+#[test]
+fn fault_spec_errors_fail_cleanly() {
+    let graph = tmp("faultspec.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "path", "--n", "10", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // malformed spec dies before solving
+    let out =
+        apsp().args(["solve", "--faults", "drop=1.5", "--input"]).arg(&graph).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --faults spec"));
+
+    // superfw never touches the simulated machine, so faults are rejected
+    let out = apsp()
+        .args(["solve", "--algorithm", "superfw", "--faults", "drop=0.1", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simulated machine"));
+}
+
+#[test]
+fn dead_link_solve_exits_loudly() {
+    let graph = tmp("deadlink.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    // link 0→2 is on the 9-rank sparse2d schedule: killing it must abort
+    // the solve with the culprit link, not return wrong distances
+    let out = apsp()
+        .args(["solve", "--height", "2", "--faults", "kill=0>2", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecoverable fault"), "{stderr}");
+    assert!(stderr.contains("0 → 2"), "{stderr}");
 }
 
 #[test]

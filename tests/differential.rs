@@ -1,0 +1,87 @@
+//! Differential conformance: every solver in the workspace computes the
+//! same distance matrix on the same corpus. Cross-solver agreement was
+//! previously only checked ad hoc per crate (each against the oracle);
+//! this table pins it pairwise, so a drift in any one solver's semantics
+//! (INF handling, disconnected components, weight ties) fails here by name.
+
+use sparse_apsp::prelude::*;
+
+/// The corpus: name + graph, spanning the shapes that historically
+/// disagree between APSP implementations.
+fn corpus() -> Vec<(&'static str, Csr)> {
+    let disconnected = {
+        let mut b = GraphBuilder::new(14);
+        for i in 0..5 {
+            b.add_edge(i, i + 1, 1.0 + (i % 3) as f64);
+        }
+        b.add_edge(7, 8, 2.0);
+        b.add_edge(8, 9, 0.5);
+        // vertices 6 and 10..13 are isolated
+        b.build()
+    };
+    vec![
+        ("path", path(16, WeightKind::Unit, 0)),
+        ("grid", grid2d(5, 5, WeightKind::Integer { max: 6 }, 1)),
+        ("random-sparse", connected_gnp(26, 0.12, WeightKind::Uniform { lo: 0.3, hi: 2.0 }, 7)),
+        ("disconnected", disconnected),
+        ("weighted", watts_strogatz(24, 4, 0.2, WeightKind::Uniform { lo: 0.1, hi: 5.0 }, 3)),
+    ]
+}
+
+/// Every solver, normalized to `name → DenseDist` on input vertex ids.
+fn solve_all(g: &Csr) -> Vec<(&'static str, DenseDist)> {
+    let mut out = Vec::new();
+
+    let run = SparseApsp::with_height(2).run(g);
+    out.push(("sparse2d", run.dist));
+
+    out.push(("fw2d", fw2d(g, 3).dist));
+    out.push(("dcapsp", dc_apsp(g, 3, 1).dist));
+    out.push(("djohnson", distributed_johnson(g, 9).dist));
+
+    let nd = nested_dissection(g, 2, &NdOptions::default());
+    let (dist, _) = superfw_apsp(g, &nd);
+    out.push(("superfw", dist));
+
+    out
+}
+
+#[test]
+fn all_solvers_agree_pairwise_on_the_corpus() {
+    for (graph_name, g) in corpus() {
+        let solved = solve_all(&g);
+        for (i, (name_a, dist_a)) in solved.iter().enumerate() {
+            for (name_b, dist_b) in &solved[i + 1..] {
+                if let Some((r, c, a, b)) = dist_a.first_mismatch(dist_b, 1e-9) {
+                    panic!(
+                        "{graph_name}: {name_a} vs {name_b} disagree at \
+                         ({r},{c}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+        // sanity: they agree with each other AND with the oracle
+        let reference = oracle::apsp_dijkstra(&g);
+        let (name, dist) = &solved[0];
+        assert!(
+            dist.first_mismatch(&reference, 1e-9).is_none(),
+            "{graph_name}: {name} disagrees with the oracle"
+        );
+    }
+}
+
+#[test]
+fn faulted_and_clean_solvers_agree() {
+    // the differential table, under faults: a recovered run must equal the
+    // clean run bit-for-bit on distances
+    let plan = FaultPlan::new(0xD1FF).with_drop(0.06).with_dup(0.04).with_corrupt(0.03);
+    for (graph_name, g) in corpus() {
+        let clean = fw2d(&g, 3).dist;
+        let (faulted, summary) = fw2d_faulty(&g, 3, &plan, false).expect("recoverable plan");
+        assert!(
+            clean.first_mismatch(&faulted.dist, 0.0).is_none(),
+            "{graph_name}: faulted fw2d drifted from the clean run"
+        );
+        assert_eq!(summary.unrecoverable, 0, "{graph_name}");
+    }
+}
