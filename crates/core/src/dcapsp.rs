@@ -23,7 +23,10 @@
 
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
-use apsp_simnet::{Comm, FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
+use apsp_simnet::{
+    Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
+    RunReport,
+};
 
 /// Result of a [`dc_apsp`] run.
 pub struct DcApspResult {
@@ -353,10 +356,36 @@ fn base_fw(comm: &mut Comm, t: &mut Tiles, range: std::ops::Range<usize>, seq: &
     }
 }
 
+/// Runs one SUMMA sweep or base-FW call as a checkpointable phase: the
+/// body executes only when the supervisor has not already restored past
+/// this boundary, and the full local tile set is the phase state committed
+/// at the end. Skipping is SPMD-uniform (every rank shares the boundary
+/// counter), so `seq`-derived tags stay consistent across ranks.
+fn checkpointed<F>(comm: &mut Comm, t: &mut Tiles, body: F)
+where
+    F: FnOnce(&mut Comm, &mut Tiles),
+{
+    if comm.phase_live() {
+        body(comm, t);
+    }
+    let packed = {
+        let mut out = Vec::with_capacity(t.data.iter().map(|m| m.words()).sum());
+        for m in &t.data {
+            out.extend_from_slice(m.as_slice());
+        }
+        out
+    };
+    let state = comm.commit_phase(packed);
+    let ts = t.geo.ts;
+    for (tile, chunk) in t.data.iter_mut().zip(state.chunks_exact(ts * ts)) {
+        *tile = MinPlusMatrix::from_raw(ts, ts, chunk.to_vec());
+    }
+}
+
 /// The divide-and-conquer recursion over a tile range.
 fn dc(comm: &mut Comm, t: &mut Tiles, range: std::ops::Range<usize>, depth: u32, seq: &mut u64) {
     if depth == 0 {
-        base_fw(comm, t, range, seq);
+        checkpointed(comm, t, |c, t| base_fw(c, t, range, seq));
         return;
     }
     let mid = range.start + range.len() / 2;
@@ -364,17 +393,17 @@ fn dc(comm: &mut Comm, t: &mut Tiles, range: std::ops::Range<usize>, depth: u32,
     // APSP(A11)
     dc(comm, t, r1.clone(), depth - 1, seq);
     // A12 ← A11 ⊗ A12 ; A21 ← A21 ⊗ A11
-    summa(comm, t, r1.clone(), r1.clone(), r2.clone(), seq);
-    summa(comm, t, r2.clone(), r1.clone(), r1.clone(), seq);
+    checkpointed(comm, t, |c, t| summa(c, t, r1.clone(), r1.clone(), r2.clone(), seq));
+    checkpointed(comm, t, |c, t| summa(c, t, r2.clone(), r1.clone(), r1.clone(), seq));
     // A22 ⊕= A21 ⊗ A12
-    summa(comm, t, r2.clone(), r1.clone(), r2.clone(), seq);
+    checkpointed(comm, t, |c, t| summa(c, t, r2.clone(), r1.clone(), r2.clone(), seq));
     // APSP(A22)
     dc(comm, t, r2.clone(), depth - 1, seq);
     // A12 ← A12 ⊗ A22 ; A21 ← A22 ⊗ A21
-    summa(comm, t, r1.clone(), r2.clone(), r2.clone(), seq);
-    summa(comm, t, r2.clone(), r2.clone(), r1.clone(), seq);
+    checkpointed(comm, t, |c, t| summa(c, t, r1.clone(), r2.clone(), r2.clone(), seq));
+    checkpointed(comm, t, |c, t| summa(c, t, r2.clone(), r2.clone(), r1.clone(), seq));
     // A11 ⊕= A12 ⊗ A21
-    summa(comm, t, r1.clone(), r2.clone(), r1.clone(), seq);
+    checkpointed(comm, t, |c, t| summa(c, t, r1.clone(), r2.clone(), r1.clone(), seq));
 }
 
 /// Distributed blocked FW over a **block-cyclic** layout with `2^oversub`
@@ -401,17 +430,37 @@ pub fn dc_apsp_profiled(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
 }
 
 /// Like [`dc_apsp`], under a deterministic fault plan: the run recovers
-/// (or fails loudly with a [`FaultError`]) and reports its fault history.
+/// (or fails loudly with a [`MachineError`]) and reports its fault history.
 pub fn dc_apsp_faulty(
     g: &Csr,
     n_grid: usize,
     depth: u32,
     plan: &FaultPlan,
     profiled: bool,
-) -> Result<(DcApspResult, FaultSummary), FaultError> {
+) -> Result<(DcApspResult, FaultSummary), MachineError> {
     let how = if profiled { Launch::Profiled } else { Launch::Plain };
     run_dc_launch(g, n_grid, depth, depth, how.with_faults(plan))
         .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
+}
+
+/// Like [`dc_apsp_faulty`], but supervised: every SUMMA sweep and base-FW
+/// call is a checkpointable phase, and killed ranks / dead links roll back
+/// and re-execute under `policy` instead of aborting the run.
+pub fn dc_apsp_recovering(
+    g: &Csr,
+    n_grid: usize,
+    depth: u32,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    profiled: bool,
+) -> Result<(DcApspResult, FaultSummary, RecoveryReport), MachineError> {
+    let geo = Cyclic::new(g.n(), n_grid, depth);
+    let p = n_grid * n_grid;
+    let (tiles_raw, report, faults, recovery) =
+        Machine::launch_recovering(p, plan, policy, profiled, |comm| {
+            rank_program(comm, geo, depth, g)
+        })?;
+    Ok((assemble(g, geo, tiles_raw, report), faults, recovery))
 }
 
 /// Shared driver: `tile_depth` controls the block-cyclic oversubscription
@@ -431,26 +480,24 @@ fn run_dc_inner(
     run_dc_launch(g, n_grid, tile_depth, rec_depth, how).expect("fault-free launch cannot fail").0
 }
 
-fn run_dc_launch(
+/// The SPMD rank program: build the local block-cyclic tiles and run the
+/// divide-and-conquer recursion over them.
+fn rank_program(comm: &mut Comm, geo: Cyclic, rec_depth: u32, g: &Csr) -> Vec<MinPlusMatrix> {
+    let mut t = Tiles::new(geo, comm.rank(), g);
+    let words: usize = t.data.iter().map(|m| m.words()).sum();
+    comm.alloc(words);
+    let mut seq = 0u64;
+    dc(comm, &mut t, 0..geo.tiles, rec_depth, &mut seq);
+    t.data
+}
+
+/// Host-side assembly: place every rank's tiles and crop the padding.
+fn assemble(
     g: &Csr,
-    n_grid: usize,
-    tile_depth: u32,
-    rec_depth: u32,
-    how: Launch<'_>,
-) -> Result<(DcApspResult, Option<FaultSummary>), FaultError> {
-    assert!(rec_depth <= tile_depth, "cannot recurse below tile granularity");
-    let geo = Cyclic::new(g.n(), n_grid, tile_depth);
-    let p = n_grid * n_grid;
-    let program = |comm: &mut Comm| {
-        let mut t = Tiles::new(geo, comm.rank(), g);
-        let words: usize = t.data.iter().map(|m| m.words()).sum();
-        comm.alloc(words);
-        let mut seq = 0u64;
-        dc(comm, &mut t, 0..geo.tiles, rec_depth, &mut seq);
-        t.data
-    };
-    let (tiles_raw, report, faults) = Machine::launch(p, how, program)?;
-    // assemble (crop the padding)
+    geo: Cyclic,
+    tiles_raw: Vec<Vec<MinPlusMatrix>>,
+    report: RunReport,
+) -> DcApspResult {
     let n = g.n();
     let mut dist = DenseDist::unconnected(n);
     let per_dim = geo.tiles / geo.ng;
@@ -471,7 +518,22 @@ fn run_dc_launch(
             }
         }
     }
-    Ok((DcApspResult { dist, report }, faults))
+    DcApspResult { dist, report }
+}
+
+fn run_dc_launch(
+    g: &Csr,
+    n_grid: usize,
+    tile_depth: u32,
+    rec_depth: u32,
+    how: Launch<'_>,
+) -> Result<(DcApspResult, Option<FaultSummary>), MachineError> {
+    assert!(rec_depth <= tile_depth, "cannot recurse below tile granularity");
+    let geo = Cyclic::new(g.n(), n_grid, tile_depth);
+    let p = n_grid * n_grid;
+    let (tiles_raw, report, faults) =
+        Machine::launch(p, how, |comm| rank_program(comm, geo, rec_depth, g))?;
+    Ok((assemble(g, geo, tiles_raw, report), faults))
 }
 
 #[cfg(test)]

@@ -22,7 +22,10 @@
 
 use crate::fw2d::balanced_sizes;
 use apsp_graph::{oracle, Csr, DenseDist};
-use apsp_simnet::{FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
+use apsp_simnet::{
+    Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
+    RunReport,
+};
 
 /// Result of a [`distributed_johnson`] run.
 pub struct DJohnsonResult {
@@ -81,24 +84,41 @@ pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
 }
 
 /// Like [`distributed_johnson`], under a deterministic fault plan: the
-/// replication broadcast recovers (or fails loudly with a [`FaultError`])
-/// and the run reports its fault history.
+/// replication broadcast recovers (or fails loudly with a
+/// [`MachineError`]) and the run reports its fault history.
 pub fn distributed_johnson_faulty(
     g: &Csr,
     p: usize,
     plan: &FaultPlan,
     profiled: bool,
-) -> Result<(DJohnsonResult, FaultSummary), FaultError> {
+) -> Result<(DJohnsonResult, FaultSummary), MachineError> {
     let how = if profiled { Launch::Profiled } else { Launch::Plain };
     djohnson_launch(g, p, how.with_faults(plan))
         .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
 }
 
-fn djohnson_launch(
+/// Like [`distributed_johnson_faulty`], but supervised: the two phases
+/// (graph replication, source-partitioned Dijkstra) are checkpointed at
+/// their boundaries, and killed ranks / dead links roll back and re-execute
+/// under `policy` instead of aborting the run.
+pub fn distributed_johnson_recovering(
     g: &Csr,
     p: usize,
-    how: Launch<'_>,
-) -> Result<(DJohnsonResult, Option<FaultSummary>), FaultError> {
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    profiled: bool,
+) -> Result<(DJohnsonResult, FaultSummary, RecoveryReport), MachineError> {
+    let (n, offsets, packed, group) = setup(g, p);
+    let (rows, report, faults, recovery) =
+        Machine::launch_recovering(p, plan, policy, profiled, |comm| {
+            rank_program(comm, &packed, &group, &offsets, n)
+        })?;
+    Ok((assemble(n, &offsets, rows, report), faults, recovery))
+}
+
+/// Host-side setup shared by all entry points: source offsets, the packed
+/// graph held by rank 0, and the full-machine broadcast group.
+fn setup(g: &Csr, p: usize) -> (usize, Vec<usize>, Vec<f64>, Vec<usize>) {
     assert!(g.has_nonnegative_weights(), "undirected APSP requires non-negative weights");
     let n = g.n();
     let sizes = balanced_sizes(n, p);
@@ -106,15 +126,32 @@ fn djohnson_launch(
     for &s in &sizes {
         offsets.push(offsets.last().unwrap() + s);
     }
-    let packed = pack_graph(g);
-    let group: Vec<usize> = (0..p).collect();
-    let (rows, report, faults) = Machine::launch(p, how, |comm| {
-        // graph replication (rank 0 holds the input)
-        let payload = (comm.rank() == 0).then(|| packed.clone());
-        let data = comm.bcast(&group, 0, 0x10, payload);
+    (n, offsets, pack_graph(g), (0..p).collect())
+}
+
+/// The SPMD rank program: phase 1 replicates the graph, phase 2 runs
+/// Dijkstra from this rank's sources. Each phase ends at a checkpointable
+/// boundary whose state is exactly the phase's output vector.
+fn rank_program(
+    comm: &mut Comm,
+    packed: &[f64],
+    group: &[usize],
+    offsets: &[usize],
+    n: usize,
+) -> Vec<f64> {
+    // phase 1: graph replication (rank 0 holds the input)
+    let mut state = if comm.phase_live() {
+        let payload = (comm.rank() == 0).then(|| packed.to_vec());
+        let data = comm.bcast(group, 0, 0x10, payload);
         comm.alloc(data.len());
-        let local = unpack_graph(&data);
-        // my source range
+        data
+    } else {
+        Vec::new()
+    };
+    state = comm.commit_phase(state);
+    // phase 2: source-partitioned Dijkstra over the replicated graph
+    let out = if comm.phase_live() {
+        let local = unpack_graph(&state);
         let r = comm.rank();
         let my_sources = offsets[r]..offsets[r + 1];
         let mut out = Vec::with_capacity(my_sources.len() * n);
@@ -129,8 +166,14 @@ fn djohnson_launch(
         comm.compute(ops);
         comm.alloc(out.len());
         out
-    })?;
-    // assemble (host-side, mirroring the other algorithms' result handling)
+    } else {
+        Vec::new()
+    };
+    comm.commit_phase(out)
+}
+
+/// Host-side assembly, mirroring the other algorithms' result handling.
+fn assemble(n: usize, offsets: &[usize], rows: Vec<Vec<f64>>, report: RunReport) -> DJohnsonResult {
     let mut dist = DenseDist::unconnected(n);
     for (r, block) in rows.into_iter().enumerate() {
         for (k, chunk) in block.chunks_exact(n.max(1)).enumerate() {
@@ -140,7 +183,18 @@ fn djohnson_launch(
             }
         }
     }
-    Ok((DJohnsonResult { dist, report }, faults))
+    DJohnsonResult { dist, report }
+}
+
+fn djohnson_launch(
+    g: &Csr,
+    p: usize,
+    how: Launch<'_>,
+) -> Result<(DJohnsonResult, Option<FaultSummary>), MachineError> {
+    let (n, offsets, packed, group) = setup(g, p);
+    let (rows, report, faults) =
+        Machine::launch(p, how, |comm| rank_program(comm, &packed, &group, &offsets, n))?;
+    Ok((assemble(n, &offsets, rows, report), faults))
 }
 
 #[cfg(test)]

@@ -1,12 +1,15 @@
 //! End-to-end public API: partition → permute → distribute → run → gather.
 
 use crate::sparse2d::{
-    sparse2d_faulty, sparse2d_profiled, sparse2d_with, R4Strategy, Sparse2dOptions,
+    sparse2d_faulty, sparse2d_profiled, sparse2d_recovering, sparse2d_with, R4Strategy,
+    Sparse2dOptions,
 };
 use crate::supernodal::SupernodalLayout;
 use apsp_graph::{Csr, DenseDist};
 use apsp_partition::{grid_nd, nested_dissection, NdOptions, NdOrdering};
-use apsp_simnet::{FaultError, FaultPlan, FaultSummary, Machine, RunReport};
+use apsp_simnet::{
+    FaultPlan, FaultSummary, Machine, MachineError, RecoveryPolicy, RecoveryReport, RunReport,
+};
 
 /// How the nested-dissection ordering is obtained.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +52,13 @@ pub struct SparseApspConfig {
     /// profiled, so the merged profile still satisfies the exact-sum
     /// invariant of [`apsp_simnet::PhaseBreakdown`].
     pub profile: bool,
+    /// Checkpoint/restart policy for [`SparseApsp::run_faulty`]. `None`
+    /// (the default) keeps the historical fail-fast behaviour: the first
+    /// unrecoverable fault aborts the solve. `Some(policy)` supervises the
+    /// solve instead — elimination levels are checkpointed and killed
+    /// ranks roll back and re-execute (see
+    /// [`apsp_simnet::Machine::launch_recovering`]).
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for SparseApspConfig {
@@ -60,6 +70,7 @@ impl Default for SparseApspConfig {
             compress_empty: false,
             charge_ordering_distribution: false,
             profile: false,
+            recovery: None,
         }
     }
 }
@@ -80,6 +91,10 @@ pub struct ApspRun {
     /// [`SparseApsp::run_faulty`]: injected/recovered counts per rank
     /// (`unrecoverable` is always 0 on a run that returned).
     pub faults: Option<FaultSummary>,
+    /// Checkpoint/restart ledger, present when the run was supervised
+    /// ([`SparseApspConfig::recovery`] set): restarts, rollback bytes,
+    /// spare takeovers.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl ApspRun {
@@ -188,7 +203,14 @@ impl SparseApsp {
         };
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
-        ApspRun { dist, report, ordering: nd, level_costs: result.level_costs(), faults: None }
+        ApspRun {
+            dist,
+            report,
+            ordering: nd,
+            level_costs: result.level_costs(),
+            faults: None,
+            recovery: None,
+        }
     }
 
     /// Runs the full pipeline on `g`. Distances come back in the input
@@ -221,7 +243,14 @@ impl SparseApsp {
         };
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
-        ApspRun { dist, report, ordering: nd, level_costs: result.level_costs(), faults: None }
+        ApspRun {
+            dist,
+            report,
+            ordering: nd,
+            level_costs: result.level_costs(),
+            faults: None,
+            recovery: None,
+        }
     }
 
     /// Runs the full pipeline on `g` with a deterministic fault plan
@@ -232,11 +261,17 @@ impl SparseApsp {
     ///
     /// On success, [`ApspRun::faults`] carries the injected/recovered
     /// counts and the recovery traffic is part of [`ApspRun::report`].
+    /// With [`SparseApspConfig::recovery`] set, the solve additionally
+    /// survives killed ranks and dead links by rolling back to the last
+    /// checkpointed elimination level, and [`ApspRun::recovery`] reports
+    /// the restart/rollback ledger.
     ///
     /// # Errors
-    /// A [`FaultError`] naming the first undeliverable message — the run
-    /// never returns silently wrong distances.
-    pub fn run_faulty(&self, g: &Csr, plan: &FaultPlan) -> Result<ApspRun, FaultError> {
+    /// A [`MachineError`] naming the first undeliverable message (or, on a
+    /// supervised run, a typed [`apsp_simnet::Unrecoverable`] once the
+    /// restart budget is exhausted) — the run never returns silently wrong
+    /// distances.
+    pub fn run_faulty(&self, g: &Csr, plan: &FaultPlan) -> Result<ApspRun, MachineError> {
         assert!(
             g.has_nonnegative_weights(),
             "undirected APSP requires non-negative weights (a negative \
@@ -254,7 +289,18 @@ impl SparseApsp {
         }
         let opts =
             Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
-        let (result, faults) = sparse2d_faulty(&layout, &gp, &opts, plan, self.config.profile)?;
+        let (result, faults, recovery) = match self.config.recovery {
+            Some(policy) => {
+                let (result, faults, recovery) =
+                    sparse2d_recovering(&layout, &gp, &opts, plan, policy, self.config.profile)?;
+                (result, faults, Some(recovery))
+            }
+            None => {
+                let (result, faults) =
+                    sparse2d_faulty(&layout, &gp, &opts, plan, self.config.profile)?;
+                (result, faults, None)
+            }
+        };
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
         Ok(ApspRun {
@@ -263,6 +309,7 @@ impl SparseApsp {
             ordering: nd,
             level_costs: result.level_costs(),
             faults: Some(faults),
+            recovery,
         })
     }
 }
@@ -520,7 +567,41 @@ mod tests {
             Ok(_) => panic!("a dead link in a 9-rank solve is unrecoverable"),
             Err(e) => e,
         };
+        let MachineError::Fault(err) = err else {
+            panic!("expected a fault error, got {err}");
+        };
         assert_eq!((err.src, err.dst), (0, 2));
+    }
+
+    #[test]
+    fn supervised_run_survives_a_killed_rank() {
+        let g = generators::grid2d(6, 6, WeightKind::Integer { max: 5 }, 1);
+        let plan = apsp_simnet::FaultPlan::new(7).with_kill_rank_from(4, 1);
+        let config =
+            SparseApspConfig { recovery: Some(RecoveryPolicy::default()), ..Default::default() };
+        let run = SparseApsp::new(config).run_faulty(&g, &plan).expect("supervised run recovers");
+        let reference = oracle::apsp_dijkstra(&g);
+        assert!(run.dist.first_mismatch(&reference, 1e-9).is_none());
+        let recovery = run.recovery.expect("supervised run carries a recovery report");
+        assert!(recovery.restarts >= 1, "the killed rank must force a restart");
+        assert_eq!(recovery.spare_takeovers.len(), 1);
+        assert_eq!(run.faults.expect("summary").unrecoverable, 0);
+    }
+
+    #[test]
+    fn supervised_run_exhausts_its_budget_loudly() {
+        let g = generators::grid2d(6, 6, WeightKind::Unit, 0);
+        // a rank kill with no spares can never be outrun by restarts
+        let plan = apsp_simnet::FaultPlan::new(7).with_kill_rank(4);
+        let config = SparseApspConfig {
+            recovery: Some(RecoveryPolicy { max_restarts: 2, every: 1, spares: 0 }),
+            ..Default::default()
+        };
+        let err = match SparseApsp::new(config).run_faulty(&g, &plan) {
+            Ok(_) => panic!("no spares means the kill is unrecoverable"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, MachineError::Unrecoverable(_)), "got {err}");
     }
 
     #[test]

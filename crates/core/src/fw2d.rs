@@ -8,7 +8,10 @@
 
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
-use apsp_simnet::{Comm, FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
+use apsp_simnet::{
+    Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
+    RunReport,
+};
 
 /// Balanced partition of `n` into `parts` consecutive chunks.
 pub fn balanced_sizes(n: usize, parts: usize) -> Vec<usize> {
@@ -90,37 +93,63 @@ fn rank_program(comm: &mut Comm, grid: &Grid, g: &Csr) -> Vec<f64> {
     let full_row: Vec<usize> = (1..=n_grid).map(|j| grid.rank_of(bi, j)).collect();
 
     for t in 1..=n_grid {
+        // each pivot round is a checkpointable phase: skipped wholesale
+        // when a restored checkpoint already covers it
+        if comm.phase_live() {
+            pivot_round(comm, grid, &mut block, t, bi, bj, &full_col, &full_row);
+        }
+        let (rows, cols) = (block.rows(), block.cols());
+        let state =
+            comm.commit_phase(std::mem::replace(&mut block, MinPlusMatrix::empty(0, 0)).into_vec());
+        block = MinPlusMatrix::from_raw(rows, cols, state);
+    }
+
+    block.into_vec()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pivot_round(
+    comm: &mut Comm,
+    grid: &Grid,
+    block: &mut MinPlusMatrix,
+    t: usize,
+    bi: usize,
+    bj: usize,
+    full_col: &[usize],
+    full_row: &[usize],
+) {
+    {
         let mut pivot_span = comm.span("pivot", t as u64);
         let comm: &mut Comm = &mut pivot_span;
         // pivot closure
         if bi == t && bj == t {
-            let ops = fw_in_place(&mut block);
+            let ops = fw_in_place(block);
             comm.compute(ops);
         }
         // pivot broadcast down column t
         let mut akk: Option<MinPlusMatrix> = None;
         if bj == t {
             let payload = (bi == t).then(|| block.as_slice().to_vec());
-            let data = comm.bcast(&full_col, grid.rank_of(t, t), tag(t, 1, 0), payload);
+            let data = comm.bcast(full_col, grid.rank_of(t, t), tag(t, 1, 0), payload);
             comm.alloc(data.len());
             akk = Some(MinPlusMatrix::from_raw(grid.size(t), grid.size(t), data));
             if bi != t {
                 // column panel update: A(i,t) ⊕= A(i,t) ⊗ A(t,t)*
                 let snapshot = block.clone();
-                let ops = gemm(&mut block, &snapshot, akk.as_ref().unwrap());
+                let ops = gemm(block, &snapshot, akk.as_ref().unwrap());
                 comm.compute(ops);
             }
         }
         // pivot broadcast along row t
         if bi == t {
             let payload = (bj == t).then(|| block.as_slice().to_vec());
-            let data = comm.bcast(&full_row, grid.rank_of(t, t), tag(t, 2, 0), payload);
+            let data = comm.bcast(full_row, grid.rank_of(t, t), tag(t, 2, 0), payload);
             if bj != t {
                 comm.alloc(data.len());
                 let akk_row = MinPlusMatrix::from_raw(grid.size(t), grid.size(t), data);
                 // row panel update: A(t,j) ⊕= A(t,t)* ⊗ A(t,j)
                 let snapshot = block.clone();
-                let ops = gemm(&mut block, &akk_row, &snapshot);
+                let ops = gemm(block, &akk_row, &snapshot);
                 comm.compute(ops);
                 comm.release(akk_row.words());
             }
@@ -132,27 +161,25 @@ fn rank_program(comm: &mut Comm, grid: &Grid, g: &Csr) -> Vec<f64> {
         // column panel A(i,t) broadcasts along row i (all rows in parallel)
         let aik = {
             let payload = (bj == t).then(|| block.as_slice().to_vec());
-            let data = comm.bcast(&full_row, grid.rank_of(bi, t), tag(t, 3, bi), payload);
+            let data = comm.bcast(full_row, grid.rank_of(bi, t), tag(t, 3, bi), payload);
             comm.alloc(data.len());
             MinPlusMatrix::from_raw(grid.size(bi), grid.size(t), data)
         };
         // row panel A(t,j) broadcasts down column j
         let akj = {
             let payload = (bi == t).then(|| block.as_slice().to_vec());
-            let data = comm.bcast(&full_col, grid.rank_of(t, bj), tag(t, 4, bj), payload);
+            let data = comm.bcast(full_col, grid.rank_of(t, bj), tag(t, 4, bj), payload);
             comm.alloc(data.len());
             MinPlusMatrix::from_raw(grid.size(t), grid.size(bj), data)
         };
         // min-plus outer product everywhere off the pivot cross
         if bi != t && bj != t {
-            let ops = gemm(&mut block, &aik, &akj);
+            let ops = gemm(block, &aik, &akj);
             comm.compute(ops);
         }
         comm.release(aik.words());
         comm.release(akj.words());
     }
-
-    block.into_vec()
 }
 
 /// Runs the dense blocked-FW APSP on a `n_grid × n_grid` simulated grid
@@ -169,16 +196,35 @@ pub fn fw2d_profiled(g: &Csr, n_grid: usize) -> Fw2dResult {
 }
 
 /// Like [`fw2d`], under a deterministic fault plan: the run recovers (or
-/// fails loudly with a [`FaultError`]) and reports its fault history.
+/// fails loudly with a [`MachineError`]) and reports its fault history.
 pub fn fw2d_faulty(
     g: &Csr,
     n_grid: usize,
     plan: &FaultPlan,
     profiled: bool,
-) -> Result<(Fw2dResult, FaultSummary), FaultError> {
+) -> Result<(Fw2dResult, FaultSummary), MachineError> {
     let how = if profiled { Launch::Profiled } else { Launch::Plain };
     fw2d_launch(g, n_grid, how.with_faults(plan))
         .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
+}
+
+/// Like [`fw2d_faulty`], under a checkpoint/restart supervisor: each
+/// pivot round is a phase boundary, so a dead rank or exhausted retry
+/// budget rolls back to the previous round and re-executes (with a spare
+/// rank when the plan's kill is permanent) instead of failing the solve.
+pub fn fw2d_recovering(
+    g: &Csr,
+    n_grid: usize,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    profiled: bool,
+) -> Result<(Fw2dResult, FaultSummary, RecoveryReport), MachineError> {
+    assert!(n_grid >= 1);
+    let grid = Grid::new(g.n(), n_grid);
+    let p = n_grid * n_grid;
+    let (blocks_raw, report, summary, recovery) =
+        Machine::launch_recovering(p, plan, policy, profiled, |comm| rank_program(comm, &grid, g))?;
+    Ok((assemble(g, &grid, blocks_raw, report), summary, recovery))
 }
 
 fn fw2d_inner(g: &Csr, n_grid: usize, how: Launch<'_>) -> Fw2dResult {
@@ -189,13 +235,16 @@ fn fw2d_launch(
     g: &Csr,
     n_grid: usize,
     how: Launch<'_>,
-) -> Result<(Fw2dResult, Option<FaultSummary>), FaultError> {
+) -> Result<(Fw2dResult, Option<FaultSummary>), MachineError> {
     assert!(n_grid >= 1);
     let grid = Grid::new(g.n(), n_grid);
     let p = n_grid * n_grid;
     let (blocks_raw, report, faults) =
         Machine::launch(p, how, |comm| rank_program(comm, &grid, g))?;
-    // assemble
+    Ok((assemble(g, &grid, blocks_raw, report), faults))
+}
+
+fn assemble(g: &Csr, grid: &Grid, blocks_raw: Vec<Vec<f64>>, report: RunReport) -> Fw2dResult {
     let n = g.n();
     let mut dist = DenseDist::unconnected(n);
     for (rank, data) in blocks_raw.into_iter().enumerate() {
@@ -208,7 +257,7 @@ fn fw2d_launch(
             }
         }
     }
-    Ok((Fw2dResult { dist, report }, faults))
+    Fw2dResult { dist, report }
 }
 
 #[cfg(test)]

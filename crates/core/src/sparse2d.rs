@@ -48,7 +48,10 @@ use crate::supernodal::SupernodalLayout;
 use apsp_etree::{mapping, SchedTree};
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
-use apsp_simnet::{Clocks, Comm, FaultError, FaultPlan, FaultSummary, Launch, Machine, RunReport};
+use apsp_simnet::{
+    Clocks, Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy,
+    RecoveryReport, RunReport,
+};
 
 /// How the `R⁴` computing units are scheduled (§5.2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -195,15 +198,80 @@ fn rank_program(
     let t = *layout.tree();
     let h = t.height();
     let (bi, bj) = layout.block_of_rank(comm.rank());
-    let rank_of = |i: usize, j: usize| layout.rank_of_block(i, j);
-    let size = |k: usize| layout.size(k);
-    let compress = opts.compress_empty;
 
     let mut block = init(bi, bj);
     comm.alloc(block.words());
     let mut level_clocks = Vec::with_capacity(h as usize);
 
+    // Every elimination level is a checkpointable phase: its boundary state
+    // is the block plus the per-level clock snapshots accumulated so far,
+    // so a restored rank resumes with both its distances and its Lemma
+    // 5.6/5.8/5.9 measurements intact.
     for l in 1..=h {
+        if comm.phase_live() {
+            level_clocks.push(level_round(comm, layout, &t, l, bi, bj, &mut block, opts, directed));
+        }
+        let (rows, cols) = (block.rows(), block.cols());
+        let packed =
+            encode_state(std::mem::replace(&mut block, MinPlusMatrix::empty(0, 0)), &level_clocks);
+        let (restored, clocks) = decode_state(rows, cols, comm.commit_phase(packed));
+        block = restored;
+        level_clocks = clocks;
+    }
+
+    (block.into_vec(), level_clocks)
+}
+
+/// Appends the per-level clock snapshots to a block's word vector so a
+/// phase checkpoint carries both (three bit-cast words per level).
+fn encode_state(block: MinPlusMatrix, level_clocks: &[Clocks]) -> Vec<f64> {
+    let mut state = block.into_vec();
+    state.reserve(3 * level_clocks.len());
+    for c in level_clocks {
+        state.push(f64::from_bits(c.latency));
+        state.push(f64::from_bits(c.bandwidth));
+        state.push(f64::from_bits(c.compute));
+    }
+    state
+}
+
+/// Inverse of [`encode_state`]: splits a committed state back into the
+/// block and the per-level clock snapshots (the level count is implied by
+/// the trailing length — block dimensions never change across levels).
+fn decode_state(rows: usize, cols: usize, mut state: Vec<f64>) -> (MinPlusMatrix, Vec<Clocks>) {
+    let nb = rows * cols;
+    let clocks = state[nb..]
+        .chunks_exact(3)
+        .map(|c| Clocks {
+            latency: c[0].to_bits(),
+            bandwidth: c[1].to_bits(),
+            compute: c[2].to_bits(),
+        })
+        .collect();
+    state.truncate(nb);
+    (MinPlusMatrix::from_raw(rows, cols, state), clocks)
+}
+
+/// One elimination level of Algorithm 1 (`R¹`–`R⁴`), wrapped in its phase
+/// spans. Returns the cumulative critical-path clocks after the level.
+#[allow(clippy::too_many_arguments)]
+fn level_round(
+    comm: &mut Comm,
+    layout: &SupernodalLayout,
+    t: &SchedTree,
+    l: u32,
+    bi: usize,
+    bj: usize,
+    block: &mut MinPlusMatrix,
+    opts: &Sparse2dOptions,
+    directed: bool,
+) -> Clocks {
+    let h = t.height();
+    let rank_of = |i: usize, j: usize| layout.rank_of_block(i, j);
+    let size = |k: usize| layout.size(k);
+    let compress = opts.compress_empty;
+
+    {
         // phase spans: one top-level "level" span per elimination level,
         // with the paper's computing units R¹–R⁴ nested inside — free
         // unless the run is profiled (see `Comm::span`)
@@ -214,7 +282,7 @@ fn rank_program(
         {
             let mut comm = comm.span("r1", l as u64);
             if bi == bj && t.level(bi) == l {
-                let ops = fw_in_place(&mut block);
+                let ops = fw_in_place(block);
                 comm.compute(ops);
             }
         }
@@ -227,16 +295,16 @@ fn rank_program(
             if t.level(bj) == l && t.related(bi, bj) {
                 let k = bj;
                 let group: Vec<usize> =
-                    rel_with_self(&t, k).iter().map(|&i| rank_of(i, k)).collect();
+                    rel_with_self(t, k).iter().map(|&i| rank_of(i, k)).collect();
                 let root = rank_of(k, k);
-                let payload = (bi == k).then(|| encode(&block, compress));
+                let payload = (bi == k).then(|| encode(block, compress));
                 let data = comm.bcast(&group, root, tag(l, 1, k, 0), payload);
                 if bi != k {
                     let akk = decode(size(k), size(k), data);
                     comm.alloc(akk.words());
                     let snapshot = block.clone();
                     comm.alloc(snapshot.words());
-                    let ops = gemm(&mut block, &snapshot, &akk);
+                    let ops = gemm(block, &snapshot, &akk);
                     comm.compute(ops);
                     comm.release(snapshot.words());
                     comm.release(akk.words());
@@ -246,16 +314,16 @@ fn rank_program(
             if t.level(bi) == l && t.related(bi, bj) {
                 let k = bi;
                 let group: Vec<usize> =
-                    rel_with_self(&t, k).iter().map(|&j| rank_of(k, j)).collect();
+                    rel_with_self(t, k).iter().map(|&j| rank_of(k, j)).collect();
                 let root = rank_of(k, k);
-                let payload = (bj == k).then(|| encode(&block, compress));
+                let payload = (bj == k).then(|| encode(block, compress));
                 let data = comm.bcast(&group, root, tag(l, 2, k, 0), payload);
                 if bj != k {
                     let akk = decode(size(k), size(k), data);
                     comm.alloc(akk.words());
                     let snapshot = block.clone();
                     comm.alloc(snapshot.words());
-                    let ops = gemm(&mut block, &akk, &snapshot);
+                    let ops = gemm(block, &akk, &snapshot);
                     comm.compute(ops);
                     comm.release(snapshot.words());
                     comm.release(akk.words());
@@ -267,13 +335,13 @@ fn rank_program(
         {
             let mut r3_span = comm.span("r3", l as u64);
             let comm: &mut Comm = &mut r3_span;
-            let r3k = r3_pivot(&t, l, bi, bj);
+            let r3k = r3_pivot(t, l, bi, bj);
             // row phase: panel (i, k=bj) broadcasts A(i,k) along row i
             let mut r3_aik: Option<MinPlusMatrix> = None;
             if t.level(bj) == l && t.related(bi, bj) && bi != bj {
                 // source role
                 let k = bj;
-                let mut cols = r3_row_targets(&t, l, bi, k);
+                let mut cols = r3_row_targets(t, l, bi, k);
                 cols.push(k);
                 cols.sort_unstable();
                 let group: Vec<usize> = cols.iter().map(|&j| rank_of(bi, j)).collect();
@@ -281,11 +349,11 @@ fn rank_program(
                     &group,
                     rank_of(bi, k),
                     tag(l, 3, k, bi),
-                    Some(encode(&block, compress)),
+                    Some(encode(block, compress)),
                 );
             } else if let Some(k) = r3k {
                 // receiver role: join the broadcast of panel (bi, k)
-                let mut cols = r3_row_targets(&t, l, bi, k);
+                let mut cols = r3_row_targets(t, l, bi, k);
                 cols.push(k);
                 cols.sort_unstable();
                 let group: Vec<usize> = cols.iter().map(|&j| rank_of(bi, j)).collect();
@@ -298,7 +366,7 @@ fn rank_program(
             let mut r3_akj: Option<MinPlusMatrix> = None;
             if t.level(bi) == l && t.related(bi, bj) && bi != bj {
                 let k = bi;
-                let mut rows = r3_row_targets(&t, l, bj, k);
+                let mut rows = r3_row_targets(t, l, bj, k);
                 rows.push(k);
                 rows.sort_unstable();
                 let group: Vec<usize> = rows.iter().map(|&i| rank_of(i, bj)).collect();
@@ -306,10 +374,10 @@ fn rank_program(
                     &group,
                     rank_of(k, bj),
                     tag(l, 4, k, bj),
-                    Some(encode(&block, compress)),
+                    Some(encode(block, compress)),
                 );
             } else if let Some(k) = r3k {
-                let mut rows = r3_row_targets(&t, l, bj, k);
+                let mut rows = r3_row_targets(t, l, bj, k);
                 rows.push(k);
                 rows.sort_unstable();
                 let group: Vec<usize> = rows.iter().map(|&i| rank_of(i, bj)).collect();
@@ -320,7 +388,7 @@ fn rank_program(
             }
             // local update
             if let (Some(aik), Some(akj)) = (&r3_aik, &r3_akj) {
-                let ops = gemm(&mut block, aik, akj);
+                let ops = gemm(block, aik, akj);
                 comm.compute(ops);
             }
             if let Some(a) = r3_aik.take() {
@@ -337,24 +405,22 @@ fn rank_program(
             let comm: &mut Comm = &mut r4_span;
             match (opts.r4, directed) {
                 (R4Strategy::OneToOne, false) => {
-                    r4_one_to_one(comm, layout, &t, l, bi, bj, &mut block, compress)
+                    r4_one_to_one(comm, layout, t, l, bi, bj, block, compress)
                 }
                 (R4Strategy::SequentialUnits, false) => {
-                    r4_sequential(comm, layout, &t, l, bi, bj, &mut block, compress)
+                    r4_sequential(comm, layout, t, l, bi, bj, block, compress)
                 }
                 (R4Strategy::OneToOne, true) => {
-                    r4_one_to_one_directed(comm, layout, &t, l, bi, bj, &mut block, compress)
+                    r4_one_to_one_directed(comm, layout, t, l, bi, bj, block, compress)
                 }
                 (R4Strategy::SequentialUnits, true) => {
-                    r4_sequential_directed(comm, layout, &t, l, bi, bj, &mut block, compress)
+                    r4_sequential_directed(comm, layout, t, l, bi, bj, block, compress)
                 }
             }
         }
 
-        level_clocks.push(comm.clocks());
+        comm.clocks()
     }
-
-    (block.into_vec(), level_clocks)
 }
 
 /// The Corollary 5.5 one-to-one schedule for `R⁴` at level `l`.
@@ -883,7 +949,7 @@ pub fn sparse2d_directed_profiled(
 }
 
 /// Like [`sparse2d_with`], under a deterministic fault plan: the schedule
-/// recovers (or fails loudly with a [`FaultError`]) and the run reports
+/// recovers (or fails loudly with a [`MachineError`]) and the run reports
 /// its fault history alongside the result.
 pub fn sparse2d_faulty(
     layout: &SupernodalLayout,
@@ -891,12 +957,35 @@ pub fn sparse2d_faulty(
     opts: &Sparse2dOptions,
     plan: &FaultPlan,
     profiled: bool,
-) -> Result<(Sparse2dResult, FaultSummary), FaultError> {
+) -> Result<(Sparse2dResult, FaultSummary), MachineError> {
     assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
     let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
     let how = if profiled { Launch::Profiled } else { Launch::Plain };
     run_machine_launch(layout, &init, opts, false, how.with_faults(plan))
         .map(|(res, faults)| (res, faults.expect("faulty run carries a summary")))
+}
+
+/// Like [`sparse2d_faulty`], but supervised: every elimination level is a
+/// checkpointable phase, and killed ranks / dead links roll back to the
+/// last complete level and re-execute under `policy` instead of aborting
+/// the run — the checkpoint cadence therefore follows the e-tree height,
+/// not the (much finer) message schedule.
+pub fn sparse2d_recovering(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+    profiled: bool,
+) -> Result<(Sparse2dResult, FaultSummary, RecoveryReport), MachineError> {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let p = layout.p();
+    let (outputs, report, faults, recovery) =
+        Machine::launch_recovering(p, plan, policy, profiled, |comm| {
+            rank_program(comm, layout, &init, opts, false)
+        })?;
+    Ok((assemble(layout, outputs, report), faults, recovery))
 }
 
 fn run_machine(
@@ -927,7 +1016,7 @@ fn run_machine_launch(
     opts: &Sparse2dOptions,
     directed: bool,
     how: Launch<'_>,
-) -> Result<(Sparse2dResult, Option<FaultSummary>), FaultError> {
+) -> Result<(Sparse2dResult, Option<FaultSummary>), MachineError> {
     let p = layout.p();
     let (outputs, report, faults) =
         Machine::launch(p, how, |comm| rank_program(comm, layout, init, opts, directed))?;

@@ -19,6 +19,41 @@ use crate::builder::GraphBuilder;
 use crate::csr::Csr;
 use std::fmt::Write as _;
 
+/// Splits a line into whitespace-separated fields, pairing each with its
+/// 1-based byte column — so parse errors can point at the offending token.
+fn fields(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    line.split_whitespace().map(move |tok| {
+        let col = tok.as_ptr() as usize - line.as_ptr() as usize + 1;
+        (col, tok)
+    })
+}
+
+/// Parses one field, reporting the line and column of the offending token
+/// on failure (or a plain "missing" error when the line is truncated).
+fn parse_field<T: std::str::FromStr>(
+    field: Option<(usize, &str)>,
+    lineno: usize,
+    what: &str,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let (col, tok) = field.ok_or_else(|| format!("line {lineno}: missing {what}"))?;
+    tok.parse().map_err(|e| format!("line {lineno}, col {col}: bad {what} `{tok}`: {e}"))
+}
+
+/// Parses an edge weight, additionally rejecting NaN and ±∞ — non-finite
+/// weights would silently corrupt min-plus arithmetic downstream.
+fn parse_weight(field: Option<(usize, &str)>, lineno: usize) -> Result<f64, String> {
+    let (col, tok) = field.ok_or_else(|| format!("line {lineno}: missing weight"))?;
+    let w: f64 =
+        tok.parse().map_err(|e| format!("line {lineno}, col {col}: bad weight `{tok}`: {e}"))?;
+    if !w.is_finite() {
+        return Err(format!("line {lineno}, col {col}: non-finite weight `{tok}`"));
+    }
+    Ok(w)
+}
+
 /// Serializes a graph to the edge-list format.
 pub fn to_edge_list(g: &Csr) -> String {
     let mut s = String::new();
@@ -33,41 +68,28 @@ pub fn to_edge_list(g: &Csr) -> String {
 pub fn from_edge_list(text: &str) -> Result<Csr, String> {
     let mut n: Option<usize> = None;
     let mut builder: Option<GraphBuilder> = None;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim_start().is_empty() || line.trim_start().starts_with('#') {
             continue;
         }
-        let mut it = line.split_whitespace();
-        let first = it.next().unwrap();
+        let mut it = fields(line);
+        let Some((first_col, first)) = it.next() else { continue };
         if first == "n" {
             if n.is_some() {
-                return Err(format!("line {}: duplicate n header", lineno + 1));
+                return Err(format!("line {lineno}: duplicate n header"));
             }
-            let v: usize = it
-                .next()
-                .ok_or_else(|| format!("line {}: missing vertex count", lineno + 1))?
-                .parse()
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let v: usize = parse_field(it.next(), lineno, "vertex count")?;
             n = Some(v);
             builder = Some(GraphBuilder::new(v));
             continue;
         }
-        let b =
-            builder.as_mut().ok_or_else(|| format!("line {}: edge before n header", lineno + 1))?;
-        let u: usize = first.parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let v: usize = it
-            .next()
-            .ok_or_else(|| format!("line {}: missing endpoint", lineno + 1))?
-            .parse()
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-        let w: f64 = it
-            .next()
-            .ok_or_else(|| format!("line {}: missing weight", lineno + 1))?
-            .parse()
-            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let b = builder.as_mut().ok_or_else(|| format!("line {lineno}: edge before n header"))?;
+        let u: usize = parse_field(Some((first_col, first)), lineno, "endpoint")?;
+        let v: usize = parse_field(it.next(), lineno, "endpoint")?;
+        let w = parse_weight(it.next(), lineno)?;
         if u >= b.n() || v >= b.n() {
-            return Err(format!("line {}: endpoint out of range", lineno + 1));
+            return Err(format!("line {lineno}: endpoint ({u}, {v}) out of range (n = {})", b.n()));
         }
         b.add_edge(u, v, w);
     }
@@ -88,8 +110,9 @@ pub fn to_matrix_market(g: &Csr) -> String {
 /// Parses MatrixMarket coordinate format (`real`/`integer` × `symmetric`/
 /// `general`); entries off the diagonal become undirected edges.
 pub fn from_matrix_market(text: &str) -> Result<Csr, String> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or("empty file")?;
+    let mut lines =
+        text.lines().enumerate().map(|(i, l)| (i + 1, l)).filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or("empty file")?;
     if !header.starts_with("%%MatrixMarket") {
         return Err("missing MatrixMarket banner".into());
     }
@@ -100,31 +123,32 @@ pub fn from_matrix_market(text: &str) -> Result<Csr, String> {
     if !(h.contains("real") || h.contains("integer")) {
         return Err("only real/integer fields are supported".into());
     }
-    let mut rest = lines.skip_while(|l| l.trim_start().starts_with('%'));
-    let size = rest.next().ok_or("missing size line")?;
-    let mut it = size.split_whitespace();
-    let rows: usize = it.next().ok_or("bad size line")?.parse().map_err(|e| format!("{e}"))?;
-    let cols: usize = it.next().ok_or("bad size line")?.parse().map_err(|e| format!("{e}"))?;
-    let nnz: usize = it.next().ok_or("bad size line")?.parse().map_err(|e| format!("{e}"))?;
+    let mut rest = lines.skip_while(|(_, l)| l.trim_start().starts_with('%'));
+    let (size_lineno, size) = rest.next().ok_or("missing size line")?;
+    let mut it = fields(size);
+    let rows: usize = parse_field(it.next(), size_lineno, "row count")?;
+    let cols: usize = parse_field(it.next(), size_lineno, "column count")?;
+    let nnz: usize = parse_field(it.next(), size_lineno, "entry count")?;
     if rows != cols {
         return Err("adjacency matrix must be square".into());
     }
     let mut b = GraphBuilder::new(rows);
     let mut seen = 0usize;
-    for line in rest {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('%') {
+    for (lineno, line) in rest {
+        if line.trim_start().starts_with('%') {
             continue;
         }
-        let mut it = line.split_whitespace();
-        let i: usize = it.next().ok_or("bad entry")?.parse().map_err(|e| format!("{e}"))?;
-        let j: usize = it.next().ok_or("bad entry")?.parse().map_err(|e| format!("{e}"))?;
+        let mut it = fields(line);
+        let i: usize = parse_field(it.next(), lineno, "row index")?;
+        let j: usize = parse_field(it.next(), lineno, "column index")?;
         let w: f64 = match it.next() {
-            Some(tok) => tok.parse().map_err(|e| format!("{e}"))?,
+            Some(f) => parse_weight(Some(f), lineno)?,
             None => 1.0, // pattern-ish fallback
         };
         if i == 0 || j == 0 || i > rows || j > cols {
-            return Err(format!("entry ({i},{j}) out of range"));
+            return Err(format!(
+                "line {lineno}: entry ({i}, {j}) out of range for a {rows}x{cols} matrix"
+            ));
         }
         if i != j {
             b.add_edge(i - 1, j - 1, w);
@@ -217,54 +241,43 @@ pub fn to_dimacs_directed(g: &crate::DiCsr) -> String {
 /// the challenge road networks, which store one-way segments as single
 /// arcs.
 pub fn from_dimacs_directed(text: &str) -> Result<crate::DiCsr, String> {
-    // reuse the line parser by collecting raw arcs
     let mut builder: Option<crate::DiGraphBuilder> = None;
     let mut declared = 0usize;
     let mut seen = 0usize;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        let mut it = line.split_whitespace();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut it = fields(line);
         match it.next() {
-            None | Some("c") => continue,
-            Some("p") => {
+            None | Some((_, "c")) => continue,
+            Some((_, "p")) => {
                 if builder.is_some() {
-                    return Err(format!("line {}: duplicate problem line", lineno + 1));
+                    return Err(format!("line {lineno}: duplicate problem line"));
                 }
-                if it.next() != Some("sp") {
-                    return Err(format!("line {}: expected `p sp`", lineno + 1));
+                if it.next().map(|(_, tok)| tok) != Some("sp") {
+                    return Err(format!("line {lineno}: expected `p sp`"));
                 }
-                let n: usize = it
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing n", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                declared = it
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing m", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let n: usize = parse_field(it.next(), lineno, "n")?;
+                declared = parse_field(it.next(), lineno, "m")?;
                 builder = Some(crate::DiGraphBuilder::new(n));
             }
-            Some("a") => {
+            Some((_, "a")) => {
                 let b = builder
                     .as_mut()
-                    .ok_or_else(|| format!("line {}: arc before problem line", lineno + 1))?;
-                let parse = |tok: Option<&str>, what: &str| -> Result<f64, String> {
-                    tok.ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
-                        .parse()
-                        .map_err(|e| format!("line {}: {e}", lineno + 1))
-                };
-                let u = parse(it.next(), "tail")? as usize;
-                let v = parse(it.next(), "head")? as usize;
-                let w = parse(it.next(), "weight")?;
+                    .ok_or_else(|| format!("line {lineno}: arc before problem line"))?;
+                let u: usize = parse_field(it.next(), lineno, "tail")?;
+                let v: usize = parse_field(it.next(), lineno, "head")?;
+                let w = parse_weight(it.next(), lineno)?;
                 if u == 0 || v == 0 || u > b.n() || v > b.n() {
-                    return Err(format!("line {}: endpoint out of range", lineno + 1));
+                    return Err(format!(
+                        "line {lineno}: arc ({u}, {v}) out of range (n = {})",
+                        b.n()
+                    ));
                 }
                 b.add_arc(u - 1, v - 1, w);
                 seen += 1;
             }
-            Some(other) => {
-                return Err(format!("line {}: unknown record type {other:?}", lineno + 1))
+            Some((col, other)) => {
+                return Err(format!("line {lineno}, col {col}: unknown record type {other:?}"))
             }
         }
     }
@@ -280,57 +293,40 @@ pub fn from_dimacs(text: &str) -> Result<Csr, String> {
     let mut builder: Option<GraphBuilder> = None;
     let mut declared_arcs = 0usize;
     let mut seen_arcs = 0usize;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
-        let mut it = line.split_whitespace();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut it = fields(line);
         match it.next() {
-            None | Some("c") => continue,
-            Some("p") => {
+            None | Some((_, "c")) => continue,
+            Some((_, "p")) => {
                 if builder.is_some() {
-                    return Err(format!("line {}: duplicate problem line", lineno + 1));
+                    return Err(format!("line {lineno}: duplicate problem line"));
                 }
-                if it.next() != Some("sp") {
-                    return Err(format!("line {}: expected `p sp`", lineno + 1));
+                if it.next().map(|(_, tok)| tok) != Some("sp") {
+                    return Err(format!("line {lineno}: expected `p sp`"));
                 }
-                let n: usize = it
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing n", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                declared_arcs = it
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing m", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let n: usize = parse_field(it.next(), lineno, "n")?;
+                declared_arcs = parse_field(it.next(), lineno, "m")?;
                 builder = Some(GraphBuilder::new(n));
             }
-            Some("a") => {
+            Some((_, "a")) => {
                 let b = builder
                     .as_mut()
-                    .ok_or_else(|| format!("line {}: arc before problem line", lineno + 1))?;
-                let u: usize = it
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing tail", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                let v: usize = it
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing head", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                let w: f64 = it
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing weight", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    .ok_or_else(|| format!("line {lineno}: arc before problem line"))?;
+                let u: usize = parse_field(it.next(), lineno, "tail")?;
+                let v: usize = parse_field(it.next(), lineno, "head")?;
+                let w = parse_weight(it.next(), lineno)?;
                 if u == 0 || v == 0 || u > b.n() || v > b.n() {
-                    return Err(format!("line {}: endpoint out of range", lineno + 1));
+                    return Err(format!(
+                        "line {lineno}: arc ({u}, {v}) out of range (n = {})",
+                        b.n()
+                    ));
                 }
                 b.add_edge(u - 1, v - 1, w);
                 seen_arcs += 1;
             }
-            Some(other) => {
-                return Err(format!("line {}: unknown record type {other:?}", lineno + 1))
+            Some((col, other)) => {
+                return Err(format!("line {lineno}, col {col}: unknown record type {other:?}"))
             }
         }
     }
@@ -454,6 +450,66 @@ mod tests {
             "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n2 1 1.0\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_everywhere() {
+        for bad in ["nan", "NaN", "inf", "-inf", "infinity"] {
+            assert!(from_edge_list(&format!("n 2\n0 1 {bad}\n")).is_err(), "el {bad}");
+            assert!(from_dimacs(&format!("p sp 2 1\na 1 2 {bad}\n")).is_err(), "gr {bad}");
+            assert!(
+                from_dimacs_directed(&format!("p sp 2 1\na 1 2 {bad}\n")).is_err(),
+                "gr.d {bad}"
+            );
+            assert!(
+                from_matrix_market(&format!(
+                    "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 {bad}\n"
+                ))
+                .is_err(),
+                "mtx {bad}"
+            );
+        }
+        let err = from_edge_list("n 2\n0 1 nan\n").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn dimacs_directed_rejects_fractional_and_nan_endpoints() {
+        // endpoints must be integers — `1.9` or `nan` must not silently truncate
+        assert!(from_dimacs_directed("p sp 2 1\na 1.9 2 1\n").is_err());
+        assert!(from_dimacs_directed("p sp 2 1\na nan 2 1\n").is_err());
+        assert!(from_dimacs_directed("p sp 2 1\na 1 2.5 1\n").is_err());
+    }
+
+    #[test]
+    fn truncated_lines_are_reported_with_context() {
+        let err = from_dimacs("p sp 2 1\na 1 2\n").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("weight"), "{err}");
+        let err = from_dimacs_directed("p sp 2 1\na 1\n").unwrap_err();
+        assert!(err.contains("line 2") && err.contains("head"), "{err}");
+        let err =
+            from_matrix_market("%%MatrixMarket matrix coordinate real symmetric\n2\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = from_edge_list("n 2\n0\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_column_numbers() {
+        let err = from_dimacs("p sp 2 1\na 1 x 1\n").unwrap_err();
+        assert!(err.contains("line 2, col 5"), "{err}");
+        let err = from_edge_list("n 2\n0 1 bogus\n").unwrap_err();
+        assert!(err.contains("line 2, col 5"), "{err}");
+        let err = from_dimacs_directed("p sp 2 1\nz 1 2 1\n").unwrap_err();
+        assert!(err.contains("line 2, col 1"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_endpoints_name_the_bounds() {
+        let err = from_dimacs("p sp 2 1\na 1 3 1\n").unwrap_err();
+        assert!(err.contains("(1, 3)") && err.contains("n = 2"), "{err}");
+        let err = from_edge_list("n 2\n0 5 1.0\n").unwrap_err();
+        assert!(err.contains("(0, 5)"), "{err}");
     }
 
     #[test]

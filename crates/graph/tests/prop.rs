@@ -119,6 +119,122 @@ proptest! {
     }
 }
 
+/// Ways to corrupt one data line of a serialized graph. Every variant must
+/// turn a valid file into a parse `Err` — never a panic.
+#[derive(Clone, Copy, Debug)]
+enum Corruption {
+    /// Keep only the first field (truncated line).
+    Truncate,
+    /// Replace the trailing weight with `nan`.
+    NanWeight,
+    /// Replace the trailing weight with `inf`.
+    InfWeight,
+    /// Replace the first endpoint with an index far past `n`.
+    OutOfRange,
+}
+
+fn corrupt_line(line: &str, c: Corruption, endpoint_field: usize) -> String {
+    let mut fields: Vec<&str> = line.split_whitespace().collect();
+    match c {
+        Corruption::Truncate => fields[..1].join(" "),
+        Corruption::NanWeight | Corruption::InfWeight => {
+            let tok = if matches!(c, Corruption::NanWeight) { "nan" } else { "inf" };
+            *fields.last_mut().unwrap() = tok;
+            fields.join(" ")
+        }
+        Corruption::OutOfRange => {
+            fields[endpoint_field] = "999999";
+            fields.join(" ")
+        }
+    }
+}
+
+fn assert_corruption_errors(
+    text: &str,
+    data_lines: &[usize],
+    endpoint_field: usize,
+    c: Corruption,
+    pick: usize,
+    parse: &dyn Fn(&str) -> Result<(), String>,
+) -> Result<(), String> {
+    let target = data_lines[pick % data_lines.len()];
+    let corrupted = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == target { corrupt_line(l, c, endpoint_field) } else { l.to_string() })
+        .collect::<Vec<_>>()
+        .join("\n");
+    if parse(&corrupted).is_ok() {
+        return Err(format!("{c:?} on line {} of:\n{corrupted}\nparsed successfully", target + 1));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Corrupting any data line of any of the four serialized formats —
+    /// truncation, non-finite weights, out-of-range endpoints — yields a
+    /// typed `Err`, never a panic and never a silently wrong graph.
+    #[test]
+    fn corrupted_inputs_error_not_panic(
+        (n, edges) in arb_graph(20),
+        pick in 0usize..1_000_000,
+        which in 0usize..4,
+    ) {
+        let c = [
+            Corruption::Truncate,
+            Corruption::NanWeight,
+            Corruption::InfWeight,
+            Corruption::OutOfRange,
+        ][which];
+        let g = build(n, &edges);
+        prop_assume!(g.m() > 0);
+
+        // edge list: line 0 is the `n N` header, the rest are edges
+        let text = apsp_graph::io::to_edge_list(&g);
+        let data: Vec<usize> = (1..text.lines().count()).collect();
+        assert_corruption_errors(&text, &data, 0, c, pick,
+            &|t| apsp_graph::io::from_edge_list(t).map(|_| ()))?;
+
+        // MatrixMarket: skip `%` comments and the size line
+        let text = apsp_graph::io::to_matrix_market(&g);
+        let mut size_seen = false;
+        let data: Vec<usize> = text.lines().enumerate()
+            .filter(|(_, l)| !l.starts_with('%'))
+            .filter_map(|(i, _)| if size_seen { Some(i) } else { size_seen = true; None })
+            .collect();
+        assert_corruption_errors(&text, &data, 0, c, pick,
+            &|t| apsp_graph::io::from_matrix_market(t).map(|_| ()))?;
+
+        // DIMACS (undirected): arc lines start with `a`, endpoint is field 1
+        let text = apsp_graph::io::to_dimacs(&g);
+        let data: Vec<usize> = text.lines().enumerate()
+            .filter(|(_, l)| l.starts_with("a "))
+            .map(|(i, _)| i)
+            .collect();
+        assert_corruption_errors(&text, &data, 1, c, pick,
+            &|t| apsp_graph::io::from_dimacs(t).map(|_| ()))?;
+
+        // DIMACS (directed)
+        let mut b = apsp_graph::DiGraphBuilder::new(n);
+        for &(u, v, w) in &edges {
+            if u != v {
+                b.add_arc(u, v, w);
+            }
+        }
+        let dg = b.build();
+        let text = apsp_graph::io::to_dimacs_directed(&dg);
+        let data: Vec<usize> = text.lines().enumerate()
+            .filter(|(_, l)| l.starts_with("a "))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!data.is_empty());
+        assert_corruption_errors(&text, &data, 1, c, pick,
+            &|t| apsp_graph::io::from_dimacs_directed(t).map(|_| ()))?;
+    }
+}
+
 #[test]
 fn generators_are_deterministic() {
     for kind in [WeightKind::Unit, WeightKind::Integer { max: 7 }] {

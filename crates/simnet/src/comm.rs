@@ -1,10 +1,17 @@
 //! The machine, rank communicators, and point-to-point messaging.
 
 use crate::faults::{checksum, FaultError, FaultPlan, FaultStats, FaultSummary, Injection};
+use crate::recovery::{
+    HangError, MachineError, ProtocolError, RecoveryPolicy, RecoveryReport, Snapshot,
+    SnapshotStore, Unrecoverable,
+};
 use crate::report::{Clocks, RankStats, RunReport};
 use crate::trace::{Profile, RankProfile, SendTotal, SpanLedger, SpanSnapshot};
 use std::collections::BTreeMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A process id, `0 .. p`.
 pub type Rank = usize;
@@ -35,6 +42,14 @@ struct FaultState {
     plan: FaultPlan,
     /// This rank's compute-clock multiplier (1 = full speed).
     slowdown: u64,
+    /// Recovery epoch: 0 for a first execution; each supervisor restart
+    /// re-keys the probabilistic injection stream with the next epoch.
+    epoch: u32,
+    /// Logical → physical rank map for injection decisions. Identity
+    /// until the supervisor remaps a permanently dead rank onto a spare
+    /// physical id ≥ `p` (a pure relabeling — same threads, same wires,
+    /// but kill rules no longer match).
+    remap: Vec<Rank>,
     /// Next sequence number per destination channel.
     seq_next: Vec<u64>,
     /// Highest accepted sequence number per source channel.
@@ -116,8 +131,8 @@ impl Machine {
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
-        let (outs, report, _, _) = Self::run_inner(p, f, Mode::PLAIN)
-            .expect("a run without a fault layer cannot fail with a fault error");
+        let (outs, report, _, _) =
+            Self::run_inner(p, f, Mode::PLAIN).unwrap_or_else(|e| panic!("{e}"));
         (outs, report)
     }
 
@@ -130,7 +145,7 @@ impl Machine {
         F: Fn(&mut Comm) -> T + Sync,
     {
         let (outs, report, traces, _) = Self::run_inner(p, f, Mode { traced: true, ..Mode::PLAIN })
-            .expect("a run without a fault layer cannot fail with a fault error");
+            .unwrap_or_else(|e| panic!("{e}"));
         (outs, report, traces)
     }
 
@@ -145,8 +160,8 @@ impl Machine {
         F: Fn(&mut Comm) -> T + Sync,
     {
         let (outs, report, _, _) =
-            Self::run_inner(p, f, Mode { traced: true, profiled: true, faults: None })
-                .expect("a run without a fault layer cannot fail with a fault error");
+            Self::run_inner(p, f, Mode { traced: true, profiled: true, ..Mode::PLAIN })
+                .unwrap_or_else(|e| panic!("{e}"));
         (outs, report)
     }
 
@@ -158,14 +173,15 @@ impl Machine {
     /// recovery traffic to the ordinary cost clocks.
     ///
     /// # Errors
-    /// Returns a [`FaultError`] naming the first message whose retry
-    /// budget ran out (e.g. under a `kill` rule) — the run never returns
-    /// silently wrong data.
+    /// Returns [`MachineError::Fault`] naming the first message whose
+    /// retry budget ran out (e.g. under a `kill` rule) — the run never
+    /// returns silently wrong data. To survive such faults instead, use
+    /// [`Machine::launch_recovering`].
     pub fn run_faulty<T, F>(
         p: usize,
         plan: &FaultPlan,
         f: F,
-    ) -> Result<(Vec<T>, RunReport, FaultSummary), FaultError>
+    ) -> Result<(Vec<T>, RunReport, FaultSummary), MachineError>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
@@ -181,7 +197,7 @@ impl Machine {
         p: usize,
         plan: &FaultPlan,
         f: F,
-    ) -> Result<(Vec<T>, RunReport, FaultSummary), FaultError>
+    ) -> Result<(Vec<T>, RunReport, FaultSummary), MachineError>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
@@ -197,21 +213,130 @@ impl Machine {
         p: usize,
         how: Launch<'_>,
         f: F,
-    ) -> Result<(Vec<T>, RunReport, Option<FaultSummary>), FaultError>
+    ) -> Result<(Vec<T>, RunReport, Option<FaultSummary>), MachineError>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
         let mode = match how {
             Launch::Plain => Mode::PLAIN,
-            Launch::Profiled => Mode { traced: true, profiled: true, faults: None },
+            Launch::Profiled => Mode { traced: true, profiled: true, ..Mode::PLAIN },
             Launch::Faulty(plan) => Mode { faults: Some(plan), ..Mode::PLAIN },
             Launch::FaultyProfiled(plan) => {
-                Mode { traced: true, profiled: true, faults: Some(plan) }
+                Mode { traced: true, profiled: true, faults: Some(plan), ..Mode::PLAIN }
             }
         };
         let (outs, report, _, faults) = Self::run_inner(p, f, mode)?;
         Ok((outs, report, faults))
+    }
+
+    /// [`Machine::run_faulty`] under a recovery supervisor: the rank
+    /// program marks phase boundaries with [`Comm::commit_phase`] (gating
+    /// each phase body on [`Comm::phase_live`]), and when an epoch dies
+    /// with a typed error the supervisor rolls every rank back to the last
+    /// consistent checkpoint, prunes stale snapshots (the rollback
+    /// ledger), and re-executes from the cut — remapping a permanently
+    /// dead rank onto a spare physical id when the plan's kill rules make
+    /// retrying pointless — until the run completes or the restart budget
+    /// runs out.
+    ///
+    /// The returned report/profile/summary come entirely from the final,
+    /// successful epoch; the [`RecoveryReport`] carries the whole
+    /// trajectory (restarts, resume boundaries, snapshot/rollback words,
+    /// spare takeovers, and each restart's cause). Same plan + same
+    /// policy ⇒ a bit-identical trajectory.
+    ///
+    /// # Errors
+    /// [`MachineError::Unrecoverable`] when `policy.max_restarts` is
+    /// exhausted (or a permanent fault needs a spare none is left for),
+    /// carrying the root cause and the partial [`FaultSummary`]
+    /// reconstructed from the last consistent cut.
+    pub fn launch_recovering<T, F>(
+        p: usize,
+        plan: &FaultPlan,
+        policy: RecoveryPolicy,
+        profiled: bool,
+        f: F,
+    ) -> Result<(Vec<T>, RunReport, FaultSummary, RecoveryReport), MachineError>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let store = Arc::new(SnapshotStore::new(p));
+        let mut recovery = RecoveryReport::default();
+        let mut remap: Vec<Rank> = (0..p).collect();
+        let mut spares_used = 0usize;
+        let mut epoch = 0u32;
+        loop {
+            let resume = store.consistent_boundary();
+            if epoch > 0 {
+                recovery.resume_boundaries.push(resume);
+            }
+            let mode = Mode {
+                traced: profiled,
+                profiled,
+                faults: Some(plan),
+                epoch,
+                remap: Some(remap.clone()),
+                recovery: Some(RecoveryState {
+                    store: Arc::clone(&store),
+                    resume,
+                    every: policy.every,
+                }),
+                watchdog_ms: 0,
+            };
+            let err = match Self::run_inner(p, &f, mode) {
+                Ok((outs, report, _, faults)) => {
+                    recovery.snapshots_taken = store.saves();
+                    recovery.snapshot_words = store.save_words();
+                    recovery.restores = store.restores();
+                    recovery.restore_words = store.restore_words();
+                    let summary = faults.expect("faulty run carries a summary");
+                    return Ok((outs, report, summary, recovery));
+                }
+                Err(err) => err,
+            };
+            recovery.causes.push(err.to_string());
+            let unrecoverable = |err: MachineError, restarts: u32| {
+                let cut = store.consistent_boundary();
+                MachineError::Unrecoverable(Unrecoverable {
+                    cause: Box::new(err),
+                    restarts,
+                    partial: store.partial_summary(cut),
+                })
+            };
+            if recovery.restarts >= policy.max_restarts {
+                return Err(unrecoverable(err, recovery.restarts));
+            }
+            // A fault on a link the plan kills *permanently* cannot be
+            // outwaited: re-executing with the same physical ids would die
+            // at the same message every epoch. Remap the blamed rank onto
+            // a spare physical id — when a rank-kill rule targets exactly
+            // one endpoint, that endpoint is the victim; otherwise blame
+            // the destination (the link's dead receiving end).
+            if let MachineError::Fault(fe) = &err {
+                if plan.kills_link(remap[fe.src], remap[fe.dst]) {
+                    let blamed =
+                        if plan.kills_rank(remap[fe.src]) && !plan.kills_rank(remap[fe.dst]) {
+                            fe.src
+                        } else {
+                            fe.dst
+                        };
+                    if spares_used >= policy.spares {
+                        return Err(unrecoverable(err, recovery.restarts));
+                    }
+                    let spare = p + spares_used;
+                    remap[blamed] = spare;
+                    spares_used += 1;
+                    recovery.spare_takeovers.push((blamed, spare));
+                }
+            }
+            let cut = store.consistent_boundary();
+            recovery.rollback_words += store.prune_beyond(cut);
+            recovery.rollbacks += 1;
+            recovery.restarts += 1;
+            epoch += 1;
+        }
     }
 
     #[allow(clippy::type_complexity)]
@@ -219,12 +344,15 @@ impl Machine {
         p: usize,
         f: F,
         mode: Mode<'_>,
-    ) -> Result<(Vec<T>, RunReport, Vec<Vec<TraceEvent>>, Option<FaultSummary>), FaultError>
+    ) -> Result<(Vec<T>, RunReport, Vec<Vec<TraceEvent>>, Option<FaultSummary>), MachineError>
     where
         T: Send,
         F: Fn(&mut Comm) -> T + Sync,
     {
         assert!(p >= 1, "need at least one rank");
+        let watchdog = Arc::new(Watchdog::new(p));
+        let watchdog_ms =
+            if mode.watchdog_ms > 0 { mode.watchdog_ms } else { default_watchdog_ms() };
         // channel matrix: tx_rows[src][dst] sends src→dst; each rank takes
         // sole ownership of its row of senders and column of receivers, so
         // a dying rank disconnects its channels (unblocking any peer stuck
@@ -266,6 +394,8 @@ impl Machine {
                 for (rank, ((tx_row, rx_row), slot)) in rank_iter {
                     let rx_row: Vec<Receiver<Msg>> =
                         rx_row.into_iter().map(|o| o.expect("receiver present")).collect();
+                    let rank_mode = mode.clone();
+                    let watchdog = Arc::clone(&watchdog);
                     handles.push(scope.spawn(move || {
                         let mut comm = Comm {
                             rank,
@@ -277,18 +407,26 @@ impl Machine {
                             sent_words: 0,
                             peak_words: 0,
                             resident_words: 0,
-                            trace: mode.traced.then(Vec::new),
-                            ledger: mode.profiled.then(SpanLedger::default),
-                            sends: mode.profiled.then(BTreeMap::new),
-                            faults: mode.faults.map(|plan| {
+                            boundary: 0,
+                            trace: rank_mode.traced.then(Vec::new),
+                            ledger: rank_mode.profiled.then(SpanLedger::default),
+                            sends: rank_mode.profiled.then(BTreeMap::new),
+                            faults: rank_mode.faults.map(|plan| {
+                                let remap =
+                                    rank_mode.remap.clone().unwrap_or_else(|| (0..p).collect());
                                 Box::new(FaultState {
-                                    slowdown: plan.slowdown(rank),
+                                    slowdown: plan.slowdown(remap[rank]),
                                     plan: plan.clone(),
+                                    epoch: rank_mode.epoch,
+                                    remap,
                                     seq_next: vec![1; p],
                                     seq_seen: vec![0; p],
                                     stats: FaultStats::default(),
                                 })
                             }),
+                            recovery: rank_mode.recovery.clone().map(Box::new),
+                            watchdog,
+                            watchdog_ms,
                         };
                         let out = f(&mut comm);
                         let stats = RankStats {
@@ -336,14 +474,23 @@ impl Machine {
                 if panics.is_empty() {
                     return Ok(());
                 }
-                // an unrecoverable injected fault aborts its rank with a
-                // typed payload; peers then die on channel disconnect —
-                // surface the root cause, not the cascade
+                // a typed abort (unrecoverable injected fault, protocol
+                // mismatch, watchdog hang) kills its rank with a typed
+                // payload; peers then die on channel disconnect — surface
+                // the root cause, not the cascade. Handles were joined in
+                // rank order, so the lowest faulting rank wins a tie and
+                // the surfaced error is deterministic.
                 if mode.faults.is_some() {
                     if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<FaultError>())
                     {
-                        return Err(err.clone());
+                        return Err(MachineError::Fault(err.clone()));
                     }
+                }
+                if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<ProtocolError>()) {
+                    return Err(MachineError::Protocol(err.clone()));
+                }
+                if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<HangError>()) {
+                    return Err(MachineError::Hang(err.clone()));
                 }
                 std::panic::resume_unwind(panics.remove(0));
             });
@@ -405,16 +552,69 @@ impl<'a> Launch<'a> {
     }
 }
 
-/// What a run records beyond the cost clocks.
-#[derive(Clone, Copy)]
+/// What a run records beyond the cost clocks, and where it sits in a
+/// recovery trajectory.
+#[derive(Clone)]
 struct Mode<'a> {
     traced: bool,
     profiled: bool,
     faults: Option<&'a FaultPlan>,
+    /// Recovery epoch (0 = first execution; restarts increment).
+    epoch: u32,
+    /// Logical → physical rank map for injection (`None` = identity).
+    remap: Option<Vec<Rank>>,
+    /// Checkpoint/restore wiring, present under a recovery supervisor.
+    recovery: Option<RecoveryState>,
+    /// Watchdog window override in wall-clock ms (0 = default/env).
+    watchdog_ms: u64,
 }
 
 impl Mode<'_> {
-    const PLAIN: Mode<'static> = Mode { traced: false, profiled: false, faults: None };
+    const PLAIN: Mode<'static> = Mode {
+        traced: false,
+        profiled: false,
+        faults: None,
+        epoch: 0,
+        remap: None,
+        recovery: None,
+        watchdog_ms: 0,
+    };
+}
+
+/// A rank's wiring to the recovery layer: the shared snapshot store, the
+/// boundary this epoch resumes from, and the checkpoint cadence.
+#[derive(Clone)]
+struct RecoveryState {
+    store: Arc<SnapshotStore>,
+    /// Phases up to and including this boundary are skipped; the state at
+    /// this boundary is restored from the store (0 = run from scratch).
+    resume: u64,
+    /// Snapshot at every `every`-th boundary (0 = never).
+    every: u32,
+}
+
+/// Machine-wide hang detection, shared by every rank of one run: any send
+/// or completed receive bumps `progress`; a rank blocked in a receive
+/// while `progress` stays flat for the whole watchdog window declares the
+/// machine hung and aborts with a [`HangError`] dump of the `blocked`
+/// registry.
+struct Watchdog {
+    progress: AtomicU64,
+    /// `blocked[rank] = Some((src, tag))` while `rank` waits in a receive.
+    blocked: Mutex<Vec<Option<(Rank, u64)>>>,
+}
+
+impl Watchdog {
+    fn new(p: usize) -> Self {
+        Watchdog { progress: AtomicU64::new(0), blocked: Mutex::new(vec![None; p]) }
+    }
+}
+
+/// The default watchdog window: `APSP_WATCHDOG_MS` or 5000 ms of
+/// machine-wide inactivity. Wall-clock time only arms the detector —
+/// simulated costs never depend on it, so determinism is unaffected.
+fn default_watchdog_ms() -> u64 {
+    std::env::var("APSP_WATCHDOG_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(5000)
 }
 
 /// A rank's handle to the machine: point-to-point messaging, cost clocks,
@@ -429,6 +629,10 @@ pub struct Comm {
     pub(crate) sent_words: u64,
     peak_words: u64,
     resident_words: u64,
+    /// Phase boundaries committed so far ([`Comm::commit_phase`]).
+    /// Counted in every mode — kill-at-boundary rules key on it even
+    /// when no recovery supervisor is attached.
+    boundary: u64,
     trace: Option<Vec<TraceEvent>>,
     /// Span ledger, present in profiled runs ([`Machine::run_profiled`]).
     ledger: Option<SpanLedger>,
@@ -437,6 +641,13 @@ pub struct Comm {
     /// Fault layer, present in faulty runs ([`Machine::run_faulty`]).
     /// Boxed so the fault-free hot path pays one pointer of state.
     faults: Option<Box<FaultState>>,
+    /// Checkpoint/restore wiring, present under a recovery supervisor
+    /// ([`Machine::launch_recovering`]). Boxed like the fault layer.
+    recovery: Option<Box<RecoveryState>>,
+    /// Machine-wide hang detector shared by every rank of the run.
+    watchdog: Arc<Watchdog>,
+    /// Wall-clock inactivity window before the watchdog fires.
+    watchdog_ms: u64,
 }
 
 impl Comm {
@@ -507,6 +718,9 @@ impl Comm {
         snapshot.latency += delay;
         let msg = Msg { tag, payload, sender_clocks: snapshot, meta };
         self.tx[dst].send(msg).expect("receiver alive for the whole run");
+        // a send is machine progress: any rank still moving holds off
+        // every rank's watchdog
+        self.watchdog.progress.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Fault-mode send: stamps the reliability envelope, consults the plan
@@ -524,7 +738,15 @@ impl Comm {
         loop {
             let injection = {
                 let st = self.faults.as_ref().expect("fault mode");
-                st.plan.injection(self.rank, dst, tag, seq, attempt)
+                st.plan.injection_at(
+                    st.epoch,
+                    self.boundary,
+                    st.remap[self.rank],
+                    st.remap[dst],
+                    tag,
+                    seq,
+                    attempt,
+                )
             };
             match injection {
                 Injection::Drop => {
@@ -599,10 +821,71 @@ impl Comm {
         if self.faults.is_some() {
             return self.recv_faulty(src, expected_tag);
         }
-        let msg = self.rx[src].recv().expect("sender alive for the whole run");
+        let msg = self.wire_recv(src, expected_tag);
         self.check_tag(src, expected_tag, msg.tag);
         self.charge_recv(&msg);
         msg.payload
+    }
+
+    /// Pulls the next physical arrival from `src`, arming the watchdog:
+    /// the blocking wait is chopped into short timeouts, and when the
+    /// machine-wide progress counter stays flat for the whole watchdog
+    /// window while this rank is blocked, the rank dumps the blocked-on
+    /// registry and its own pending ports and aborts with a typed
+    /// [`HangError`] — a schedule bug hangs a test run no longer.
+    fn wire_recv(&mut self, src: Rank, tag: u64) -> Msg {
+        let tick = (self.watchdog_ms / 5).clamp(1, 50);
+        let mut registered = false;
+        let mut idle = 0u64;
+        let mut last_progress = self.watchdog.progress.load(Ordering::Relaxed);
+        loop {
+            match self.rx[src].recv_timeout(Duration::from_millis(tick)) {
+                Ok(msg) => {
+                    self.watchdog.progress.fetch_add(1, Ordering::Relaxed);
+                    if registered {
+                        self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] = None;
+                    }
+                    return msg;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if !registered {
+                        self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] =
+                            Some((src, tag));
+                        registered = true;
+                    }
+                    let progress = self.watchdog.progress.load(Ordering::Relaxed);
+                    if progress != last_progress {
+                        last_progress = progress;
+                        idle = 0;
+                        continue;
+                    }
+                    idle += tick;
+                    if idle < self.watchdog_ms {
+                        continue;
+                    }
+                    let blocked = self.watchdog.blocked.lock().expect("watchdog registry").clone();
+                    let mut pending = Vec::new();
+                    'ports: for (peer, rx) in self.rx.iter().enumerate() {
+                        while let Ok(m) = rx.try_recv() {
+                            pending.push((peer, m.tag, m.payload.len()));
+                            if pending.len() >= 16 {
+                                break 'ports;
+                            }
+                        }
+                    }
+                    std::panic::panic_any(HangError {
+                        rank: self.rank,
+                        src,
+                        tag,
+                        blocked,
+                        pending,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("sender alive for the whole run");
+                }
+            }
+        }
     }
 
     /// Charges this rank's port for one physical arrival.
@@ -624,7 +907,7 @@ impl Comm {
     /// duplicate retransmissions.
     fn recv_faulty(&mut self, src: Rank, expected_tag: u64) -> Vec<f64> {
         loop {
-            let msg = self.rx[src].recv().expect("sender alive for the whole run");
+            let msg = self.wire_recv(src, expected_tag);
             self.charge_recv(&msg);
             let meta = msg.meta.expect("fault-mode messages carry an envelope");
             if checksum(&msg.payload) != meta.checksum {
@@ -648,7 +931,10 @@ impl Comm {
     }
 
     /// Fails loudly on a tag mismatch, naming the endpoints, both tags,
-    /// and up to 8 still-pending messages on the same channel.
+    /// and up to 8 still-pending messages on the same channel. The abort
+    /// is a typed [`ProtocolError`] (whose `Display` carries the same
+    /// diagnostic) so the recovery supervisor routes it like any other
+    /// machine error.
     fn check_tag(&mut self, src: Rank, expected: u64, actual: u64) {
         if actual == expected {
             return;
@@ -660,14 +946,93 @@ impl Comm {
                 Err(_) => break,
             }
         }
-        let pending: Vec<String> =
-            pending.iter().map(|(tag, words)| format!("tag {tag:#x} ({words} words)")).collect();
-        panic!(
-            "rank {}: message from {src} has tag {actual:#x}, expected {expected:#x} — \
-             schedule mismatch; pending from {src}: [{}]",
-            self.rank,
-            pending.join(", ")
-        );
+        std::panic::panic_any(ProtocolError { rank: self.rank, src, expected, actual, pending });
+    }
+
+    /// `true` when the current phase must actually execute: always, except
+    /// under a recovery supervisor while skipping phases a restored
+    /// checkpoint already covers. Gate each phase body on this, then call
+    /// [`Comm::commit_phase`] unconditionally.
+    pub fn phase_live(&self) -> bool {
+        match &self.recovery {
+            Some(rs) => self.boundary + 1 > rs.resume,
+            None => true,
+        }
+    }
+
+    /// Marks a phase boundary, handing the solver's per-rank `state`
+    /// through the checkpoint layer.
+    ///
+    /// Without a recovery supervisor this only advances the boundary
+    /// counter (against which `kill=R@B` rules are matched) and returns
+    /// `state` untouched — zero cost. Under
+    /// [`Machine::launch_recovering`]:
+    ///
+    /// * at the resume boundary, the rank's snapshot (state, clocks,
+    ///   counters, fault sequence state) replaces the local one and a
+    ///   restore charge of `(1, words)` hits the latency/bandwidth
+    ///   clocks;
+    /// * at every `every`-th later boundary, a save charge of
+    ///   `(1, words)` hits the clocks and the state is snapshotted into
+    ///   the shared store.
+    ///
+    /// Checkpoint traffic thus lands in the §3.1 ledgers exactly: one
+    /// latency unit plus the state's word count per snapshot or restore.
+    pub fn commit_phase(&mut self, state: Vec<f64>) -> Vec<f64> {
+        self.boundary += 1;
+        let Some(rs) = self.recovery.as_deref() else { return state };
+        let boundary = self.boundary;
+        let (store, resume, every) = (Arc::clone(&rs.store), rs.resume, rs.every);
+        if boundary < resume {
+            // still in the skipped region: the state is stale and a
+            // snapshot at this boundary already exists
+            return state;
+        }
+        if boundary == resume {
+            let snap = store.restore(self.rank, boundary);
+            self.clocks = snap.clocks;
+            self.sent_messages = snap.sent_messages;
+            self.sent_words = snap.sent_words;
+            self.peak_words = snap.peak_words;
+            self.resident_words = snap.resident_words;
+            if let Some(st) = self.faults.as_deref_mut() {
+                if snap.seq_next.len() == st.seq_next.len() {
+                    st.seq_next.clone_from(&snap.seq_next);
+                    st.seq_seen.clone_from(&snap.seq_seen);
+                }
+                st.stats = snap.stats;
+            }
+            // the restore itself moves the state words back into place
+            self.clocks.latency += 1;
+            self.clocks.bandwidth += snap.state.len() as u64;
+            return snap.state;
+        }
+        if every != 0 && boundary.is_multiple_of(every as u64) {
+            // charge before capture, so the snapshot's clocks already
+            // include its own cost and a restore resumes past it exactly
+            self.clocks.latency += 1;
+            self.clocks.bandwidth += state.len() as u64;
+            let (seq_next, seq_seen, stats) = match self.faults.as_deref() {
+                Some(st) => (st.seq_next.clone(), st.seq_seen.clone(), st.stats),
+                None => (Vec::new(), Vec::new(), FaultStats::default()),
+            };
+            store.save(
+                self.rank,
+                boundary,
+                Snapshot {
+                    state: state.clone(),
+                    clocks: self.clocks,
+                    sent_messages: self.sent_messages,
+                    sent_words: self.sent_words,
+                    peak_words: self.peak_words,
+                    resident_words: self.resident_words,
+                    seq_next,
+                    seq_seen,
+                    stats,
+                },
+            );
+        }
+        state
     }
 
     /// Records `ops` scalar operations of local compute. A straggler rank
@@ -1076,8 +1441,9 @@ mod tests {
             _ => drop(comm.recv(0, 5)),
         })
         .expect_err("dead link is unrecoverable");
-        assert_eq!((err.src, err.dst, err.tag), (0, 1, 5));
         assert!(err.to_string().contains("unrecoverable fault"));
+        let MachineError::Fault(err) = err else { panic!("expected a fault error, got {err}") };
+        assert_eq!((err.src, err.dst, err.tag), (0, 1, 5));
     }
 
     #[test]
@@ -1103,5 +1469,153 @@ mod tests {
         assert_eq!(outs_a, outs_b);
         assert_eq!(report_a.per_rank, report_b.per_rank);
         assert_eq!(summary_a, summary_b);
+    }
+
+    #[test]
+    fn watchdog_aborts_a_mutual_deadlock() {
+        // both ranks wait on each other — a true deadlock (a rank merely
+        // exiting disconnects its channels, which is a different failure)
+        let mode = Mode { watchdog_ms: 200, ..Mode::PLAIN };
+        let err = Machine::run_inner(
+            2,
+            |comm: &mut Comm| {
+                let peer = comm.rank() ^ 1;
+                comm.recv(peer, 9);
+            },
+            mode,
+        )
+        .map(|_| ())
+        .expect_err("deadlock must trip the watchdog");
+        let MachineError::Hang(hang) = err else { panic!("expected a hang, got {err}") };
+        assert_eq!(hang.tag, 9);
+        assert!(hang.blocked.iter().all(Option::is_some), "both ranks were blocked");
+        assert!(hang.to_string().contains("machine hung"));
+    }
+
+    /// A relay pipeline with `phases` checkpointable phases: each phase,
+    /// rank 0 sends `phase` to 1, which forwards it to 2; every rank folds
+    /// the value into its state, so the final state is Σ 1..=phases.
+    fn relay(phases: u64) -> impl Fn(&mut Comm) -> Vec<f64> + Sync {
+        move |comm| {
+            let mut state = vec![0.0];
+            for phase in 1..=phases {
+                if comm.phase_live() {
+                    let x = match comm.rank() {
+                        0 => {
+                            comm.send(1, phase, vec![phase as f64]);
+                            phase as f64
+                        }
+                        1 => {
+                            let v = comm.recv(0, phase);
+                            comm.send(2, phase, v.clone());
+                            v[0]
+                        }
+                        _ => comm.recv(1, phase)[0],
+                    };
+                    state[0] += x;
+                }
+                state = comm.commit_phase(state);
+            }
+            state
+        }
+    }
+
+    #[test]
+    fn commit_phase_is_free_without_recovery() {
+        // outside a recovering launch, commit_phase only advances the
+        // boundary counter: same clocks as a run without any commits
+        let plan = FaultPlan::new(31);
+        let (outs, with_commits, _) =
+            Machine::run_faulty(3, &plan, relay(2)).expect("empty plan cannot fail");
+        let (_, without, _) = Machine::run_faulty(3, &plan, |comm: &mut Comm| {
+            for phase in 1..=2u64 {
+                match comm.rank() {
+                    0 => comm.send(1, phase, vec![phase as f64]),
+                    1 => {
+                        let v = comm.recv(0, phase);
+                        comm.send(2, phase, v);
+                    }
+                    _ => drop(comm.recv(1, phase)),
+                }
+            }
+        })
+        .expect("empty plan cannot fail");
+        assert_eq!(outs, vec![vec![3.0]; 3]);
+        assert_eq!(with_commits.per_rank, without.per_rank);
+    }
+
+    #[test]
+    fn recovering_fault_free_run_charges_snapshots_exactly() {
+        let plan = FaultPlan::new(37);
+        let (plain_outs, plain, _) =
+            Machine::run_faulty(3, &plan, relay(3)).expect("empty plan cannot fail");
+        let (outs, report, _, recovery) =
+            Machine::launch_recovering(3, &plan, RecoveryPolicy::default(), false, relay(3))
+                .expect("empty plan cannot fail");
+        assert_eq!(outs, plain_outs);
+        assert_eq!(recovery.restarts, 0, "nothing to recover from");
+        assert_eq!(recovery.snapshots_taken, 9, "3 ranks × 3 boundaries");
+        assert_eq!(recovery.snapshot_words, 9, "one state word per snapshot");
+        assert_eq!((recovery.restores, recovery.rollbacks), (0, 0));
+        // the checkpoint traffic lands in the §3.1 ledgers exactly:
+        // (1, words) per snapshot on each rank's own clocks
+        for (with, without) in report.per_rank.iter().zip(&plain.per_rank) {
+            assert_eq!(with.clocks.latency, without.clocks.latency + 3);
+            assert_eq!(with.clocks.bandwidth, without.clocks.bandwidth + 3);
+            assert_eq!(with.clocks.compute, without.clocks.compute);
+            assert_eq!(with.sent_messages, without.sent_messages, "snapshots are not messages");
+        }
+    }
+
+    #[test]
+    fn rank_kill_recovers_via_spare_takeover() {
+        // rank 1 dies at boundary 1: phase 2's traffic through it drops
+        // forever, so only a spare-rank takeover can finish the run
+        let plan = FaultPlan::new(41).with_kill_rank_from(1, 1);
+        let (outs, _, summary, recovery) =
+            Machine::launch_recovering(3, &plan, RecoveryPolicy::default(), false, relay(3))
+                .expect("spare takeover recovers the run");
+        assert_eq!(outs, vec![vec![6.0]; 3], "oracle-equal after recovery");
+        assert_eq!(recovery.restarts, 1);
+        assert_eq!(recovery.resume_boundaries, vec![1], "resumed at the consistent cut");
+        assert_eq!(recovery.spare_takeovers, vec![(1, 3)]);
+        assert_eq!(recovery.restores, 3, "each rank restored once");
+        assert_eq!(summary.unrecoverable, 0, "the final epoch is clean");
+        assert_eq!(recovery.causes.len(), 1);
+        assert!(recovery.causes[0].contains("unrecoverable fault"));
+    }
+
+    #[test]
+    fn recovery_trajectories_replay_bit_identically() {
+        let plan = FaultPlan::new(43).with_drop(0.3).with_kill_rank_from(2, 2);
+        let run = || {
+            Machine::launch_recovering(3, &plan, RecoveryPolicy::default(), false, relay(4))
+                .expect("recovers")
+        };
+        let (outs_a, report_a, summary_a, recovery_a) = run();
+        let (outs_b, report_b, summary_b, recovery_b) = run();
+        assert_eq!(outs_a, outs_b);
+        assert_eq!(outs_a, vec![vec![10.0]; 3]);
+        assert_eq!(report_a.per_rank, report_b.per_rank);
+        assert_eq!(summary_a, summary_b);
+        assert_eq!(recovery_a, recovery_b, "the whole trajectory replays");
+    }
+
+    #[test]
+    fn exhausted_restart_budget_degrades_to_typed_unrecoverable() {
+        // a dead link with no spares left: the supervisor must give up
+        // with a typed report, not panic or hang
+        let plan = FaultPlan::new(47).with_kill(0, 1);
+        let policy = RecoveryPolicy { max_restarts: 2, every: 1, spares: 0 };
+        let err = Machine::launch_recovering(3, &plan, policy, false, relay(2))
+            .map(|_| ())
+            .expect_err("a kill with no spares cannot recover");
+        let MachineError::Unrecoverable(u) = err else {
+            panic!("expected Unrecoverable, got {err}")
+        };
+        assert!(matches!(*u.cause, MachineError::Fault(_)));
+        assert_eq!(u.partial.unrecoverable, 1);
+        assert_eq!(u.partial.per_rank.len(), 3);
+        assert!(u.to_string().contains("unrecoverable after"));
     }
 }

@@ -30,9 +30,13 @@
 //! * **straggler** — a per-rank compute-clock multiplier
 //!   ([`crate::Comm::compute`] charges `factor × ops`), modeling a slow
 //!   node.
-//! * **kill** — a link `(src, dst)` drops *every* attempt. Retries
-//!   exhaust and the run fails loudly with a [`FaultError`] naming the
-//!   message — never a silently wrong answer.
+//! * **kill** — a link `(src, dst)` drops *every* attempt, or a whole
+//!   rank's links drop from a given phase boundary on. Retries exhaust
+//!   and the run fails loudly with a [`FaultError`] naming the message —
+//!   never a silently wrong answer. Under
+//!   [`crate::Machine::launch_recovering`] the supervisor instead rolls
+//!   back to the last checkpoint and (for permanent kills) remaps the
+//!   victim onto a spare rank.
 //!
 //! Probabilistic faults only fire on the first [`INJECT_ATTEMPTS`]
 //! attempts of a message, so any plan without `kill` rules is
@@ -58,7 +62,8 @@
 //! corrupt=P         corrupt payloads with probability P
 //! delay=P[:D]       delay with probability P by D latency units (default 4)
 //! straggle=R:F      slow rank R's compute clock by factor F (repeatable)
-//! kill=S>D          drop everything S→D — unrecoverable (repeatable)
+//! kill=S>D          drop everything S→D — permanent (repeatable)
+//! kill=R[@B]        kill rank R from phase boundary B on (default 0; repeatable)
 //! retries=N         per-message retransmission budget (default 6)
 //! ```
 //!
@@ -116,6 +121,9 @@ pub struct FaultPlan {
     stragglers: Vec<(Rank, u64)>,
     /// Links whose every message attempt is dropped.
     kills: Vec<(Rank, Rank)>,
+    /// `(rank, from_boundary)`: every link touching `rank` drops once the
+    /// sender's phase-boundary counter reaches `from_boundary`.
+    kill_ranks: Vec<(Rank, u64)>,
 }
 
 impl FaultPlan {
@@ -161,6 +169,24 @@ impl FaultPlan {
     /// executor; any message on the link becomes unrecoverable.
     pub fn with_kill(mut self, src: Rank, dst: Rank) -> Self {
         self.kills.push((src, dst));
+        self
+    }
+
+    /// Kills `rank` outright: every link touching it drops from the start
+    /// of the run. Equivalent to [`FaultPlan::with_kill_rank_from`] with
+    /// boundary 0.
+    pub fn with_kill_rank(self, rank: Rank) -> Self {
+        self.with_kill_rank_from(rank, 0)
+    }
+
+    /// Kills `rank` once the **sender's** phase-boundary counter (see
+    /// [`crate::Comm::commit_phase`]) reaches `from_boundary`: from then
+    /// on every attempt to or from `rank` drops. Phases are SPMD, so
+    /// keying on the sender's counter is deterministic, and the boundary
+    /// counter only grows — a rank kill is permanent and survivable only
+    /// by spare-rank takeover.
+    pub fn with_kill_rank_from(mut self, rank: Rank, from_boundary: u64) -> Self {
+        self.kill_ranks.push((rank, from_boundary));
         self
     }
 
@@ -214,12 +240,24 @@ impl FaultPlan {
                     plan = plan.with_straggler(rank, factor);
                 }
                 "kill" => {
-                    let (s, d) = value
-                        .split_once('>')
-                        .ok_or_else(|| format!("kill wants SRC>DST in `{clause}`"))?;
-                    let src = s.parse().map_err(|_| format!("bad kill src in `{clause}`"))?;
-                    let dst = d.parse().map_err(|_| format!("bad kill dst in `{clause}`"))?;
-                    plan = plan.with_kill(src, dst);
+                    if let Some((s, d)) = value.split_once('>') {
+                        let src = s.parse().map_err(|_| format!("bad kill src in `{clause}`"))?;
+                        let dst = d.parse().map_err(|_| format!("bad kill dst in `{clause}`"))?;
+                        plan = plan.with_kill(src, dst);
+                    } else {
+                        let (r, b) = match value.split_once('@') {
+                            Some((r, b)) => (
+                                r,
+                                b.parse()
+                                    .map_err(|_| format!("bad kill boundary in `{clause}`"))?,
+                            ),
+                            None => (value, 0),
+                        };
+                        let rank = r.parse().map_err(|_| {
+                            format!("kill wants SRC>DST or RANK[@BOUNDARY] in `{clause}`")
+                        })?;
+                        plan = plan.with_kill_rank_from(rank, b);
+                    }
                 }
                 "retries" => {
                     let n: u32 =
@@ -262,16 +300,42 @@ impl FaultPlan {
     }
 
     /// The injection decision for one physical attempt of message
-    /// `(src, dst, tag, seq)` — a pure function of the plan.
+    /// `(src, dst, tag, seq)` — a pure function of the plan. Equivalent
+    /// to [`FaultPlan::injection_at`] in epoch 0 at boundary 0.
     pub fn injection(&self, src: Rank, dst: Rank, tag: u64, seq: u64, attempt: u32) -> Injection {
+        self.injection_at(0, 0, src, dst, tag, seq, attempt)
+    }
+
+    /// The injection decision for one physical attempt, positioned in the
+    /// recovery timeline: `epoch` re-keys the probabilistic stream on each
+    /// supervisor restart (so a transient fault does not recur at the same
+    /// message forever), and `boundary` is the sender's phase-boundary
+    /// counter, against which rank-kill rules are matched. Epoch 0 is
+    /// bit-identical to [`FaultPlan::injection`] — the recovery layer adds
+    /// nothing to a first execution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn injection_at(
+        &self,
+        epoch: u32,
+        boundary: u64,
+        src: Rank,
+        dst: Rank,
+        tag: u64,
+        seq: u64,
+        attempt: u32,
+    ) -> Injection {
         if self.kills.iter().any(|&(s, d)| (s, d) == (src, dst)) {
+            return Injection::Drop;
+        }
+        if self.kill_ranks.iter().any(|&(r, from)| (r == src || r == dst) && boundary >= from) {
             return Injection::Drop;
         }
         if attempt >= INJECT_ATTEMPTS {
             return Injection::Deliver { corrupt: false, duplicate: false, delay: 0 };
         }
+        let seed = epoch_seed(self.seed, epoch);
         let fires = |salt: u64, p: u32| {
-            p > 0 && self.decide(salt, src, dst, tag, seq, attempt) % PPM < p as u64
+            p > 0 && decide(seed, salt, src, dst, tag, seq, attempt) % PPM < p as u64
         };
         if fires(SALT_DROP, self.drop_ppm) {
             return Injection::Drop;
@@ -285,13 +349,39 @@ impl FaultPlan {
         }
     }
 
-    fn decide(&self, salt: u64, src: Rank, dst: Rank, tag: u64, seq: u64, attempt: u32) -> u64 {
-        let mut h = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        for v in [src as u64, dst as u64, tag, seq, attempt as u64] {
-            h = mix(h.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15));
-        }
-        h
+    /// `true` when the plan eventually kills the `src → dst` link
+    /// permanently — by a link rule or a rank rule on either endpoint.
+    /// The recovery supervisor uses this to tell a transient fault
+    /// (retry the same ranks) from a permanent one (remap onto a spare).
+    pub fn kills_link(&self, src: Rank, dst: Rank) -> bool {
+        self.kills.iter().any(|&(s, d)| (s, d) == (src, dst))
+            || self.kill_ranks.iter().any(|&(r, _)| r == src || r == dst)
     }
+
+    /// `true` when a rank-kill rule targets `rank` (at any boundary).
+    pub fn kills_rank(&self, rank: Rank) -> bool {
+        self.kill_ranks.iter().any(|&(r, _)| r == rank)
+    }
+}
+
+/// The probabilistic stream's seed for a recovery epoch: epoch 0 keeps the
+/// plan seed untouched (first executions are unaffected by the recovery
+/// layer); later epochs mix the epoch in so re-executions see fresh,
+/// still-deterministic injection decisions.
+fn epoch_seed(seed: u64, epoch: u32) -> u64 {
+    if epoch == 0 {
+        seed
+    } else {
+        mix(seed ^ (0xE90C_u64 << 32) ^ epoch as u64)
+    }
+}
+
+fn decide(seed: u64, salt: u64, src: Rank, dst: Rank, tag: u64, seq: u64, attempt: u32) -> u64 {
+    let mut h = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for v in [src as u64, dst as u64, tag, seq, attempt as u64] {
+        h = mix(h.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15));
+    }
+    h
 }
 
 /// SplitMix64 finalizer — the workspace's standard deterministic mixer.
@@ -523,6 +613,42 @@ mod tests {
     }
 
     #[test]
+    fn rank_kill_waits_for_its_boundary() {
+        let plan = FaultPlan::new(0).with_kill_rank_from(2, 3);
+        // before boundary 3 the rank is healthy, in either direction
+        assert_ne!(plan.injection_at(0, 2, 2, 1, 9, 0, 5), Injection::Drop);
+        assert_ne!(plan.injection_at(0, 2, 1, 2, 9, 0, 5), Injection::Drop);
+        // from boundary 3 on, every attempt touching rank 2 drops
+        for boundary in 3..6 {
+            for attempt in 0..20 {
+                assert_eq!(plan.injection_at(0, boundary, 2, 1, 9, 0, attempt), Injection::Drop);
+                assert_eq!(plan.injection_at(0, boundary, 1, 2, 9, 0, attempt), Injection::Drop);
+            }
+        }
+        // uninvolved links stay alive
+        assert_ne!(plan.injection_at(0, 5, 0, 1, 9, 0, 5), Injection::Drop);
+        assert!(plan.kills_rank(2) && !plan.kills_rank(1));
+        assert!(plan.kills_link(2, 1) && plan.kills_link(1, 2) && !plan.kills_link(0, 1));
+    }
+
+    #[test]
+    fn epoch_rekeys_the_probabilistic_stream() {
+        let plan = FaultPlan::new(42).with_drop(0.5);
+        // epoch 0 is bit-identical to the legacy single-epoch hash
+        for seq in 0..50 {
+            assert_eq!(plan.injection(0, 1, 7, seq, 0), plan.injection_at(0, 0, 0, 1, 7, seq, 0));
+        }
+        // a later epoch decides differently somewhere, but deterministically
+        let differ = (0..100)
+            .any(|seq| plan.injection_at(1, 0, 0, 1, 7, seq, 0) != plan.injection(0, 1, 7, seq, 0));
+        assert!(differ, "epoch 1 replays the same faults as epoch 0");
+        assert_eq!(plan.injection_at(1, 0, 0, 1, 7, 3, 0), plan.injection_at(1, 0, 0, 1, 7, 3, 0));
+        // kill rules ignore the epoch — they are permanent
+        let killed = FaultPlan::new(0).with_kill(0, 1);
+        assert_eq!(killed.injection_at(5, 0, 0, 1, 7, 3, 0), Injection::Drop);
+    }
+
+    #[test]
     fn backoff_is_exponential() {
         let plan = FaultPlan::new(0);
         assert_eq!(plan.backoff(1), 2);
@@ -544,6 +670,10 @@ mod tests {
         assert_eq!(plan.retries(), 9);
         assert_eq!(plan.injection(0, 5, 0, 0, 8), Injection::Drop);
         assert!(FaultPlan::parse("", 0).unwrap().is_empty());
+        let plan = FaultPlan::parse("kill=3", 0).unwrap();
+        assert_eq!(plan, FaultPlan::new(0).with_kill_rank(3));
+        let plan = FaultPlan::parse("kill=1@4, kill=0>2", 0).unwrap();
+        assert_eq!(plan, FaultPlan::new(0).with_kill(0, 2).with_kill_rank_from(1, 4));
     }
 
     #[test]

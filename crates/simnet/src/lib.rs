@@ -30,6 +30,19 @@
 //! is measured by the very model the paper's Table 2 uses. With an empty
 //! plan the layer is bit-for-bit invisible in every report.
 //!
+//! ## Checkpoint/restart
+//!
+//! [`Machine::launch_recovering`] survives what the retransmission
+//! protocol cannot (dead links, killed ranks, exhausted retries): rank
+//! programs mark phase boundaries with [`Comm::commit_phase`], the
+//! machine snapshots per-rank state there (charging the bytes to the
+//! ordinary ledgers), and a supervisor rolls back to the last consistent
+//! checkpoint and re-executes — remapping permanently dead ranks onto
+//! spares — under a bounded [`RecoveryPolicy`], degrading to a typed
+//! [`recovery::Unrecoverable`] report when the budget runs out. A
+//! wall-clock watchdog turns hung schedules into typed
+//! [`recovery::HangError`]s instead of stuck test runs.
+//!
 //! ## Deadlock discipline
 //!
 //! Sends never block (unbounded channels); receives block. A distributed
@@ -41,11 +54,15 @@
 pub mod collectives;
 pub mod comm;
 pub mod faults;
+pub mod recovery;
 pub mod report;
 pub mod trace;
 
 pub use comm::{Comm, Launch, Machine, Rank, SpanGuard, TraceEvent};
 pub use faults::{FaultError, FaultPlan, FaultStats, FaultSummary, Injection};
+pub use recovery::{
+    HangError, MachineError, ProtocolError, RecoveryPolicy, RecoveryReport, Unrecoverable,
+};
 pub use report::{Clocks, RankStats, RunReport};
 pub use trace::{
     CommMatrix, PhaseBreakdown, PhaseRow, Profile, RankProfile, SpanLedger, SpanRecord,

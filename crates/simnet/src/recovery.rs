@@ -1,0 +1,501 @@
+//! Checkpoint/restart recovery for the simulated machine.
+//!
+//! PR 2's fault layer recovers from *transient* faults with message-level
+//! retransmission, but a permanent fault — a dead link, a killed rank, an
+//! exhausted retry budget — still aborts the whole solve. This module adds
+//! the lineage above that protocol, the way checkpoint/restart (or Spark's
+//! lineage recovery) sits above TCP:
+//!
+//! * Solvers mark **phase boundaries** with [`crate::Comm::commit_phase`].
+//!   Under a [`RecoveryPolicy`] the machine snapshots each rank's state
+//!   (solver payload, §3.1 clocks, fault-protocol sequence state) at every
+//!   `every`-th boundary into a shared [`SnapshotStore`], charging the
+//!   snapshot bytes to the ordinary latency/bandwidth ledgers — checkpoint
+//!   traffic is Table 2 traffic.
+//! * A supervisor ([`crate::Machine::launch_recovering`]) catches the typed
+//!   error a faulted epoch dies with, rolls every rank back to the last
+//!   **consistent cut** (the highest boundary every rank has snapshotted),
+//!   prunes now-stale snapshots (the rollback ledger), respawns the ranks
+//!   with fresh attempt counters — remapping a permanently dead rank onto a
+//!   **spare** physical id when the plan's kill rules make retrying
+//!   pointless — and re-executes from the cut under a bounded restart
+//!   budget.
+//! * When the budget runs out the supervisor degrades to a typed
+//!   [`Unrecoverable`] report carrying the partial [`FaultSummary`]
+//!   reconstructed from the consistent cut — never a panic, never a hang.
+//!
+//! Determinism: every supervisor decision is a pure function of the plan,
+//! the policy, and the epoch number (re-executions re-key injections by
+//! epoch), so the same seed and policy replay the same recovery trajectory
+//! bit-for-bit.
+
+use crate::comm::Rank;
+use crate::faults::{FaultStats, FaultSummary};
+use crate::report::Clocks;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------------
+
+/// How a recovering launch responds to unrecoverable faults.
+///
+/// ## Spec grammar (CLI `--recover`)
+///
+/// Comma-separated `key=value` clauses; an empty spec is the default
+/// policy:
+///
+/// ```text
+/// restarts=N        restart budget before degrading to Unrecoverable (default 3)
+/// every=K           checkpoint every K-th phase boundary; 0 disables (default 1)
+/// spares=S          spare physical ranks for permanent-fault takeover (default 1)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Restarts allowed before the run degrades to [`Unrecoverable`].
+    pub max_restarts: u32,
+    /// Checkpoint cadence: snapshot at every `every`-th phase boundary
+    /// (`0` disables checkpointing — every restart replays from scratch).
+    pub every: u32,
+    /// Spare physical ranks available for permanent-fault takeover.
+    pub spares: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_restarts: 3, every: 1, spares: 1 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Parses the `--recover` spec grammar (see the type docs). An empty
+    /// spec yields the default policy.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut policy = RecoveryPolicy::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("recovery clause `{clause}` is not key=value"))?;
+            match key {
+                "restarts" => {
+                    policy.max_restarts =
+                        value.parse().map_err(|_| format!("bad restart budget in `{clause}`"))?;
+                }
+                "every" => {
+                    policy.every = value
+                        .parse()
+                        .map_err(|_| format!("bad checkpoint cadence in `{clause}`"))?;
+                }
+                "spares" => {
+                    policy.spares =
+                        value.parse().map_err(|_| format!("bad spare count in `{clause}`"))?;
+                }
+                other => return Err(format!("unknown recovery knob `{other}`")),
+            }
+        }
+        Ok(policy)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery report
+// ---------------------------------------------------------------------------
+
+/// What a recovering launch did to finish: the restart/rollback ledger.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Restarts performed (0 on a fault-free trajectory).
+    pub restarts: u32,
+    /// The consistent-cut boundary each restart resumed from, in order.
+    pub resume_boundaries: Vec<u64>,
+    /// `(logical rank, spare physical id)` takeovers, in order.
+    pub spare_takeovers: Vec<(Rank, Rank)>,
+    /// Snapshots captured across all epochs.
+    pub snapshots_taken: u64,
+    /// Solver-state words captured into snapshots (charged to bandwidth).
+    pub snapshot_words: u64,
+    /// Snapshots restored at resume boundaries.
+    pub restores: u64,
+    /// Solver-state words restored (charged to bandwidth).
+    pub restore_words: u64,
+    /// Rollbacks performed (one per restart that discarded work).
+    pub rollbacks: u64,
+    /// Snapshot words discarded by rollbacks (work thrown away).
+    pub rollback_words: u64,
+    /// Display strings of the error behind each restart, in order.
+    pub causes: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// One-line human-readable digest (the CLI's stderr `recovery:` line).
+    pub fn digest(&self) -> String {
+        let takeovers: Vec<String> = self
+            .spare_takeovers
+            .iter()
+            .map(|(logical, physical)| format!("{logical}→{physical}"))
+            .collect();
+        format!(
+            "{} restarts (resumed at [{}]), {} snapshots ({} words), \
+             {} restores ({} words), {} rollbacks ({} words discarded), spares [{}]",
+            self.restarts,
+            self.resume_boundaries.iter().map(u64::to_string).collect::<Vec<_>>().join(", "),
+            self.snapshots_taken,
+            self.snapshot_words,
+            self.restores,
+            self.restore_words,
+            self.rollbacks,
+            self.rollback_words,
+            takeovers.join(", "),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot store
+// ---------------------------------------------------------------------------
+
+/// One rank's state at a phase boundary — everything
+/// [`crate::Comm::commit_phase`] needs to roll the rank back.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Snapshot {
+    /// The solver's opaque per-rank state words.
+    pub state: Vec<f64>,
+    /// §3.1 clocks at the boundary (including the snapshot's own charge).
+    pub clocks: Clocks,
+    /// Cumulative messages sent at the boundary.
+    pub sent_messages: u64,
+    /// Cumulative words sent at the boundary.
+    pub sent_words: u64,
+    /// Peak tracked memory at the boundary.
+    pub peak_words: u64,
+    /// Resident tracked memory at the boundary.
+    pub resident_words: u64,
+    /// Fault-protocol send sequence counters, per destination.
+    pub seq_next: Vec<u64>,
+    /// Fault-protocol receive sequence counters, per source.
+    pub seq_seen: Vec<u64>,
+    /// Fault counters at the boundary.
+    pub stats: FaultStats,
+}
+
+/// Shared store of per-rank snapshots, keyed by (logical rank, boundary).
+/// Ranks write their own slot only, so the mutexes are uncontended; the
+/// supervisor reads between epochs, when no rank is running.
+pub(crate) struct SnapshotStore {
+    ranks: Vec<Mutex<BTreeMap<u64, Snapshot>>>,
+    saves: AtomicU64,
+    save_words: AtomicU64,
+    restores: AtomicU64,
+    restore_words: AtomicU64,
+}
+
+impl SnapshotStore {
+    pub(crate) fn new(p: usize) -> Self {
+        SnapshotStore {
+            ranks: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            saves: AtomicU64::new(0),
+            save_words: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            restore_words: AtomicU64::new(0),
+        }
+    }
+
+    /// Saves `rank`'s snapshot at `boundary` (1-based).
+    pub(crate) fn save(&self, rank: Rank, boundary: u64, snapshot: Snapshot) {
+        self.saves.fetch_add(1, Ordering::Relaxed);
+        self.save_words.fetch_add(snapshot.state.len() as u64, Ordering::Relaxed);
+        self.ranks[rank].lock().expect("snapshot store poisoned").insert(boundary, snapshot);
+    }
+
+    /// Takes `rank`'s snapshot at `boundary`; panics if absent (the
+    /// supervisor only resumes at boundaries every rank has saved).
+    pub(crate) fn restore(&self, rank: Rank, boundary: u64) -> Snapshot {
+        let snapshot = self.ranks[rank]
+            .lock()
+            .expect("snapshot store poisoned")
+            .get(&boundary)
+            .cloned()
+            .unwrap_or_else(|| panic!("rank {rank} has no snapshot at boundary {boundary}"));
+        self.restores.fetch_add(1, Ordering::Relaxed);
+        self.restore_words.fetch_add(snapshot.state.len() as u64, Ordering::Relaxed);
+        snapshot
+    }
+
+    /// The highest boundary **every** rank has snapshotted — the last
+    /// consistent cut (0 when any rank has none: restart from scratch).
+    pub(crate) fn consistent_boundary(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| {
+                r.lock().expect("snapshot store poisoned").keys().next_back().copied().unwrap_or(0)
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Discards snapshots beyond `boundary` (stale work from a failed
+    /// epoch) and returns the state words discarded — the rollback cost.
+    pub(crate) fn prune_beyond(&self, boundary: u64) -> u64 {
+        let mut discarded = 0;
+        for r in &self.ranks {
+            let mut map = r.lock().expect("snapshot store poisoned");
+            let stale = map.split_off(&(boundary + 1));
+            discarded += stale.values().map(|s| s.state.len() as u64).sum::<u64>();
+        }
+        discarded
+    }
+
+    /// Per-rank fault counters at boundary `cut` — the partial
+    /// [`FaultSummary`] an [`Unrecoverable`] report carries.
+    pub(crate) fn partial_summary(&self, cut: u64) -> FaultSummary {
+        let per_rank = self
+            .ranks
+            .iter()
+            .map(|r| {
+                r.lock()
+                    .expect("snapshot store poisoned")
+                    .get(&cut)
+                    .map(|s| s.stats)
+                    .unwrap_or_default()
+            })
+            .collect();
+        FaultSummary { per_rank, unrecoverable: 1 }
+    }
+
+    pub(crate) fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn save_words(&self) -> u64 {
+        self.save_words.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn restores(&self) -> u64 {
+        self.restores.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn restore_words(&self) -> u64 {
+        self.restore_words.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed machine errors
+// ---------------------------------------------------------------------------
+
+/// Any way a machine run can fail, as a typed value: the supervisor's
+/// input, and the `Err` of every fallible [`crate::Machine`] entry point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// A message exhausted its retry budget (dead link, killed rank).
+    Fault(crate::faults::FaultError),
+    /// A receive saw a tag it did not expect — a schedule bug.
+    Protocol(ProtocolError),
+    /// The wall-clock watchdog found every rank stalled.
+    Hang(HangError),
+    /// The recovery supervisor exhausted its restart budget.
+    Unrecoverable(Unrecoverable),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Fault(e) => e.fmt(f),
+            MachineError::Protocol(e) => e.fmt(f),
+            MachineError::Hang(e) => e.fmt(f),
+            MachineError::Unrecoverable(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<crate::faults::FaultError> for MachineError {
+    fn from(e: crate::faults::FaultError) -> Self {
+        MachineError::Fault(e)
+    }
+}
+
+/// A receive whose arriving tag did not match the expected one — always an
+/// algorithm-schedule bug. Typed so the supervisor (and tests) can route
+/// it; its `Display` keeps the long-standing grep-able diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// The receiving rank that observed the mismatch.
+    pub rank: Rank,
+    /// The sending rank.
+    pub src: Rank,
+    /// The tag the receiver expected.
+    pub expected: u64,
+    /// The tag that actually arrived.
+    pub actual: u64,
+    /// Up to 8 still-pending `(tag, words)` messages on the same channel.
+    pub pending: Vec<(u64, usize)>,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pending: Vec<String> = self
+            .pending
+            .iter()
+            .map(|(tag, words)| format!("tag {tag:#x} ({words} words)"))
+            .collect();
+        write!(
+            f,
+            "rank {}: message from {} has tag {:#x}, expected {:#x} — \
+             schedule mismatch; pending from {}: [{}]",
+            self.rank,
+            self.src,
+            self.actual,
+            self.expected,
+            self.src,
+            pending.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The watchdog's verdict on a stalled machine: no rank made progress for
+/// the configured wall-clock window, so the run was aborted with a dump of
+/// who was blocked on whom — a solver bug can no longer hang the suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HangError {
+    /// The rank whose watchdog fired.
+    pub rank: Rank,
+    /// The peer it was blocked receiving from.
+    pub src: Rank,
+    /// The tag it was blocked waiting for.
+    pub tag: u64,
+    /// Every rank's blocked-on `(src, tag)`, `None` for ranks not blocked
+    /// in a receive at the dump.
+    pub blocked: Vec<Option<(Rank, u64)>>,
+    /// Up to 16 `(src, tag, words)` messages pending at the detecting
+    /// rank's ports — delivered but never asked for.
+    pub pending: Vec<(Rank, u64, usize)>,
+}
+
+impl std::fmt::Display for HangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let blocked: Vec<String> = self
+            .blocked
+            .iter()
+            .enumerate()
+            .map(|(r, b)| match b {
+                Some((src, tag)) => format!("{r}⇐{src} (tag {tag:#x})"),
+                None => format!("{r}: running"),
+            })
+            .collect();
+        let pending: Vec<String> = self
+            .pending
+            .iter()
+            .map(|(src, tag, words)| format!("from {src} tag {tag:#x} ({words} words)"))
+            .collect();
+        write!(
+            f,
+            "machine hung: rank {} made no progress waiting on rank {} (tag {:#x}); \
+             blocked-on: [{}]; pending at rank {}: [{}]",
+            self.rank,
+            self.src,
+            self.tag,
+            blocked.join(", "),
+            self.rank,
+            pending.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for HangError {}
+
+/// The restart budget ran out: the supervisor degrades to this typed
+/// report instead of panicking, carrying the root cause and the partial
+/// fault history reconstructed from the last consistent cut.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unrecoverable {
+    /// The error behind the final failed epoch.
+    pub cause: Box<MachineError>,
+    /// Restarts spent before giving up.
+    pub restarts: u32,
+    /// Fault counters at the last consistent cut (`unrecoverable = 1`).
+    pub partial: FaultSummary,
+}
+
+impl std::fmt::Display for Unrecoverable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecoverable after {} restarts: {} (partial fault history: {})",
+            self.restarts,
+            self.cause,
+            self.partial.digest()
+        )
+    }
+}
+
+impl std::error::Error for Unrecoverable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parse_roundtrips() {
+        assert_eq!(RecoveryPolicy::parse("").unwrap(), RecoveryPolicy::default());
+        assert_eq!(
+            RecoveryPolicy::parse("restarts=5, every=2,spares=0").unwrap(),
+            RecoveryPolicy { max_restarts: 5, every: 2, spares: 0 }
+        );
+    }
+
+    #[test]
+    fn policy_parse_rejects_bad_specs() {
+        for bad in ["restarts", "restarts=x", "warp=1", "every=-1", "spares=1.5"] {
+            assert!(RecoveryPolicy::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn store_tracks_the_consistent_cut() {
+        let store = SnapshotStore::new(2);
+        assert_eq!(store.consistent_boundary(), 0);
+        store.save(0, 1, Snapshot { state: vec![1.0; 4], ..Default::default() });
+        assert_eq!(store.consistent_boundary(), 0, "rank 1 has nothing yet");
+        store.save(1, 1, Snapshot { state: vec![2.0; 3], ..Default::default() });
+        store.save(0, 2, Snapshot { state: vec![3.0; 5], ..Default::default() });
+        assert_eq!(store.consistent_boundary(), 1, "rank 1 stops at boundary 1");
+        assert_eq!(store.saves(), 3);
+        assert_eq!(store.save_words(), 12);
+        // pruning discards rank 0's stale boundary-2 snapshot
+        assert_eq!(store.prune_beyond(1), 5);
+        assert_eq!(store.consistent_boundary(), 1);
+        assert_eq!(store.restore(0, 1).state, vec![1.0; 4]);
+        assert_eq!(store.restore_words(), 4);
+    }
+
+    #[test]
+    fn partial_summary_reads_the_cut() {
+        let store = SnapshotStore::new(2);
+        let stats = FaultStats { drops_injected: 7, ..Default::default() };
+        store.save(0, 1, Snapshot { stats, ..Default::default() });
+        let partial = store.partial_summary(1);
+        assert_eq!(partial.per_rank[0].drops_injected, 7);
+        assert_eq!(partial.per_rank[1], FaultStats::default(), "missing rank defaults");
+        assert_eq!(partial.unrecoverable, 1);
+    }
+
+    #[test]
+    fn error_displays_carry_the_grepable_phrases() {
+        let p = ProtocolError { rank: 1, src: 0, expected: 0xC, actual: 0xA, pending: vec![] };
+        assert!(p.to_string().contains("schedule mismatch"));
+        let h = HangError { rank: 0, src: 1, tag: 7, blocked: vec![None, None], pending: vec![] };
+        assert!(h.to_string().contains("machine hung"));
+        let u = Unrecoverable {
+            cause: Box::new(MachineError::Protocol(p)),
+            restarts: 3,
+            partial: FaultSummary::default(),
+        };
+        assert!(u.to_string().contains("unrecoverable after 3 restarts"));
+    }
+}

@@ -7,14 +7,16 @@
 //! use is printed so any CI failure replays locally with
 //! `CHAOS_SEED=<seed> cargo test -p apsp-simnet --test faults_prop`.
 
-use apsp_core::dcapsp::dc_apsp_faulty;
-use apsp_core::djohnson::distributed_johnson_faulty;
-use apsp_core::fw2d::fw2d_faulty;
-use apsp_core::sparse2d::{sparse2d_faulty, Sparse2dOptions};
+use apsp_core::dcapsp::{dc_apsp_faulty, dc_apsp_recovering};
+use apsp_core::djohnson::{distributed_johnson_faulty, distributed_johnson_recovering};
+use apsp_core::fw2d::{fw2d_faulty, fw2d_recovering};
+use apsp_core::sparse2d::{sparse2d_faulty, sparse2d_recovering, Sparse2dOptions};
 use apsp_core::supernodal::SupernodalLayout;
 use apsp_graph::generators::{self, WeightKind};
 use apsp_graph::{oracle, DenseDist};
-use apsp_simnet::{FaultPlan, Machine, Rank};
+use apsp_simnet::{
+    FaultPlan, FaultSummary, Machine, MachineError, Rank, RecoveryPolicy, RecoveryReport, RunReport,
+};
 use proptest::prelude::*;
 
 /// The chaos seed: fixed by default, overridable for the CI randomized run.
@@ -260,6 +262,202 @@ fn sparse2d_recovers_under_chaos() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restart chaos: dead ranks at every phase boundary
+// ---------------------------------------------------------------------------
+
+/// A recovering solver as a uniform closure: plan + policy in, distances
+/// (in input vertex ids), report, fault summary, and recovery ledger out.
+type RecoveringRun = Box<
+    dyn Fn(
+        &FaultPlan,
+        RecoveryPolicy,
+    ) -> Result<(DenseDist, RunReport, FaultSummary, RecoveryReport), MachineError>,
+>;
+
+/// Every checkpointable solver on a ~4-rank machine over the same graph.
+/// (SuperFW is shared-memory and has no simulated ranks to kill.)
+fn recoverable_solvers(g: &apsp_graph::Csr) -> Vec<(&'static str, RecoveringRun)> {
+    let nd = apsp_partition::nested_dissection(g, 2, &apsp_partition::NdOptions::default());
+    let layout = SupernodalLayout::from_ordering(&nd);
+    let gp = g.permuted(&nd.perm);
+    let (g1, g2, g3) = (g.clone(), g.clone(), g.clone());
+    vec![
+        (
+            "fw2d",
+            Box::new(move |plan: &FaultPlan, policy: RecoveryPolicy| {
+                fw2d_recovering(&g1, 2, plan, policy, false)
+                    .map(|(r, f, rec)| (r.dist, r.report, f, rec))
+            }) as RecoveringRun,
+        ),
+        (
+            "dcapsp",
+            Box::new(move |plan: &FaultPlan, policy: RecoveryPolicy| {
+                dc_apsp_recovering(&g2, 2, 1, plan, policy, false)
+                    .map(|(r, f, rec)| (r.dist, r.report, f, rec))
+            }),
+        ),
+        (
+            "djohnson",
+            Box::new(move |plan: &FaultPlan, policy: RecoveryPolicy| {
+                distributed_johnson_recovering(&g3, 4, plan, policy, false)
+                    .map(|(r, f, rec)| (r.dist, r.report, f, rec))
+            }),
+        ),
+        (
+            "sparse2d",
+            Box::new(move |plan: &FaultPlan, policy: RecoveryPolicy| {
+                sparse2d_recovering(&layout, &gp, &Sparse2dOptions::default(), plan, policy, false)
+                    .map(|(r, f, rec)| {
+                        let dist = SupernodalLayout::unpermute(&r.dist_eliminated, &nd.perm);
+                        (dist, r.report, f, rec)
+                    })
+            }),
+        ),
+    ]
+}
+
+/// The acceptance matrix: every rank of every recoverable solver, killed
+/// permanently at every phase boundary, still finishes oracle-equal under
+/// the default policy — via one spare takeover when the kill actually
+/// bites a live message.
+#[test]
+fn every_rank_killed_at_every_phase_boundary_recovers() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let g = generators::grid2d(4, 4, WeightKind::Integer { max: 5 }, seed & 0xFFFF);
+    for (name, solve) in recoverable_solvers(&g) {
+        // probe run: discovers the rank count and the boundary count
+        let (dist, report, _, probe) = solve(&FaultPlan::new(seed), RecoveryPolicy::default())
+            .unwrap_or_else(|e| panic!("{name}: clean recovering run failed: {e}"));
+        assert_oracle(&dist, &g, &format!("{name} clean"));
+        assert_eq!(probe.restarts, 0, "{name}: clean run restarted");
+        let p = report.per_rank.len();
+        let boundaries = probe.snapshots_taken / p as u64;
+        assert!(boundaries >= 1, "{name}: no phase boundaries committed");
+        assert_eq!(probe.snapshots_taken, boundaries * p as u64, "{name}: ragged snapshots");
+
+        let mut exercised = 0u32;
+        for r in 0..p {
+            for b in 0..boundaries {
+                let plan = FaultPlan::new(seed).with_kill_rank_from(r, b);
+                let (dist, _, _, rec) = solve(&plan, RecoveryPolicy::default())
+                    .unwrap_or_else(|e| panic!("{name}: kill {r}@{b} did not recover: {e}"));
+                assert_oracle(&dist, &g, &format!("{name} kill {r}@{b}"));
+                if rec.restarts > 0 {
+                    exercised += 1;
+                    // a permanent rank kill is only survivable by remapping
+                    // the victim onto the one spare physical id
+                    assert_eq!(
+                        rec.spare_takeovers,
+                        vec![(r, p)],
+                        "{name} kill {r}@{b}: spare takeover"
+                    );
+                    assert_eq!(
+                        rec.resume_boundaries.len(),
+                        rec.restarts as usize,
+                        "{name} kill {r}@{b}: one resume cut per restart"
+                    );
+                    // resuming past a non-zero cut replays from snapshots
+                    if rec.resume_boundaries.iter().any(|&c| c > 0) {
+                        assert!(rec.restores > 0, "{name} kill {r}@{b}: cut without restores");
+                    }
+                }
+            }
+        }
+        assert!(exercised > 0, "{name}: the kill matrix never forced a restart");
+    }
+}
+
+/// §3.1 exactness of the checkpoint layer itself: on a fault-free run the
+/// recovering variant differs from the plain faulty one by *exactly* one
+/// latency unit and one state's worth of bandwidth per boundary per rank —
+/// and by nothing else (compute, message counts, and distances untouched).
+#[test]
+fn checkpoint_charges_land_exactly_in_the_ledgers() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let g = generators::grid2d(4, 4, WeightKind::Integer { max: 5 }, seed & 0xFFFF);
+    let empty = FaultPlan::new(seed);
+    let (plain, _) = fw2d_faulty(&g, 2, &empty, false).expect("clean");
+    let (recov, _, rec) =
+        fw2d_recovering(&g, 2, &empty, RecoveryPolicy::default(), false).expect("clean");
+    assert_eq!(rec.restarts, 0);
+    assert_eq!(rec.restores, 0);
+    assert_eq!(rec.rollbacks, 0);
+    let p = plain.report.per_rank.len() as u64;
+    let boundaries = rec.snapshots_taken / p;
+    // fw2d tiles are uniform, so per-rank snapshot charges are too
+    let words_each = rec.snapshot_words / rec.snapshots_taken;
+    let mut bandwidth_delta = 0u64;
+    for (a, b) in plain.report.per_rank.iter().zip(&recov.report.per_rank) {
+        assert_eq!(b.clocks.latency - a.clocks.latency, boundaries);
+        assert_eq!(b.clocks.bandwidth - a.clocks.bandwidth, boundaries * words_each);
+        assert_eq!(b.clocks.compute, a.clocks.compute);
+        assert_eq!(b.sent_messages, a.sent_messages);
+        assert_eq!(b.sent_words, a.sent_words);
+        bandwidth_delta += b.clocks.bandwidth - a.clocks.bandwidth;
+    }
+    assert_eq!(bandwidth_delta, rec.snapshot_words, "snapshot ledger is exact");
+    assert!(plain.dist.first_mismatch(&recov.dist, 0.0).is_none());
+}
+
+/// Same seed + same plan + same policy ⇒ a bit-identical recovery
+/// trajectory: reports, profiles, fault summaries, the recovery ledger,
+/// and its digest all replay exactly.
+#[test]
+fn recovery_replays_bit_identically() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let g = generators::grid2d(5, 5, WeightKind::Integer { max: 6 }, seed & 0xFFFF);
+    let plan = FaultPlan::new(seed).with_drop(0.05).with_kill_rank_from(2, 1);
+    let policy = RecoveryPolicy::default();
+    let run = || fw2d_recovering(&g, 2, &plan, policy, true).expect("recoverable");
+    let (res_a, sum_a, rec_a) = run();
+    let (res_b, sum_b, rec_b) = run();
+    assert_eq!(res_a.report.per_rank, res_b.report.per_rank);
+    assert_eq!(res_a.report.profile, res_b.report.profile);
+    assert_eq!(sum_a, sum_b);
+    assert_eq!(rec_a, rec_b);
+    assert_eq!(rec_a.digest(), rec_b.digest());
+    assert!(rec_a.restarts >= 1, "the permanent kill fired");
+}
+
+/// Exhausting the budget (no spare for a permanent kill, or a zero restart
+/// allowance) degrades to a *typed* `Unrecoverable` carrying the root
+/// cause — never a panic or a hang.
+#[test]
+fn exhausted_budget_is_a_typed_unrecoverable() {
+    let seed = chaos_seed();
+    println!("CHAOS_SEED={seed}");
+    let g = generators::grid2d(4, 4, WeightKind::Integer { max: 5 }, seed & 0xFFFF);
+    let plan = FaultPlan::new(seed).with_kill_rank(1);
+
+    // a permanent kill with no spare left cannot be outwaited
+    let policy = RecoveryPolicy { max_restarts: 3, every: 1, spares: 0 };
+    let err = match fw2d_recovering(&g, 2, &plan, policy, false) {
+        Ok(_) => panic!("spare-less permanent kill must fail"),
+        Err(e) => e,
+    };
+    let MachineError::Unrecoverable(u) = err else {
+        panic!("expected Unrecoverable, got {err}");
+    };
+    assert!(matches!(*u.cause, MachineError::Fault(_)), "cause is the root fault");
+
+    // a zero restart allowance fails on the first fault, budget-first
+    let policy = RecoveryPolicy { max_restarts: 0, every: 1, spares: 1 };
+    let err =
+        match distributed_johnson_recovering(&g, 4, &plan.clone().with_kill_rank(0), policy, false)
+        {
+            Ok(_) => panic!("zero restarts must fail"),
+            Err(e) => e,
+        };
+    let MachineError::Unrecoverable(u) = err else {
+        panic!("expected Unrecoverable, got {err}");
+    };
+    assert_eq!(u.restarts, 0);
 }
 
 #[test]

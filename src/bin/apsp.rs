@@ -89,7 +89,21 @@ fn report_faults(summary: &FaultSummary) {
     eprintln!("faults: {}", summary.digest());
 }
 
-fn die_unrecoverable(e: FaultError) -> ! {
+/// Parses `--recover POLICY` into a [`RecoveryPolicy`] (`default` or the
+/// empty string name the default policy), dying with the grammar error on
+/// a bad spec.
+fn recovery_policy(args: &Args) -> Option<RecoveryPolicy> {
+    let spec = args.opt("--recover")?;
+    let spec = if spec == "default" { "" } else { spec };
+    Some(RecoveryPolicy::parse(spec).unwrap_or_else(|e| die(&format!("bad --recover spec: {e}"))))
+}
+
+/// Announces a supervised run's checkpoint/restart ledger on stderr.
+fn report_recovery(recovery: &RecoveryReport) {
+    eprintln!("recovery: {}", recovery.digest());
+}
+
+fn die_unrecoverable(e: MachineError) -> ! {
     die(&format!("{e}"))
 }
 
@@ -181,8 +195,8 @@ fn cmd_generate(args: &Args) {
 /// orientation; other formats go through the undirected reader and get
 /// symmetric weights) and runs the directed schedule.
 fn solve_directed(args: &Args) -> (DiCsr, DenseDist, RunReport, Vec<(u64, u64)>) {
-    if args.opt("--faults").is_some() {
-        die("--faults is not supported with --directed yet");
+    if args.opt("--faults").is_some() || args.opt("--recover").is_some() {
+        die("--faults/--recover are not supported with --directed yet");
     }
     let input = args.get("--input");
     let dg = if input.ends_with(".gr") {
@@ -211,7 +225,13 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
     let algorithm = args.opt("--algorithm").unwrap_or("sparse2d");
     let height: u32 = args.num("--height", 3);
     let n_grid = (1usize << height) - 1;
-    let plan = fault_plan(args);
+    let recover = recovery_policy(args);
+    // --recover without --faults still supervises the run (an empty plan
+    // measures the pure checkpointing overhead)
+    let plan = match (fault_plan(args), &recover) {
+        (None, Some(_)) => Some(FaultPlan::new(args.num("--fault-seed", 0))),
+        (p, _) => p,
+    };
     match algorithm {
         "sparse2d" => {
             let config = SparseApspConfig {
@@ -224,6 +244,7 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
                 compress_empty: args.flag("--compress-empty"),
                 charge_ordering_distribution: args.flag("--charge-ordering"),
                 profile: wants_profile(args),
+                recovery: recover,
                 ..Default::default()
             };
             let run = match &plan {
@@ -232,6 +253,9 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
                         .run_faulty(g, p)
                         .unwrap_or_else(|e| die_unrecoverable(e));
                     report_faults(run.faults.as_ref().expect("faulty run carries a summary"));
+                    if let Some(recovery) = &run.recovery {
+                        report_recovery(recovery);
+                    }
                     run
                 }
                 None => SparseApsp::new(config).run(g),
@@ -239,43 +263,67 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
             (run.dist, run.report, run.level_costs)
         }
         "fw2d" => {
-            let out = match &plan {
-                Some(p) => {
+            let out = match (&plan, recover) {
+                (Some(p), Some(policy)) => {
+                    let (out, summary, recovery) =
+                        fw2d_recovering(g, n_grid, p, policy, wants_profile(args))
+                            .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    report_recovery(&recovery);
+                    out
+                }
+                (Some(p), None) => {
                     let (out, summary) = fw2d_faulty(g, n_grid, p, wants_profile(args))
                         .unwrap_or_else(|e| die_unrecoverable(e));
                     report_faults(&summary);
                     out
                 }
-                None if wants_profile(args) => fw2d_profiled(g, n_grid),
-                None => fw2d(g, n_grid),
+                (None, _) if wants_profile(args) => fw2d_profiled(g, n_grid),
+                (None, _) => fw2d(g, n_grid),
             };
             (out.dist, out.report, Vec::new())
         }
         "dcapsp" => {
             let depth = args.num("--depth", 1u32);
-            let out = match &plan {
-                Some(p) => {
+            let out = match (&plan, recover) {
+                (Some(p), Some(policy)) => {
+                    let (out, summary, recovery) =
+                        dc_apsp_recovering(g, n_grid, depth, p, policy, wants_profile(args))
+                            .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    report_recovery(&recovery);
+                    out
+                }
+                (Some(p), None) => {
                     let (out, summary) = dc_apsp_faulty(g, n_grid, depth, p, wants_profile(args))
                         .unwrap_or_else(|e| die_unrecoverable(e));
                     report_faults(&summary);
                     out
                 }
-                None if wants_profile(args) => dc_apsp_profiled(g, n_grid, depth),
-                None => dc_apsp(g, n_grid, depth),
+                (None, _) if wants_profile(args) => dc_apsp_profiled(g, n_grid, depth),
+                (None, _) => dc_apsp(g, n_grid, depth),
             };
             (out.dist, out.report, Vec::new())
         }
         "djohnson" => {
             let ranks = n_grid * n_grid;
-            let out = match &plan {
-                Some(p) => {
+            let out = match (&plan, recover) {
+                (Some(p), Some(policy)) => {
+                    let (out, summary, recovery) =
+                        distributed_johnson_recovering(g, ranks, p, policy, wants_profile(args))
+                            .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    report_recovery(&recovery);
+                    out
+                }
+                (Some(p), None) => {
                     let (out, summary) =
                         distributed_johnson_faulty(g, ranks, p, wants_profile(args))
                             .unwrap_or_else(|e| die_unrecoverable(e));
                     report_faults(&summary);
                     out
                 }
-                None => distributed_johnson(g, ranks),
+                (None, _) => distributed_johnson(g, ranks),
             };
             (out.dist, out.report, Vec::new())
         }
@@ -283,8 +331,8 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
             if wants_profile(args) {
                 die("--trace/--profile need the simulated machine; superfw is shared-memory");
             }
-            if plan.is_some() {
-                die("--faults needs the simulated machine; superfw is shared-memory");
+            if plan.is_some() || recover.is_some() {
+                die("--faults/--recover need the simulated machine; superfw is shared-memory");
             }
             let nd = nested_dissection(g, height, &NdOptions::default());
             let (dist, _) = superfw_apsp(g, &nd);
@@ -385,7 +433,7 @@ USAGE:
                 [--height H] [--verify] [--distances FILE] [--report FILE]
                 [--sequential-r4] [--compress-empty] [--charge-ordering]
                 [--trace DIR] [--profile]
-                [--faults SPEC] [--fault-seed N]
+                [--faults SPEC] [--fault-seed N] [--recover POLICY]
                 [--directed]   (.gr inputs keep their arc orientation)
   apsp path     --input FILE --from A --to B [--algorithm ...] [--height H]
   apsp info     --input FILE [--height H]   (graph statistics + separator probe)
@@ -404,12 +452,24 @@ Fault injection: --faults SPEC runs the solver under deterministic,
 seed-reproducible message faults on the simulated machine; recovery is
 charged to the same cost ledgers and summarized on stderr. SPEC is
 comma-separated clauses: drop=P, dup=P, corrupt=P, delay=P[:UNITS],
-straggle=RANK:FACTOR, kill=SRC>DST, retries=N (probabilities in [0,1)).
-The same --faults/--fault-seed pair replays bit-identically. A kill=
-rule on a used link is unrecoverable: the solver exits loudly instead
-of returning distances. Example:
+straggle=RANK:FACTOR, kill=SRC>DST, kill=RANK[@BOUNDARY], retries=N
+(probabilities in [0,1)). The same --faults/--fault-seed pair replays
+bit-identically. Without --recover, a kill= rule on a used link is
+unrecoverable: the solver exits loudly instead of returning distances.
+
+Checkpoint/restart: --recover POLICY supervises the faulty solve —
+phase boundaries are checkpointed (snapshot bytes charged to the same
+ledgers), killed ranks roll back to the last consistent checkpoint and
+re-execute, permanently dead ranks are remapped onto spares, and the
+restart/rollback ledger is printed on stderr as `recovery: ...`.
+POLICY is comma-separated clauses restarts=N,every=K,spares=S (or
+`default` = restarts=3,every=1,spares=1). When the budget is exhausted
+the solver exits with a typed unrecoverable error. Works with
+sparse2d, fw2d, dcapsp and djohnson. Examples:
   apsp solve --input mesh.el --algorithm fw2d \\
-             --faults \"drop=0.05,dup=0.02\" --fault-seed 7 --verify";
+             --faults \"drop=0.05,dup=0.02\" --fault-seed 7 --verify
+  apsp solve --input mesh.el --algorithm sparse2d \\
+             --faults \"kill=4@1\" --recover default --verify";
 
 fn cmd_info(args: &Args) {
     let g = load_graph(args.get("--input"));

@@ -53,14 +53,18 @@ pub use apsp_simnet as simnet;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use apsp_core::bounds;
-    pub use apsp_core::dcapsp::{cyclic_fw, dc_apsp, dc_apsp_faulty, dc_apsp_profiled};
-    pub use apsp_core::djohnson::{distributed_johnson, distributed_johnson_faulty};
+    pub use apsp_core::dcapsp::{
+        cyclic_fw, dc_apsp, dc_apsp_faulty, dc_apsp_profiled, dc_apsp_recovering,
+    };
+    pub use apsp_core::djohnson::{
+        distributed_johnson, distributed_johnson_faulty, distributed_johnson_recovering,
+    };
     pub use apsp_core::dnd::{dist_nested_dissection, dist_nested_dissection_profiled};
     pub use apsp_core::driver::Ordering;
-    pub use apsp_core::fw2d::{fw2d, fw2d_faulty, fw2d_profiled};
+    pub use apsp_core::fw2d::{fw2d, fw2d_faulty, fw2d_profiled, fw2d_recovering};
     pub use apsp_core::sparse2d::{
-        sparse2d, sparse2d_directed, sparse2d_faulty, sparse2d_profiled, sparse2d_with,
-        Sparse2dOptions,
+        sparse2d, sparse2d_directed, sparse2d_faulty, sparse2d_profiled, sparse2d_recovering,
+        sparse2d_with, Sparse2dOptions,
     };
     pub use apsp_core::superfw::{superfw_apsp, superfw_opcount_comparison, superfw_parallel};
     pub use apsp_core::update::{apply_decreases, DecreasedEdge};
@@ -80,7 +84,8 @@ pub mod prelude {
     pub use apsp_minplus::{fw_with_via, ViaMatrix};
     pub use apsp_partition::{grid_nd, nested_dissection, BisectOptions, NdOptions, NdOrdering};
     pub use apsp_simnet::{
-        Clocks, Comm, FaultError, FaultPlan, FaultStats, FaultSummary, Machine, PhaseBreakdown,
-        Profile, RunReport, TimeModel,
+        Clocks, Comm, FaultError, FaultPlan, FaultStats, FaultSummary, Machine, MachineError,
+        PhaseBreakdown, Profile, RecoveryPolicy, RecoveryReport, RunReport, TimeModel,
+        Unrecoverable,
     };
 }

@@ -241,6 +241,67 @@ fn dead_link_solve_exits_loudly() {
 }
 
 #[test]
+fn recovering_solve_survives_a_dead_rank() {
+    let graph = tmp("recover.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--seed", "2", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // rank 4 dies permanently after its first phase boundary; under the
+    // default checkpoint/restart policy the solve still completes, still
+    // verifies against Dijkstra, and reports its recovery trajectory
+    let run = || {
+        apsp()
+            .args(["solve", "--height", "2", "--verify"])
+            .args(["--faults", "kill=4@1", "--recover", "default", "--input"])
+            .arg(&graph)
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("verified against Dijkstra: OK"), "{stderr}");
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("recovery:"))
+        .unwrap_or_else(|| panic!("no recovery digest on stderr:\n{stderr}"))
+        .to_string();
+    assert!(!line.starts_with("recovery: 0 restarts"), "the kill must force a restart: {line}");
+    assert!(line.contains("spares"), "{line}");
+
+    // same plan + same policy → bit-identical recovery digest
+    let again = run();
+    let again_err = String::from_utf8_lossy(&again.stderr).to_string();
+    assert_eq!(
+        Some(line.as_str()),
+        again_err.lines().find(|l| l.starts_with("recovery:")),
+        "recovery replay must be deterministic"
+    );
+
+    // with no spare and one restart, the permanent kill exhausts the
+    // budget: a typed unrecoverable error, not a panic or a hang
+    let out = apsp()
+        .args(["solve", "--height", "2"])
+        .args(["--faults", "kill=4", "--recover", "restarts=1,spares=0", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecoverable after"), "{stderr}");
+
+    // a malformed policy fails usage-style, before any solve starts
+    let out =
+        apsp().args(["solve", "--recover", "warp=9", "--input"]).arg(&graph).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --recover spec"));
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = apsp().args(["solve"]).output().unwrap();
     assert!(!out.status.success());
