@@ -429,6 +429,30 @@ pub fn dc_apsp_profiled(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
     run_dc_inner(g, n_grid, depth, depth, Launch::Profiled)
 }
 
+/// Verifies the 2D-DC-APSP communication schedule (SUMMA sweeps + base
+/// FW) on an `n_grid × n_grid` grid at the given recursion depth: comm
+/// scripts are recorded for the static lint and wildcard delivery
+/// schedules explored for `p ≤` [`apsp_verify::MAX_EXPLORE_P`]. The
+/// digest covers every tile's final distances.
+pub fn dc_apsp_verify(
+    g: &Csr,
+    n_grid: usize,
+    depth: u32,
+    opts: &apsp_verify::VerifyOptions,
+) -> apsp_verify::VerifyReport {
+    let geo = Cyclic::new(g.n(), n_grid, depth);
+    let p = n_grid * n_grid;
+    apsp_verify::verify_program(
+        p,
+        opts,
+        |comm| {
+            let tiles = rank_program(comm, geo, depth, g);
+            tiles.iter().flat_map(|m| m.as_slice().iter().copied()).collect::<Vec<f64>>()
+        },
+        apsp_verify::digest_rows,
+    )
+}
+
 /// Like [`dc_apsp`], under a deterministic fault plan: the run recovers
 /// (or fails loudly with a [`MachineError`]) and reports its fault history.
 pub fn dc_apsp_faulty(

@@ -83,6 +83,25 @@ pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
     djohnson_launch(g, p, Launch::Plain).expect("fault-free launch cannot fail").0
 }
 
+/// Verifies the distributed-Johnson communication schedule (replication
+/// broadcast + per-phase commits) on `p` ranks: comm scripts are recorded
+/// for the static lint and wildcard delivery schedules explored for
+/// `p ≤` [`apsp_verify::MAX_EXPLORE_P`]. The digest covers every rank's
+/// distance rows.
+pub fn distributed_johnson_verify(
+    g: &Csr,
+    p: usize,
+    opts: &apsp_verify::VerifyOptions,
+) -> apsp_verify::VerifyReport {
+    let (n, offsets, packed, group) = setup(g, p);
+    apsp_verify::verify_program(
+        p,
+        opts,
+        |comm| rank_program(comm, &packed, &group, &offsets, n),
+        apsp_verify::digest_rows,
+    )
+}
+
 /// Like [`distributed_johnson`], under a deterministic fault plan: the
 /// replication broadcast recovers (or fails loudly with a
 /// [`MachineError`]) and the run reports its fault history.
@@ -123,8 +142,10 @@ fn setup(g: &Csr, p: usize) -> (usize, Vec<usize>, Vec<f64>, Vec<usize>) {
     let n = g.n();
     let sizes = balanced_sizes(n, p);
     let mut offsets = vec![0usize];
+    let mut acc = 0;
     for &s in &sizes {
-        offsets.push(offsets.last().unwrap() + s);
+        acc += s;
+        offsets.push(acc);
     }
     (n, offsets, pack_graph(g), (0..p).collect())
 }

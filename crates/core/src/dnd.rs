@@ -395,8 +395,10 @@ fn redistribute(
         let mut src_start = 0usize; // global offset where source `pos` begins
         let mut tgt_bounds = Vec::with_capacity(targets.len() + 1);
         tgt_bounds.push(0usize);
+        let mut acc = 0;
         for &c in &chunk_sizes {
-            tgt_bounds.push(tgt_bounds.last().unwrap() + c);
+            acc += c;
+            tgt_bounds.push(acc);
         }
         for (pos, &cnt) in per_rank.iter().enumerate() {
             let src_range = src_start..src_start + cnt;
@@ -475,8 +477,10 @@ fn dist_nd_inner(g: &Csr, h: u32, p: usize, seed: u64, profiled: bool) -> DistNd
     let tree = SchedTree::new(h);
     let chunk_sizes = balanced_sizes(g.n(), p);
     let mut chunk_offsets = vec![0usize];
+    let mut acc = 0;
     for &c in &chunk_sizes {
-        chunk_offsets.push(chunk_offsets.last().unwrap() + c);
+        acc += c;
+        chunk_offsets.push(acc);
     }
     let program = |comm: &mut Comm| {
         let r = comm.rank();

@@ -253,6 +253,27 @@ impl SparseApsp {
         }
     }
 
+    /// Verifies the configured pipeline's communication schedule for `g`
+    /// without running the plain solve: the ordering and layout are
+    /// computed exactly as in [`SparseApsp::run`], then the schedule is
+    /// recorded and linted (layer 1) and its wildcard delivery orders
+    /// explored (layer 2) — see [`apsp_verify::verify_program`] and
+    /// `docs/VERIFICATION.md`. Recording is zero-cost to the §3.1 ledgers.
+    pub fn verify(&self, g: &Csr, vopts: &apsp_verify::VerifyOptions) -> apsp_verify::VerifyReport {
+        assert!(
+            g.has_nonnegative_weights(),
+            "undirected APSP requires non-negative weights (a negative \
+             undirected edge is a negative cycle)"
+        );
+        let (nd, _) = self.ordering_for(g);
+        nd.validate(g).expect("ordering violates the §4.1 separation invariant");
+        let layout = SupernodalLayout::from_ordering(&nd);
+        let gp = g.permuted(&nd.perm);
+        let opts =
+            Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
+        crate::sparse2d::sparse2d_verify(&layout, &gp, &opts, vopts)
+    }
+
     /// Runs the full pipeline on `g` with a deterministic fault plan
     /// active during the distributed solve. The ordering is computed
     /// host-side exactly as in [`SparseApsp::run`] (an ordering corrupted

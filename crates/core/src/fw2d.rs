@@ -38,8 +38,10 @@ impl Grid {
     fn new(n: usize, n_grid: usize) -> Self {
         let sizes = balanced_sizes(n, n_grid);
         let mut offsets = vec![0];
+        let mut acc = 0;
         for &s in &sizes {
-            offsets.push(offsets.last().unwrap() + s);
+            acc += s;
+            offsets.push(acc);
         }
         Grid { n_grid, sizes, offsets }
     }
@@ -132,13 +134,14 @@ fn pivot_round(
             let payload = (bi == t).then(|| block.as_slice().to_vec());
             let data = comm.bcast(full_col, grid.rank_of(t, t), tag(t, 1, 0), payload);
             comm.alloc(data.len());
-            akk = Some(MinPlusMatrix::from_raw(grid.size(t), grid.size(t), data));
+            let pivot = MinPlusMatrix::from_raw(grid.size(t), grid.size(t), data);
             if bi != t {
                 // column panel update: A(i,t) ⊕= A(i,t) ⊗ A(t,t)*
                 let snapshot = block.clone();
-                let ops = gemm(block, &snapshot, akk.as_ref().unwrap());
+                let ops = gemm(block, &snapshot, &pivot);
                 comm.compute(ops);
             }
+            akk = Some(pivot);
         }
         // pivot broadcast along row t
         if bi == t {
@@ -193,6 +196,27 @@ pub fn fw2d(g: &Csr, n_grid: usize) -> Fw2dResult {
 /// broadcasts nested inside) and the p×p communication matrix.
 pub fn fw2d_profiled(g: &Csr, n_grid: usize) -> Fw2dResult {
     fw2d_inner(g, n_grid, Launch::Profiled)
+}
+
+/// Verifies the fw2d communication schedule on an `n_grid × n_grid` grid:
+/// records every rank's comm script for the static lint (layer 1) and,
+/// for `p ≤` [`apsp_verify::MAX_EXPLORE_P`], explores wildcard delivery
+/// schedules (layer 2). Recording never touches the §3.1 cost clocks, so
+/// a verified schedule's plain run is byte-identical to an unverified one.
+pub fn fw2d_verify(
+    g: &Csr,
+    n_grid: usize,
+    opts: &apsp_verify::VerifyOptions,
+) -> apsp_verify::VerifyReport {
+    assert!(n_grid >= 1);
+    let grid = Grid::new(g.n(), n_grid);
+    let p = n_grid * n_grid;
+    apsp_verify::verify_program(
+        p,
+        opts,
+        |comm| rank_program(comm, &grid, g),
+        apsp_verify::digest_rows,
+    )
 }
 
 /// Like [`fw2d`], under a deterministic fault plan: the run recovers (or

@@ -948,6 +948,32 @@ pub fn sparse2d_directed_profiled(
     run_machine_profiled(layout, &init, opts, true)
 }
 
+/// Verifies the 2D-SPARSE-APSP communication schedule for this layout:
+/// every rank's comm script is recorded for the static lint (send/recv
+/// matching, tag freshness across phases, collective ordering, phase
+/// quiescence at every `commit_phase`, span balance) and, for `p ≤`
+/// [`apsp_verify::MAX_EXPLORE_P`], wildcard delivery schedules are
+/// explored for deadlocks and order-sensitive nondeterminism. The digest
+/// covers every rank's final block. Recording never touches the §3.1
+/// clocks, so a verified schedule's plain run is byte-identical to an
+/// unverified one.
+pub fn sparse2d_verify(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+    vopts: &apsp_verify::VerifyOptions,
+) -> apsp_verify::VerifyReport {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let p = layout.p();
+    apsp_verify::verify_program(
+        p,
+        vopts,
+        |comm| rank_program(comm, layout, &init, opts, false).0,
+        apsp_verify::digest_rows,
+    )
+}
+
 /// Like [`sparse2d_with`], under a deterministic fault plan: the schedule
 /// recovers (or fails loudly with a [`MachineError`]) and the run reports
 /// its fault history alongside the result.

@@ -29,8 +29,10 @@ impl SupernodalLayout {
         assert_eq!(sizes.len(), tree.num_supernodes(), "one size per supernode");
         let mut offsets = Vec::with_capacity(sizes.len() + 1);
         offsets.push(0);
+        let mut acc = 0;
         for &s in &sizes {
-            offsets.push(offsets.last().unwrap() + s);
+            acc += s;
+            offsets.push(acc);
         }
         SupernodalLayout { tree, sizes, offsets }
     }
@@ -47,7 +49,8 @@ impl SupernodalLayout {
 
     /// Total vertex count.
     pub fn n(&self) -> usize {
-        *self.offsets.last().unwrap()
+        // offsets always starts with the sentinel 0
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Processor count `p = N²`.

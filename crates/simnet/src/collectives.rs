@@ -12,6 +12,7 @@
 //! corruption.
 
 use crate::comm::{Comm, Rank};
+use crate::script::CollectiveKind;
 
 /// Position of `rank` in `group`.
 ///
@@ -38,6 +39,7 @@ impl Comm {
         data: Option<Vec<f64>>,
     ) -> Vec<f64> {
         let mut span = self.span("bcast", tag);
+        span.record_collective(CollectiveKind::Bcast, group, root, tag);
         span.bcast_inner(group, root, tag, data)
     }
 
@@ -98,6 +100,7 @@ impl Comm {
         combine: impl Fn(&mut Vec<f64>, &[f64]),
     ) -> Option<Vec<f64>> {
         let mut span = self.span("reduce", tag);
+        span.record_collective(CollectiveKind::Reduce, group, root, tag);
         span.reduce_inner(group, root, tag, contribution, combine)
     }
 
@@ -168,6 +171,7 @@ impl Comm {
         payload: Vec<f64>,
     ) -> Option<Vec<Vec<f64>>> {
         let mut span = self.span("gather", tag);
+        span.record_collective(CollectiveKind::Gather, group, root, tag);
         span.gather_inner(group, root, tag, payload)
     }
 
@@ -205,6 +209,7 @@ impl Comm {
         payloads: Option<Vec<Vec<f64>>>,
     ) -> Vec<f64> {
         let mut span = self.span("scatter", tag);
+        span.record_collective(CollectiveKind::Scatter, group, root, tag);
         span.scatter_inner(group, root, tag, payloads)
     }
 
@@ -242,6 +247,7 @@ impl Comm {
     pub fn barrier(&mut self, group: &[Rank], tag: u64) {
         let mut span = self.span("barrier", tag);
         let root = group[0];
+        span.record_collective(CollectiveKind::Barrier, group, root, tag);
         let this = &mut *span;
         let done = this.reduce_inner(group, root, tag ^ 0xBA55, Vec::new(), |_, _| {});
         let _ = this.bcast_inner(group, root, tag ^ 0xBA55, done.map(|_| Vec::new()));
@@ -258,6 +264,7 @@ impl Comm {
     /// preserved).
     pub fn allgather(&mut self, group: &[Rank], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>> {
         let mut span = self.span("allgather", tag);
+        span.record_collective(CollectiveKind::Allgather, group, group[0], tag);
         let this = &mut *span;
         let me = position(group, this.rank());
         // frame: [index, len, words...] triplets concatenated
@@ -295,6 +302,7 @@ impl Comm {
         combine: impl Fn(&mut Vec<f64>, &[f64]),
     ) -> Vec<f64> {
         let mut span = self.span("allreduce", tag);
+        span.record_collective(CollectiveKind::Allreduce, group, group[0], tag);
         let this = &mut *span;
         let root = group[0];
         let combined = this.reduce_inner(group, root, tag ^ 0xA11E, contribution, combine);

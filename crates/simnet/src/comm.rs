@@ -6,6 +6,8 @@ use crate::recovery::{
     SnapshotStore, Unrecoverable,
 };
 use crate::report::{Clocks, RankStats, RunReport};
+use crate::sched::{ChoicePoint, DeadlockError, Governor};
+use crate::script::{CollectiveKind, CommEvent, ScriptBoard};
 use crate::trace::{Profile, RankProfile, SendTotal, SpanLedger, SpanSnapshot};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,6 +108,17 @@ impl Ord for TraceEvent {
 
 /// The simulated machine.
 pub struct Machine;
+
+/// Marker payload for a rank that died because a peer's channel
+/// disconnected mid-send or mid-receive — always a cascade victim of a
+/// root-cause panic on the peer, never a first failure, so the panic
+/// printer silences it and `run_inner` surfaces the peer's error instead.
+#[derive(Clone, Debug)]
+struct PeerDisconnect {
+    rank: Rank,
+    src: Rank,
+    tag: u64,
+}
 
 impl Machine {
     /// Runs `f(comm)` on `p` ranks (one OS thread each) and returns every
@@ -284,6 +297,8 @@ impl Machine {
                     every: policy.every,
                 }),
                 watchdog_ms: 0,
+                script: None,
+                governor: None,
             };
             let err = match Self::run_inner(p, &f, mode) {
                 Ok((outs, report, _, faults)) => {
@@ -339,6 +354,84 @@ impl Machine {
         }
     }
 
+    /// Like [`Machine::run`], additionally recording every rank's
+    /// **comm script** — the per-rank sequence of logical communication
+    /// events ([`CommEvent`]) the protocol verifier lints. Recording
+    /// observes the machine without perturbing it: clocks, counters, and
+    /// ledgers are byte-identical to a plain run's.
+    ///
+    /// # Errors
+    /// Any [`MachineError`] a rank dies with (the scripts recorded up to
+    /// that point are lost; use [`Machine::run_governed`] to salvage
+    /// partial scripts from a failing run).
+    #[allow(clippy::type_complexity)]
+    pub fn run_recorded<T, F>(
+        p: usize,
+        f: F,
+    ) -> Result<(Vec<T>, RunReport, Vec<Vec<CommEvent>>), MachineError>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let board = Arc::new(ScriptBoard::new(p));
+        let mode = Mode { script: Some(Arc::clone(&board)), ..Mode::PLAIN };
+        let (outs, report, _, _) = Self::run_inner(p, f, mode)?;
+        Ok((outs, report, board.take()))
+    }
+
+    /// Runs `f` with recording **and** governed delivery: every receive
+    /// goes through a shared [`Governor`](crate::sched::Governor) that
+    /// resolves wildcard receives ([`Comm::recv_any`]) against `schedule`
+    /// and detects deadlock structurally (typed
+    /// [`MachineError::Deadlock`], no watchdog wait). The comm scripts and
+    /// the wildcard decision log survive a failing run — the verifier
+    /// lints partial scripts and the explorer enumerates sibling
+    /// schedules from the choices.
+    ///
+    /// Same program + same schedule ⇒ bit-identical outputs, report, and
+    /// scripts. Fault injection is not supported in governed runs.
+    pub fn run_governed<T, F>(p: usize, schedule: &[usize], f: F) -> GovernedRun<T>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Sync,
+    {
+        let board = Arc::new(ScriptBoard::new(p));
+        let gov = Arc::new(Governor::new(p, schedule));
+        let mode = Mode {
+            script: Some(Arc::clone(&board)),
+            governor: Some(Arc::clone(&gov)),
+            ..Mode::PLAIN
+        };
+        let outcome = Self::run_inner(p, f, mode).map(|(outs, report, _, _)| (outs, report));
+        GovernedRun { outcome, scripts: board.take(), choices: gov.choices() }
+    }
+
+    /// Silences the default panic printer for the machine's *typed* abort
+    /// payloads (fault, protocol, hang, deadlock): those panics are the
+    /// machine's internal control flow — `run_inner` downcasts them into a
+    /// [`MachineError`] the caller renders — so the "thread panicked"
+    /// backtrace noise would be a raw dump of an error that is about to be
+    /// reported properly. Genuine (string) panics still print. Installed
+    /// once per process; chains to the previous hook.
+    fn install_quiet_typed_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let p = info.payload();
+                if p.is::<FaultError>()
+                    || p.is::<ProtocolError>()
+                    || p.is::<HangError>()
+                    || p.is::<DeadlockError>()
+                    || p.is::<PeerDisconnect>()
+                {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+
     #[allow(clippy::type_complexity)]
     fn run_inner<T, F>(
         p: usize,
@@ -350,6 +443,7 @@ impl Machine {
         F: Fn(&mut Comm) -> T + Sync,
     {
         assert!(p >= 1, "need at least one rank");
+        Self::install_quiet_typed_panics();
         let watchdog = Arc::new(Watchdog::new(p));
         let watchdog_ms =
             if mode.watchdog_ms > 0 { mode.watchdog_ms } else { default_watchdog_ms() };
@@ -427,7 +521,21 @@ impl Machine {
                             recovery: rank_mode.recovery.clone().map(Box::new),
                             watchdog,
                             watchdog_ms,
+                            script: rank_mode.script.clone(),
+                            governor: rank_mode.governor.clone(),
                         };
+                        // mark this rank finished for the governor even
+                        // when its program unwinds, so peers blocked on it
+                        // deadlock-detect instead of waiting forever
+                        struct GovFinish(Option<Arc<Governor>>, Rank);
+                        impl Drop for GovFinish {
+                            fn drop(&mut self) {
+                                if let Some(gov) = &self.0 {
+                                    gov.finish(self.1);
+                                }
+                            }
+                        }
+                        let _gov_finish = GovFinish(comm.governor.clone(), rank);
                         let out = f(&mut comm);
                         let stats = RankStats {
                             clocks: comm.clocks,
@@ -492,7 +600,22 @@ impl Machine {
                 if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<HangError>()) {
                     return Err(MachineError::Hang(err.clone()));
                 }
-                std::panic::resume_unwind(panics.remove(0));
+                // last in priority: deadlock panics are often victims of a
+                // rank that already died with a more specific error above
+                if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<DeadlockError>()) {
+                    return Err(MachineError::Deadlock(err.clone()));
+                }
+                // skip cascade-victim markers when picking the panic to
+                // surface: a disconnect death always has a root cause
+                // elsewhere in the list
+                if let Some(i) = panics.iter().position(|pl| !pl.is::<PeerDisconnect>()) {
+                    std::panic::resume_unwind(panics.remove(i));
+                }
+                let d = panics[0].downcast_ref::<PeerDisconnect>().expect("only markers left");
+                unreachable!(
+                    "rank {} died on disconnect from {} (tag {:#x}) with no root cause",
+                    d.rank, d.src, d.tag
+                );
             });
             scope_outcome?;
         }
@@ -523,6 +646,19 @@ impl Machine {
             .then_some(FaultSummary { per_rank: fault_ranks, unrecoverable: 0 });
         Ok((outs, report, traces, faults))
     }
+}
+
+/// Everything a governed run produces, success or failure: the outcome,
+/// every rank's comm script (partial on failure — recorded up to the
+/// moment the machine died), and the wildcard decision log the schedule
+/// explorer enumerates siblings from.
+pub struct GovernedRun<T> {
+    /// The run's result, or the typed error that killed it.
+    pub outcome: Result<(Vec<T>, RunReport), MachineError>,
+    /// Per-rank comm scripts (rank order), partial on failure.
+    pub scripts: Vec<Vec<CommEvent>>,
+    /// Wildcard-receive decisions actually made, in decision order.
+    pub choices: Vec<ChoicePoint>,
 }
 
 /// How to launch a [`Machine`] run: the observability and fault layers
@@ -567,6 +703,11 @@ struct Mode<'a> {
     recovery: Option<RecoveryState>,
     /// Watchdog window override in wall-clock ms (0 = default/env).
     watchdog_ms: u64,
+    /// Comm-script recorder, present in recorded/governed runs
+    /// ([`Machine::run_recorded`], [`Machine::run_governed`]).
+    script: Option<Arc<ScriptBoard>>,
+    /// Delivery governor, present in governed runs.
+    governor: Option<Arc<Governor>>,
 }
 
 impl Mode<'_> {
@@ -578,6 +719,8 @@ impl Mode<'_> {
         remap: None,
         recovery: None,
         watchdog_ms: 0,
+        script: None,
+        governor: None,
     };
 }
 
@@ -648,6 +791,12 @@ pub struct Comm {
     watchdog: Arc<Watchdog>,
     /// Wall-clock inactivity window before the watchdog fires.
     watchdog_ms: u64,
+    /// Comm-script recorder, present in recorded/governed runs. Recording
+    /// observes the machine — it never touches clocks or counters.
+    script: Option<Arc<ScriptBoard>>,
+    /// Delivery governor, present in governed runs
+    /// ([`Machine::run_governed`]).
+    governor: Option<Arc<Governor>>,
 }
 
 impl Comm {
@@ -678,10 +827,46 @@ impl Comm {
     pub fn send(&mut self, dst: Rank, tag: u64, payload: Vec<f64>) {
         assert!(dst < self.p, "rank {dst} out of range (p = {})", self.p);
         assert_ne!(dst, self.rank, "self-send: use local data instead");
+        // one logical send per call, whatever the fault layer retransmits
+        let words = payload.len();
+        self.record(|phase| CommEvent::Send { dst, tag, words, phase });
         if self.faults.is_some() {
             return self.send_faulty(dst, tag, payload);
         }
         self.put_on_wire(dst, tag, payload, None, 0);
+    }
+
+    /// Appends an event to this rank's comm script when one is being
+    /// recorded; free otherwise (the closure never runs).
+    #[inline]
+    fn record(&self, ev: impl FnOnce(u64) -> CommEvent) {
+        if let Some(board) = &self.script {
+            board.push(self.rank, ev(self.boundary));
+        }
+    }
+
+    /// Records entry into a collective (called by the public wrappers in
+    /// [`crate::collectives`] — their internal tree messages additionally
+    /// record as ordinary sends/receives).
+    pub(crate) fn record_collective(
+        &self,
+        kind: CollectiveKind,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+    ) {
+        if let Some(board) = &self.script {
+            board.push(
+                self.rank,
+                CommEvent::Collective {
+                    kind,
+                    group: group.to_vec(),
+                    root,
+                    tag,
+                    phase: self.boundary,
+                },
+            );
+        }
     }
 
     /// Charges one send's clocks, counters, and trace event — everything a
@@ -717,10 +902,19 @@ impl Comm {
         let mut snapshot = self.clocks;
         snapshot.latency += delay;
         let msg = Msg { tag, payload, sender_clocks: snapshot, meta };
-        self.tx[dst].send(msg).expect("receiver alive for the whole run");
+        if self.tx[dst].send(msg).is_err() {
+            // the receiver's thread already died of a root-cause error;
+            // die as a silenced cascade victim so that error surfaces
+            std::panic::panic_any(PeerDisconnect { rank: self.rank, src: dst, tag });
+        }
         // a send is machine progress: any rank still moving holds off
         // every rank's watchdog
         self.watchdog.progress.fetch_add(1, Ordering::Relaxed);
+        // mirror the wire *after* the mpsc send, so a governor grant
+        // always finds the message already deposited
+        if let Some(gov) = &self.governor {
+            gov.on_send(self.rank, dst);
+        }
     }
 
     /// Fault-mode send: stamps the reliability envelope, consults the plan
@@ -824,7 +1018,95 @@ impl Comm {
         let msg = self.wire_recv(src, expected_tag);
         self.check_tag(src, expected_tag, msg.tag);
         self.charge_recv(&msg);
+        let words = msg.payload.len();
+        self.record(|phase| CommEvent::Recv { src, tag: expected_tag, words, phase });
         msg.payload
+    }
+
+    /// Receives the next message from **any** source carrying
+    /// `expected_tag` — the `MPI_ANY_SOURCE` analogue, and the machine's
+    /// only genuine delivery-order choice point (named receives are FIFO
+    /// per channel, so their delivery order is fixed by the program).
+    ///
+    /// Under [`Machine::run_governed`] the delivery order is resolved by
+    /// the schedule, making runs replayable and explorable; in ungoverned
+    /// runs the ports are polled and the winner depends on wall-clock
+    /// arrival order — exactly the nondeterminism hazard the protocol
+    /// verifier's explorer exists to surface. Returns the source rank and
+    /// the payload.
+    ///
+    /// # Panics
+    /// Panics in fault mode (wildcard receives and per-channel reliability
+    /// sequencing do not compose) and on tag mismatch.
+    pub fn recv_any(&mut self, expected_tag: u64) -> (Rank, Vec<f64>) {
+        assert!(self.faults.is_none(), "recv_any is not supported in fault mode");
+        assert!(self.p > 1, "recv_any with no possible sender");
+        let (src, msg) = if let Some(gov) = self.governor.clone() {
+            match gov.acquire_any(self.rank, expected_tag) {
+                Ok(src) => {
+                    let msg = self.rx[src]
+                        .recv()
+                        .expect("governor granted a message that is on the wire");
+                    (src, msg)
+                }
+                Err(dl) => std::panic::panic_any(dl),
+            }
+        } else {
+            self.wire_recv_any(expected_tag)
+        };
+        self.check_tag(src, expected_tag, msg.tag);
+        self.charge_recv(&msg);
+        let words = msg.payload.len();
+        self.record(|phase| CommEvent::Recv { src, tag: expected_tag, words, phase });
+        (src, msg.payload)
+    }
+
+    /// Ungoverned wildcard receive: round-robin polling over every port,
+    /// with the same machine-wide watchdog discipline as [`Comm::wire_recv`].
+    fn wire_recv_any(&mut self, tag: u64) -> (Rank, Msg) {
+        let tick = (self.watchdog_ms / 5).clamp(1, 50);
+        let mut registered = false;
+        let mut idle = 0u64;
+        let mut last_progress = self.watchdog.progress.load(Ordering::Relaxed);
+        loop {
+            for src in 0..self.p {
+                if src == self.rank {
+                    continue;
+                }
+                if let Ok(msg) = self.rx[src].try_recv() {
+                    self.watchdog.progress.fetch_add(1, Ordering::Relaxed);
+                    if registered {
+                        self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] = None;
+                    }
+                    return (src, msg);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(tick));
+            if !registered {
+                // wildcard wait: register blocked-on-self as the marker
+                self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] =
+                    Some((self.rank, tag));
+                registered = true;
+            }
+            let progress = self.watchdog.progress.load(Ordering::Relaxed);
+            if progress != last_progress {
+                last_progress = progress;
+                idle = 0;
+                continue;
+            }
+            idle += tick;
+            if idle < self.watchdog_ms {
+                continue;
+            }
+            let blocked = self.watchdog.blocked.lock().expect("watchdog registry").clone();
+            std::panic::panic_any(HangError {
+                rank: self.rank,
+                src: self.rank,
+                tag,
+                blocked,
+                pending: Vec::new(),
+            });
+        }
     }
 
     /// Pulls the next physical arrival from `src`, arming the watchdog:
@@ -834,6 +1116,17 @@ impl Comm {
     /// registry and its own pending ports and aborts with a typed
     /// [`HangError`] — a schedule bug hangs a test run no longer.
     fn wire_recv(&mut self, src: Rank, tag: u64) -> Msg {
+        if let Some(gov) = self.governor.clone() {
+            // governed runs sequence delivery through the governor, which
+            // detects deadlock structurally — no watchdog wait needed. A
+            // grant guarantees the message is already on the mpsc wire.
+            return match gov.acquire(self.rank, src, tag) {
+                Ok(()) => {
+                    self.rx[src].recv().expect("governor granted a message that is on the wire")
+                }
+                Err(dl) => std::panic::panic_any(dl),
+            };
+        }
         let tick = (self.watchdog_ms / 5).clamp(1, 50);
         let mut registered = false;
         let mut idle = 0u64;
@@ -882,7 +1175,11 @@ impl Comm {
                     });
                 }
                 Err(RecvTimeoutError::Disconnected) => {
-                    panic!("sender alive for the whole run");
+                    // the sender's ports only close when its thread unwound
+                    // before depositing its outcome — this rank is a cascade
+                    // victim of a root-cause panic over there. Die with a
+                    // typed marker so the root cause is surfaced instead.
+                    std::panic::panic_any(PeerDisconnect { rank: self.rank, src, tag });
                 }
             }
         }
@@ -926,6 +1223,8 @@ impl Comm {
             );
             *seen = meta.seq;
             self.check_tag(src, expected_tag, msg.tag);
+            let words = msg.payload.len();
+            self.record(|phase| CommEvent::Recv { src, tag: expected_tag, words, phase });
             return msg.payload;
         }
     }
@@ -980,6 +1279,7 @@ impl Comm {
     /// latency unit plus the state's word count per snapshot or restore.
     pub fn commit_phase(&mut self, state: Vec<f64>) -> Vec<f64> {
         self.boundary += 1;
+        self.record(|boundary| CommEvent::Commit { boundary });
         let Some(rs) = self.recovery.as_deref() else { return state };
         let boundary = self.boundary;
         let (store, resume, every) = (Arc::clone(&rs.store), rs.resume, rs.every);
@@ -1095,7 +1395,8 @@ impl Comm {
             let at = self.snapshot();
             self.ledger.as_mut().expect("checked above").enter(name, tag, at)
         });
-        SpanGuard { comm: self, idx }
+        self.record(|_| CommEvent::SpanOpen { name });
+        SpanGuard { comm: self, idx, name }
     }
 
     fn snapshot(&self) -> SpanSnapshot {
@@ -1115,6 +1416,8 @@ pub struct SpanGuard<'a> {
     comm: &'a mut Comm,
     /// Ledger index of the open span; `None` when the run is unprofiled.
     idx: Option<usize>,
+    /// Span name, echoed into the comm script when one is recorded.
+    name: &'static str,
 }
 
 impl std::ops::Deref for SpanGuard<'_> {
@@ -1136,6 +1439,8 @@ impl Drop for SpanGuard<'_> {
             let at = self.comm.snapshot();
             self.comm.ledger.as_mut().expect("profiled span").exit(idx, at);
         }
+        let name = self.name;
+        self.comm.record(|_| CommEvent::SpanClose { name });
     }
 }
 
@@ -1518,6 +1823,103 @@ mod tests {
             }
             state
         }
+    }
+
+    #[test]
+    fn recorded_run_scripts_and_report_match_plain() {
+        let program = |comm: &mut Comm| match comm.rank() {
+            0 => {
+                comm.send(1, 7, vec![1.0, 2.0]);
+                let mut state = comm.commit_phase(vec![0.0]);
+                state[0] = comm.recv(1, 8)[0];
+                state
+            }
+            _ => {
+                let got = comm.recv(0, 7);
+                let state = comm.commit_phase(vec![got[0]]);
+                comm.send(0, 8, vec![9.0]);
+                state
+            }
+        };
+        let (outs, report, scripts) = Machine::run_recorded(2, program).expect("clean run");
+        let (plain_outs, plain_report) = Machine::run(2, program);
+        assert_eq!(outs, plain_outs);
+        assert_eq!(report.per_rank, plain_report.per_rank, "recording is zero-cost");
+        assert_eq!(
+            scripts[0],
+            vec![
+                CommEvent::Send { dst: 1, tag: 7, words: 2, phase: 0 },
+                CommEvent::Commit { boundary: 1 },
+                CommEvent::Recv { src: 1, tag: 8, words: 1, phase: 1 },
+            ]
+        );
+        assert_eq!(
+            scripts[1],
+            vec![
+                CommEvent::Recv { src: 0, tag: 7, words: 2, phase: 0 },
+                CommEvent::Commit { boundary: 1 },
+                CommEvent::Send { dst: 0, tag: 8, words: 1, phase: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn governed_cross_recv_deadlocks_structurally() {
+        let run = Machine::run_governed(2, &[], |comm: &mut Comm| {
+            let peer = comm.rank() ^ 1;
+            comm.recv(peer, 9);
+        });
+        let err = run.outcome.map(|_| ()).expect_err("cross recv must deadlock");
+        let MachineError::Deadlock(dl) = err else { panic!("expected deadlock, got {err}") };
+        assert_eq!(dl.cycle, vec![0, 1]);
+        assert_eq!(dl.waiting.len(), 2);
+        assert!(dl.to_string().contains("machine deadlocked"));
+    }
+
+    #[test]
+    fn governed_recv_any_follows_the_schedule() {
+        // wildcard decisions happen at quiescent points, so every decision
+        // sees the full candidate set regardless of thread timing
+        let settled = |comm: &mut Comm| {
+            if comm.rank() == 0 {
+                let mut order = Vec::new();
+                for _ in 1..comm.p() {
+                    let (src, _) = comm.recv_any(5);
+                    order.push(src as f64);
+                }
+                order
+            } else {
+                comm.send(0, 5, vec![comm.rank() as f64]);
+                Vec::new()
+            }
+        };
+        let base = Machine::run_governed(4, &[], settled);
+        let (outs, _) = base.outcome.expect("clean");
+        assert_eq!(outs[0], vec![1.0, 2.0, 3.0], "default schedule picks lowest rank");
+        assert_eq!(base.choices.len(), 2, "last receive has a single candidate");
+        assert_eq!(base.choices[0].alternatives, 3);
+        let alt = Machine::run_governed(4, &[2, 1], settled);
+        let (outs, _) = alt.outcome.expect("clean");
+        assert_eq!(outs[0], vec![3.0, 2.0, 1.0], "schedule reorders delivery");
+        // replay is bit-identical
+        let again = Machine::run_governed(4, &[2, 1], settled);
+        assert_eq!(again.outcome.expect("clean").0[0], vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn governed_named_recv_report_matches_plain() {
+        let program = |comm: &mut Comm| {
+            let r = comm.rank();
+            if r.is_multiple_of(2) && r + 1 < 4 {
+                comm.send(r + 1, 0, vec![0.0; r + 1]);
+            } else if !r.is_multiple_of(2) {
+                comm.recv(r - 1, 0);
+            }
+        };
+        let governed = Machine::run_governed(4, &[], program);
+        let (_, report) = governed.outcome.expect("clean");
+        let (_, plain) = Machine::run(4, program);
+        assert_eq!(report.per_rank, plain.per_rank, "the governor never touches clocks");
     }
 
     #[test]

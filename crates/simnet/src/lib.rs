@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # apsp-simnet
 //!
@@ -56,14 +57,18 @@ pub mod comm;
 pub mod faults;
 pub mod recovery;
 pub mod report;
+pub mod sched;
+pub mod script;
 pub mod trace;
 
-pub use comm::{Comm, Launch, Machine, Rank, SpanGuard, TraceEvent};
+pub use comm::{Comm, GovernedRun, Launch, Machine, Rank, SpanGuard, TraceEvent};
 pub use faults::{FaultError, FaultPlan, FaultStats, FaultSummary, Injection};
 pub use recovery::{
     HangError, MachineError, ProtocolError, RecoveryPolicy, RecoveryReport, Unrecoverable,
 };
 pub use report::{Clocks, RankStats, RunReport};
+pub use sched::{ChoicePoint, DeadlockError, Governor, WaitEdge};
+pub use script::{CollectiveKind, CommEvent, ScriptBoard};
 pub use trace::{
     CommMatrix, PhaseBreakdown, PhaseRow, Profile, RankProfile, SpanLedger, SpanRecord,
     SpanSnapshot, TimeModel,

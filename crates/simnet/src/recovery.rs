@@ -295,6 +295,9 @@ pub enum MachineError {
     Protocol(ProtocolError),
     /// The wall-clock watchdog found every rank stalled.
     Hang(HangError),
+    /// A governed run's wait-for graph closed: every unfinished rank was
+    /// blocked with nothing deliverable ([`crate::sched::DeadlockError`]).
+    Deadlock(crate::sched::DeadlockError),
     /// The recovery supervisor exhausted its restart budget.
     Unrecoverable(Unrecoverable),
 }
@@ -305,6 +308,7 @@ impl std::fmt::Display for MachineError {
             MachineError::Fault(e) => e.fmt(f),
             MachineError::Protocol(e) => e.fmt(f),
             MachineError::Hang(e) => e.fmt(f),
+            MachineError::Deadlock(e) => e.fmt(f),
             MachineError::Unrecoverable(e) => e.fmt(f),
         }
     }

@@ -1,0 +1,149 @@
+//! Comm-script recording: per-rank communication event logs for the
+//! protocol verifier (`apsp-verify`).
+//!
+//! A recorded run ([`Machine::run_recorded`](crate::Machine::run_recorded)
+//! or [`Machine::run_governed`](crate::Machine::run_governed)) pushes one
+//! [`CommEvent`] per *logical* communication operation into a shared
+//! [`ScriptBoard`]. Recording observes the machine without perturbing it:
+//! no clock, counter, or ledger is touched, so a recorded run's §3.1 cost
+//! report is byte-identical to a plain run's (test-pinned in
+//! `tests/verification.rs`).
+//!
+//! Events are logical, not physical: a fault-mode retransmission is one
+//! `Send`, a collective is one `Collective` entry per member (its internal
+//! tree messages are also recorded as `Send`/`Recv`, which is what the
+//! matching invariant checks).
+
+use crate::comm::Rank;
+use std::sync::Mutex;
+
+/// Which collective a rank entered (see [`crate::collectives`]).
+/// `reduce_min` records as [`CollectiveKind::Reduce`] (it delegates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CollectiveKind {
+    /// [`Comm::bcast`](crate::Comm::bcast)
+    Bcast,
+    /// [`Comm::reduce`](crate::Comm::reduce)
+    Reduce,
+    /// [`Comm::gather`](crate::Comm::gather)
+    Gather,
+    /// [`Comm::scatter`](crate::Comm::scatter)
+    Scatter,
+    /// [`Comm::barrier`](crate::Comm::barrier)
+    Barrier,
+    /// [`Comm::allgather`](crate::Comm::allgather)
+    Allgather,
+    /// [`Comm::allreduce`](crate::Comm::allreduce)
+    Allreduce,
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CollectiveKind::Bcast => "bcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Allreduce => "allreduce",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One logical communication event in a rank's comm script.
+///
+/// `phase` is the rank's committed-boundary count at the time of the
+/// event: a matched send/recv pair with differing phases is a message
+/// crossing a checkpoint cut (the quiescence invariant).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommEvent {
+    /// One logical point-to-point send (retransmissions collapse).
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Message tag.
+        tag: u64,
+        /// Payload size in words.
+        words: usize,
+        /// Committed boundaries at send time.
+        phase: u64,
+    },
+    /// One accepted point-to-point receive.
+    Recv {
+        /// Source rank.
+        src: Rank,
+        /// Message tag.
+        tag: u64,
+        /// Accepted payload size in words.
+        words: usize,
+        /// Committed boundaries at receive time.
+        phase: u64,
+    },
+    /// Entry into a collective operation.
+    Collective {
+        /// Which collective.
+        kind: CollectiveKind,
+        /// The participating group, in the caller's order.
+        group: Vec<Rank>,
+        /// The root rank (for rootless collectives, the group's first
+        /// member, which anchors the internal tree).
+        root: Rank,
+        /// The collective's base tag.
+        tag: u64,
+        /// Committed boundaries at entry.
+        phase: u64,
+    },
+    /// A [`Comm::commit_phase`](crate::Comm::commit_phase) call; `boundary`
+    /// is the counter value *after* the commit.
+    Commit {
+        /// Committed boundaries after this commit.
+        boundary: u64,
+    },
+    /// A [`Comm::span`](crate::Comm::span) opened.
+    SpanOpen {
+        /// Span name.
+        name: &'static str,
+    },
+    /// A span guard dropped.
+    SpanClose {
+        /// Span name.
+        name: &'static str,
+    },
+}
+
+/// Shared collector of per-rank comm scripts for one recorded run.
+///
+/// The caller holds it via `Arc`, so partial scripts survive a failing
+/// run (deadlock, protocol error): the verifier lints whatever was
+/// recorded before the machine died.
+#[derive(Debug)]
+pub struct ScriptBoard {
+    ranks: Vec<Mutex<Vec<CommEvent>>>,
+}
+
+impl ScriptBoard {
+    /// A fresh board for `p` ranks.
+    pub fn new(p: usize) -> Self {
+        ScriptBoard { ranks: (0..p).map(|_| Mutex::new(Vec::new())).collect() }
+    }
+
+    /// Appends an event to `rank`'s script.
+    pub(crate) fn push(&self, rank: Rank, ev: CommEvent) {
+        if let Ok(mut script) = self.ranks[rank].lock() {
+            script.push(ev);
+        }
+    }
+
+    /// Drains and returns every rank's script (in rank order).
+    pub fn take(&self) -> Vec<Vec<CommEvent>> {
+        self.ranks
+            .iter()
+            .map(|m| match m.lock() {
+                Ok(mut script) => std::mem::take(&mut *script),
+                Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+            })
+            .collect()
+    }
+}

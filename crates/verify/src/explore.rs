@@ -1,0 +1,239 @@
+//! Layer 2: the deterministic schedule explorer.
+//!
+//! The simulated machine is confluent for programs whose receives all
+//! name their source (per-channel FIFO fixes every delivery), so the only
+//! genuine delivery-order choice points are wildcard receives
+//! ([`Comm::recv_any`](apsp_simnet::Comm::recv_any)). A **schedule** is a
+//! vector of choice indices, one per wildcard decision that had ≥ 2
+//! deliverable sources; [`Machine::run_governed`](apsp_simnet::Machine::run_governed)
+//! replays any schedule bit-identically and logs the decisions it made.
+//!
+//! The explorer runs the empty (baseline) schedule, then walks the choice
+//! tree DPOR-style: each run's decision log spawns sibling schedules that
+//! flip one decision past the explicit prefix, so every reachable
+//! delivery order is enumerated exactly once, bounded by
+//! [`VerifyOptions::max_schedules`](crate::VerifyOptions). A deadlock or
+//! an output divergence is **shrunk** — entries truncated from the tail,
+//! then decremented toward the default choice — to a minimal schedule
+//! that still reproduces it, and re-run once to confirm the replay.
+
+use crate::violation::Violation;
+use apsp_simnet::sched::{ChoicePoint, DeadlockError};
+use apsp_simnet::{Comm, Machine, MachineError};
+
+/// Largest rank count the explorer will permute (the choice tree is
+/// exponential in the wildcard fan-in; p ≤ 16 keeps grids √p×√p ≤ 4×4).
+pub const MAX_EXPLORE_P: usize = 16;
+
+/// One governed run, reduced to what the explorer compares.
+enum RunResult {
+    /// Completed; carries the output digest and the decision log.
+    Done(u64, Vec<ChoicePoint>),
+    /// Deadlocked.
+    Deadlock(DeadlockError),
+    /// Died another way (protocol error, hang, panic) — reported once.
+    Failed(String),
+}
+
+fn run_one<T, F, D>(p: usize, f: &F, digest: &D, schedule: &[usize]) -> RunResult
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+    D: Fn(&[T]) -> u64,
+{
+    let run = Machine::run_governed(p, schedule, f);
+    match run.outcome {
+        Ok((outs, _)) => RunResult::Done(digest(&outs), run.choices),
+        Err(MachineError::Deadlock(dl)) => RunResult::Deadlock(dl),
+        Err(e) => RunResult::Failed(e.to_string()),
+    }
+}
+
+/// What one [`explore`] pass found.
+pub(crate) struct Exploration {
+    pub violations: Vec<Violation>,
+    /// Governed runs executed (baseline + tree + shrinking).
+    pub schedules_run: usize,
+}
+
+/// Explores sibling schedules of a *successful* baseline run whose
+/// decision log was `base_choices` and whose output digest was
+/// `baseline_digest`. Stops at `max_schedules` total runs, or once a
+/// deadlock and a nondeterminism witness have both been found and shrunk.
+pub(crate) fn explore<T, F, D>(
+    p: usize,
+    f: &F,
+    digest: &D,
+    baseline_digest: u64,
+    base_choices: &[ChoicePoint],
+    max_schedules: usize,
+) -> Exploration
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+    D: Fn(&[T]) -> u64,
+{
+    let mut out = Exploration { violations: Vec::new(), schedules_run: 0 };
+    // DFS stack of (explicit schedule, decision log it was derived from)
+    let mut stack: Vec<Vec<usize>> = Vec::new();
+    push_children(&mut stack, &[], base_choices);
+    let mut found_deadlock = false;
+    let mut found_nondet = false;
+    let mut found_failure = false;
+    while let Some(schedule) = stack.pop() {
+        if out.schedules_run >= max_schedules || (found_deadlock && found_nondet) {
+            break;
+        }
+        out.schedules_run += 1;
+        match run_one(p, f, digest, &schedule) {
+            RunResult::Done(d, choices) => {
+                if d != baseline_digest {
+                    if !found_nondet {
+                        found_nondet = true;
+                        let budget = max_schedules.saturating_sub(out.schedules_run).max(8);
+                        let (minimal, runs) = shrink(schedule.clone(), budget, |s| {
+                            matches!(run_one(p, f, digest, s),
+                                     RunResult::Done(d2, _) if d2 != baseline_digest)
+                        });
+                        out.schedules_run += runs;
+                        // confirm the minimal schedule replays its verdict
+                        if let RunResult::Done(d2, _) = run_one(p, f, digest, &minimal) {
+                            out.schedules_run += 1;
+                            out.violations.push(Violation::Nondeterminism {
+                                schedule: minimal,
+                                baseline_digest,
+                                digest: d2,
+                            });
+                        }
+                    }
+                } else {
+                    push_children(&mut stack, &schedule, &choices);
+                }
+            }
+            RunResult::Deadlock(info) => {
+                if !found_deadlock {
+                    found_deadlock = true;
+                    let budget = max_schedules.saturating_sub(out.schedules_run).max(8);
+                    let (minimal, runs) = shrink(schedule.clone(), budget, |s| {
+                        matches!(run_one(p, f, digest, s), RunResult::Deadlock(_))
+                    });
+                    out.schedules_run += runs;
+                    // replay the minimal schedule to capture its wait-for
+                    // graph (shrinking may reach a different deadlock)
+                    let info = match run_one(p, f, digest, &minimal) {
+                        RunResult::Deadlock(dl) => dl,
+                        _ => info,
+                    };
+                    out.schedules_run += 1;
+                    out.violations.push(Violation::Deadlock { info, schedule: minimal });
+                }
+            }
+            RunResult::Failed(error) => {
+                if !found_failure {
+                    found_failure = true;
+                    out.violations.push(Violation::Execution {
+                        error: format!("under schedule {schedule:?}: {error}"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the children of a run: for each decision past the explicit
+/// prefix, every sibling choice. Prefix decisions are pinned to what the
+/// run actually chose, so each schedule in the tree is visited once.
+fn push_children(stack: &mut Vec<Vec<usize>>, explicit: &[usize], choices: &[ChoicePoint]) {
+    for j in explicit.len()..choices.len() {
+        for alt in 1..choices[j].alternatives {
+            if alt == choices[j].chosen {
+                continue;
+            }
+            let mut child: Vec<usize> = choices[..j].iter().map(|c| c.chosen).collect();
+            child.push(alt);
+            stack.push(child);
+        }
+    }
+}
+
+/// Greedy schedule minimization: drop trailing entries while `pred`
+/// holds, then decrement each entry toward 0 while `pred` holds, then
+/// re-trim. Every `pred` probe is one governed run; bounded by `budget`.
+/// Returns the minimal schedule and the number of probes spent.
+pub(crate) fn shrink(
+    mut s: Vec<usize>,
+    budget: usize,
+    pred: impl Fn(&[usize]) -> bool,
+) -> (Vec<usize>, usize) {
+    let mut probes = 0usize;
+    loop {
+        let mut changed = false;
+        while !s.is_empty() && probes < budget {
+            probes += 1;
+            if pred(&s[..s.len() - 1]) {
+                s.pop();
+                changed = true;
+            } else {
+                break;
+            }
+        }
+        for i in 0..s.len() {
+            while s[i] > 0 && probes < budget {
+                let mut t = s.clone();
+                t[i] -= 1;
+                probes += 1;
+                if pred(&t) {
+                    s = t;
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !changed || probes >= budget {
+            break;
+        }
+    }
+    while s.last() == Some(&0) {
+        // trailing zeros are the default choice — not part of the witness
+        if pred(&s[..s.len() - 1]) {
+            s.pop();
+        } else {
+            break;
+        }
+    }
+    (s, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        // pred: schedule sums to >= 3
+        let pred = |s: &[usize]| s.iter().sum::<usize>() >= 3;
+        let (minimal, _) = shrink(vec![2, 0, 4, 1], 100, pred);
+        assert_eq!(minimal.iter().sum::<usize>(), 3);
+        assert!(pred(&minimal));
+    }
+
+    #[test]
+    fn shrink_respects_budget() {
+        let (_, probes) = shrink(vec![9, 9, 9], 5, |_| true);
+        assert!(probes <= 6, "one extra probe allowed for the final trim");
+    }
+
+    #[test]
+    fn children_flip_one_decision_each() {
+        let mut stack = Vec::new();
+        let choices = [
+            ChoicePoint { alternatives: 3, chosen: 0 },
+            ChoicePoint { alternatives: 2, chosen: 0 },
+        ];
+        push_children(&mut stack, &[], &choices);
+        stack.sort();
+        assert_eq!(stack, vec![vec![0, 1], vec![1], vec![2]]);
+    }
+}

@@ -103,8 +103,15 @@ fn report_recovery(recovery: &RecoveryReport) {
     eprintln!("recovery: {}", recovery.digest());
 }
 
+/// The one rendering path for every machine-level failure the CLI
+/// surfaces: typed errors print their Display form — wait-for cycles,
+/// fault locations, restart budgets — never a raw `{:?}` dump.
+fn render_machine_error(e: &MachineError) -> String {
+    format!("machine error: {e}")
+}
+
 fn die_unrecoverable(e: MachineError) -> ! {
-    die(&format!("{e}"))
+    die(&render_machine_error(&e))
 }
 
 /// Renders the per-phase attribution as an aligned text table.
@@ -436,6 +443,10 @@ USAGE:
                 [--faults SPEC] [--fault-seed N] [--recover POLICY]
                 [--directed]   (.gr inputs keep their arc orientation)
   apsp path     --input FILE --from A --to B [--algorithm ...] [--height H]
+  apsp verify   --input FILE [--algorithm sparse2d|fw2d|dcapsp|djohnson|bad-fixture]
+                [--height H] [--n-grid N] [--depth D]
+                [--no-explore] [--max-schedules N]
+                [--sequential-r4] [--compress-empty]
   apsp info     --input FILE [--height H]   (graph statistics + separator probe)
   apsp help
 
@@ -469,7 +480,67 @@ sparse2d, fw2d, dcapsp and djohnson. Examples:
   apsp solve --input mesh.el --algorithm fw2d \\
              --faults \"drop=0.05,dup=0.02\" --fault-seed 7 --verify
   apsp solve --input mesh.el --algorithm sparse2d \\
-             --faults \"kill=4@1\" --recover default --verify";
+             --faults \"kill=4@1\" --recover default --verify
+
+Protocol verification: `apsp verify` checks the *communication schedule*
+itself (not the distances — that is `solve --verify`). Layer 1 records
+each rank's comm script and lints it statically: every send matched,
+no tag reused across phase boundaries, collectives entered in the same
+order everywhere, every phase quiescent at its checkpoint cut, trace
+spans balanced. Layer 2 (p <= 16 ranks) deterministically explores
+wildcard message-delivery orders for deadlocks and order-sensitive
+nondeterminism, shrinking any hit to a minimal counterexample schedule
+that replays bit-identically. Exit 0 = clean, 1 = violations (printed).
+--n-grid sets the grid side directly for fw2d/dcapsp/djohnson (default
+(2^H - 1)); --algorithm bad-fixture runs the seeded-bad demo program.
+Recording is zero-cost: a verified schedule's solve is byte-identical.";
+
+/// `apsp verify` — the protocol verifier (static comm-script lint +
+/// deterministic schedule explorer; see `docs/VERIFICATION.md`). Exits 0
+/// on a clean report, 1 with a readable violation report.
+fn cmd_verify(args: &Args) {
+    let algorithm = args.opt("--algorithm").unwrap_or("sparse2d");
+    let vopts = VerifyOptions {
+        explore: !args.flag("--no-explore"),
+        max_schedules: args.num("--max-schedules", 64usize),
+    };
+    let report = if algorithm == "bad-fixture" {
+        // the seeded-bad demo program: one bug per verifier layer
+        sparse_apsp::verify::verify_program(
+            4,
+            &vopts,
+            sparse_apsp::verify::bad_fixture,
+            sparse_apsp::verify::digest_rows,
+        )
+    } else {
+        let g = load_graph(args.get("--input"));
+        let height: u32 = args.num("--height", 2);
+        let n_grid: usize = args.num("--n-grid", (1usize << height) - 1);
+        match algorithm {
+            "sparse2d" => {
+                let config = SparseApspConfig {
+                    height,
+                    r4: if args.flag("--sequential-r4") {
+                        R4Strategy::SequentialUnits
+                    } else {
+                        R4Strategy::OneToOne
+                    },
+                    compress_empty: args.flag("--compress-empty"),
+                    ..Default::default()
+                };
+                SparseApsp::new(config).verify(&g, &vopts)
+            }
+            "fw2d" => fw2d_verify(&g, n_grid, &vopts),
+            "dcapsp" => dc_apsp_verify(&g, n_grid, args.num("--depth", 1u32), &vopts),
+            "djohnson" => distributed_johnson_verify(&g, n_grid * n_grid, &vopts),
+            other => die(&format!("unknown algorithm {other}")),
+        }
+    };
+    println!("{}", report.render());
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
 
 fn cmd_info(args: &Args) {
     let g = load_graph(args.get("--input"));
@@ -492,6 +563,7 @@ fn main() {
         "generate" => cmd_generate(&args),
         "solve" => cmd_solve(&args),
         "path" => cmd_path(&args),
+        "verify" => cmd_verify(&args),
         "info" => cmd_info(&args),
         "help" | "--help" | "-h" => println!("{HELP}"),
         other => die(&format!("unknown command {other}")),

@@ -494,6 +494,86 @@ fn trace_export_via_cli() {
 }
 
 #[test]
+fn protocol_verify_clean_for_every_algorithm() {
+    let graph = tmp("verified.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--seed", "4", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    for algo in ["sparse2d", "fw2d", "dcapsp", "djohnson"] {
+        let out = apsp()
+            .args(["verify", "--algorithm", algo, "--height", "2", "--input"])
+            .arg(&graph)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{algo}: {}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("verify: CLEAN"), "{algo}: {stdout}");
+    }
+    // --n-grid drives the grid side directly (p = 16, the explorer cap)
+    let out = apsp()
+        .args(["verify", "--algorithm", "fw2d", "--n-grid", "4", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("16 rank(s)"));
+}
+
+#[test]
+fn protocol_verify_catches_the_bad_fixture() {
+    let out = apsp().args(["verify", "--algorithm", "bad-fixture"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "violations exit 1, not a crash");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verify: FAILED"), "{stdout}");
+    assert!(stdout.contains("tag-reuse-across-phases"), "{stdout}");
+    assert!(stdout.contains("wait-for cycle: 2 -> 3 -> 2"), "{stdout}");
+    assert!(stdout.contains("minimal counterexample schedule"), "{stdout}");
+    // the violation report is the rendered one — no Debug dumps, and the
+    // deadlocked ranks' internal panics never reach stderr
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("Box<dyn Any>"), "{stderr}");
+}
+
+#[test]
+fn machine_errors_render_without_debug_dumps() {
+    let graph = tmp("renderer.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    // a dead link aborts the solve (exit 2) through the shared renderer:
+    // one readable `machine error:` line, no panic backtraces or `{:?}`
+    // dumps from the dying ranks. fw2d's cascade victims die blocked in
+    // recv; sparse2d's die mid-send into the dead rank — both directions
+    // must stay silent
+    for alg in ["fw2d", "sparse2d"] {
+        let out = apsp()
+            .args(["solve", "--algorithm", alg, "--height", "2"])
+            .args(["--faults", "kill=0>2", "--input"])
+            .arg(&graph)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{alg}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("machine error: unrecoverable fault"), "{alg}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{alg}: {stderr}");
+        assert!(!stderr.contains("backtrace"), "{alg}: {stderr}");
+        assert!(!stderr.contains("FaultError {"), "{alg}: {stderr}");
+    }
+}
+
+#[test]
 fn trace_rejected_for_hostside_algorithm() {
     let graph = tmp("nosup.el");
     assert!(apsp()

@@ -1,0 +1,108 @@
+//! Protocol-verifier acceptance matrix: every real solver's communication
+//! schedule verifies clean at every explorable grid size, the seeded-bad
+//! fixture is caught by both layers, and verification recording is
+//! zero-cost to the §3.1 ledgers (byte-identical reports).
+
+use sparse_apsp::core::dcapsp::dc_apsp_verify;
+use sparse_apsp::core::djohnson::distributed_johnson_verify;
+use sparse_apsp::core::fw2d::fw2d_verify;
+use sparse_apsp::prelude::*;
+use sparse_apsp::verify::{VerifyOptions, VerifyReport};
+
+fn assert_clean(report: &VerifyReport, what: &str) {
+    assert!(report.is_clean(), "{what} failed verification:\n{}", report.render());
+    assert!(report.report.is_some(), "{what}: clean baseline must carry a cost report");
+}
+
+/// fw2d on every explorable grid: p = 1, 4, 9, 16.
+#[test]
+fn fw2d_verifies_clean_at_every_grid_size() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 1);
+    for n_grid in 1..=4 {
+        let report = fw2d_verify(&g, n_grid, &VerifyOptions::default());
+        assert_clean(&report, &format!("fw2d n_grid={n_grid}"));
+    }
+}
+
+/// 2D-DC-APSP on every explorable grid, at two recursion depths.
+#[test]
+fn dcapsp_verifies_clean_at_every_grid_size() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 2);
+    for n_grid in 1..=4 {
+        for depth in [0, 1] {
+            let report = dc_apsp_verify(&g, n_grid, depth, &VerifyOptions::default());
+            assert_clean(&report, &format!("dcapsp n_grid={n_grid} depth={depth}"));
+        }
+    }
+}
+
+/// Distributed Johnson on every explorable rank count p = 1, 4, 9, 16.
+#[test]
+fn djohnson_verifies_clean_at_every_grid_size() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 3);
+    for n_grid in 1usize..=4 {
+        let p = n_grid * n_grid;
+        let report = distributed_johnson_verify(&g, p, &VerifyOptions::default());
+        assert_clean(&report, &format!("djohnson p={p}"));
+    }
+}
+
+/// 2D-SPARSE-APSP at every explorable height: h = 1 (p = 1), h = 2
+/// (p = 9). h = 3 would be p = 49 > MAX_EXPLORE_P.
+#[test]
+fn sparse2d_verifies_clean_at_every_explorable_height() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 4);
+    for height in [1u32, 2] {
+        let report = SparseApsp::with_height(height).verify(&g, &VerifyOptions::default());
+        assert_clean(&report, &format!("sparse2d height={height}"));
+    }
+}
+
+/// Solver options change the schedule; the verifier must accept them all.
+#[test]
+fn sparse2d_option_variants_verify_clean() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 5);
+    for (r4, compress) in [(R4Strategy::OneToOne, true), (R4Strategy::SequentialUnits, false)] {
+        let config =
+            SparseApspConfig { height: 2, r4, compress_empty: compress, ..Default::default() };
+        let report = SparseApsp::new(config).verify(&g, &VerifyOptions::default());
+        assert_clean(&report, &format!("sparse2d r4={r4:?} compress={compress}"));
+    }
+}
+
+/// The seeded-bad fixture is caught by both layers with the advertised
+/// violation kinds — the verifier's own canary.
+#[test]
+fn bad_fixture_is_caught_by_both_layers() {
+    let report = sparse_apsp::verify::verify_program(
+        4,
+        &VerifyOptions::default(),
+        sparse_apsp::verify::bad_fixture,
+        sparse_apsp::verify::digest_rows,
+    );
+    let kinds: Vec<&str> = report.violations.iter().map(|v| v.kind()).collect();
+    assert!(kinds.contains(&"tag-reuse-across-phases"), "layer 1 miss: {kinds:?}");
+    assert!(kinds.contains(&"deadlock"), "layer 2 miss: {kinds:?}");
+}
+
+/// Zero-cost pin: a solve after verification is byte-identical to one
+/// never verified — recording must not touch the §3.1 cost ledgers.
+#[test]
+fn verification_is_zero_cost_to_the_ledgers() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 6);
+    let config = SparseApspConfig { profile: true, ..Default::default() };
+    let plain = SparseApsp::new(config).run(&g);
+    let verified_then = {
+        let report = SparseApsp::new(config).verify(&g, &VerifyOptions::default());
+        assert_clean(&report, "sparse2d pre-solve verify");
+        SparseApsp::new(config).run(&g)
+    };
+    assert!(plain.dist.first_mismatch(&verified_then.dist, 0.0).is_none());
+    assert_eq!(plain.report.per_rank, verified_then.report.per_rank);
+    assert_eq!(plain.report.profile, verified_then.report.profile);
+    // and the verifier's own baseline run sees the same clocks as a plain
+    // solve: recording is invisible to the cost model itself
+    let vreport = SparseApsp::new(config).verify(&g, &VerifyOptions::default());
+    let governed = vreport.report.expect("clean");
+    assert_eq!(governed.per_rank, plain.report.per_rank);
+}
