@@ -1,25 +1,16 @@
 //! Criterion benches for the min-plus kernels: semiring GEMM, the classical
-//! FW closure, and blocked FW with/without sparsity skipping.
+//! FW closure, and blocked FW with/without sparsity skipping. Matrix
+//! generators live in `apsp_bench::workloads` (shared, deterministic).
 
+use apsp_bench::workloads::{arrow_minplus, dense_minplus};
 use apsp_minplus::{fw_in_place, gemm, gemm_parallel, BlockedMatrix, Blocking, MinPlusMatrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
-fn dense_matrix(n: usize, seed: u64) -> MinPlusMatrix {
-    let mut state = seed | 1;
-    MinPlusMatrix::from_fn(n, n, |i, j| {
-        if i == j {
-            return 0.0;
-        }
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((state >> 33) % 1000) as f64 / 10.0
-    })
-}
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_minplus");
     for n in [64usize, 128, 256] {
-        let a = dense_matrix(n, 1);
-        let b = dense_matrix(n, 2);
+        let a = dense_minplus(n, 1);
+        let b = dense_minplus(n, 2);
         group.throughput(Throughput::Elements((n * n * n) as u64));
         group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
             bench.iter(|| {
@@ -40,7 +31,7 @@ fn bench_gemm(c: &mut Criterion) {
 fn bench_fw(c: &mut Criterion) {
     let mut group = c.benchmark_group("floyd_warshall");
     for n in [64usize, 128, 256] {
-        let a = dense_matrix(n, 3);
+        let a = dense_minplus(n, 3);
         group.throughput(Throughput::Elements((n * n * n) as u64));
         group.bench_with_input(BenchmarkId::new("classical", n), &n, |bench, _| {
             bench.iter(|| {
@@ -62,29 +53,11 @@ fn bench_fw(c: &mut Criterion) {
 fn bench_sparse_skip(c: &mut Criterion) {
     // a block-arrow matrix: blocked FW should skip the empty cross blocks
     let n = 192;
-    let third = n / 3;
-    let mut a = MinPlusMatrix::empty(n, n);
-    for i in 0..n {
-        a.set(i, i, 0.0);
-    }
-    let mut state = 7u64;
-    let mut rnd = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-        ((state >> 33) % 100) as f64 / 10.0
-    };
-    for i in 0..n {
-        for j in 0..n {
-            let same_part = (i < third) == (j < third);
-            let touches_sep = i >= 2 * third || j >= 2 * third;
-            if i != j && (same_part && i < 2 * third && j < 2 * third || touches_sep) {
-                a.set(i, j, rnd());
-            }
-        }
-    }
+    let a = arrow_minplus(n);
     let mut group = c.benchmark_group("blocked_fw_sparsity");
     group.bench_function("arrow_structure_skips", |bench| {
         bench.iter(|| {
-            let mut bm = BlockedMatrix::from_dense(&a, Blocking::uniform(n, third));
+            let mut bm = BlockedMatrix::from_dense(&a, Blocking::uniform(n, n / 3));
             bm.blocked_fw(&[0, 1, 2])
         });
     });

@@ -9,10 +9,13 @@
 //! Every runner **verifies distances against the Dijkstra oracle before
 //! reporting costs** — a cost table from a wrong answer is worthless.
 
+pub mod benchrun;
 pub mod experiments;
 pub mod figures;
+pub mod jsonio;
 pub mod table;
 pub mod workloads;
 
+pub use benchrun::{compare, run_suite, BenchCase, BenchSuite, Comparison};
 pub use experiments::*;
 pub use table::Table;

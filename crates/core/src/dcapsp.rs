@@ -552,6 +552,7 @@ fn run_dc_launch(
     rec_depth: u32,
     how: Launch<'_>,
 ) -> Result<(DcApspResult, Option<FaultSummary>), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-dcapsp");
     assert!(rec_depth <= tile_depth, "cannot recurse below tile granularity");
     let geo = Cyclic::new(g.n(), n_grid, tile_depth);
     let p = n_grid * n_grid;

@@ -212,6 +212,7 @@ fn djohnson_launch(
     p: usize,
     how: Launch<'_>,
 ) -> Result<(DJohnsonResult, Option<FaultSummary>), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-djohnson");
     let (n, offsets, packed, group) = setup(g, p);
     let (rows, report, faults) =
         Machine::launch(p, how, |comm| rank_program(comm, &packed, &group, &offsets, n))?;

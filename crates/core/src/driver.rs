@@ -135,6 +135,7 @@ impl SparseApsp {
     /// Computes the ordering this configuration would use for `g` and the
     /// communication report of computing it (empty unless distributed).
     pub fn ordering_for(&self, g: &Csr) -> (NdOrdering, RunReport) {
+        let _wall = apsp_metrics::time_phase("ordering");
         match self.config.ordering {
             Ordering::Multilevel => (
                 nested_dissection(g, self.config.height, &NdOptions::default()),
@@ -221,6 +222,8 @@ impl SparseApsp {
             "undirected APSP requires non-negative weights (a negative \
              undirected edge is a negative cycle)"
         );
+        let _wall = apsp_metrics::time_phase("driver-run");
+        apsp_metrics::counter("apsp_driver_solves_total", "Full pipeline solves started.").inc();
         let (nd, ordering_report) = self.ordering_for(g);
         // O(m) check, negligible next to the solve; an ordering violating
         // the cousin-separation invariant would make the distributed

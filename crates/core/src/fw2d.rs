@@ -260,6 +260,7 @@ fn fw2d_launch(
     n_grid: usize,
     how: Launch<'_>,
 ) -> Result<(Fw2dResult, Option<FaultSummary>), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-fw2d");
     assert!(n_grid >= 1);
     let grid = Grid::new(g.n(), n_grid);
     let p = n_grid * n_grid;

@@ -1043,6 +1043,7 @@ fn run_machine_launch(
     directed: bool,
     how: Launch<'_>,
 ) -> Result<(Sparse2dResult, Option<FaultSummary>), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-sparse2d");
     let p = layout.p();
     let (outputs, report, faults) =
         Machine::launch(p, how, |comm| rank_program(comm, layout, init, opts, directed))?;

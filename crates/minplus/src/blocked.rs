@@ -3,6 +3,7 @@
 
 use crate::kernels::{fw_in_place, gemm};
 use crate::matrix::MinPlusMatrix;
+use crate::perf;
 
 /// A partition of `0..total` into consecutive blocks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -278,6 +279,9 @@ impl BlockedMatrix {
                 }
             }
         }
+        let pc = perf::counters();
+        pc.block_updates.add(stats.block_updates);
+        pc.block_skips.add(stats.block_skips);
         stats
     }
 }

@@ -4,8 +4,13 @@
 //! (`c = min(c, a + b)`) it executed; rows/entries skipped through the `∞`
 //! fast path are not counted. These counts feed the paper's computation
 //! comparisons (SuperFW vs classical FW, §2/§4).
+//!
+//! Each kernel additionally records host-side perf counters (ops, ∞-row
+//! skips, approximate bytes touched) into the global metrics registry —
+//! once per call, see [`crate::perf`].
 
 use crate::matrix::MinPlusMatrix;
+use crate::perf;
 use crate::INF;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -36,11 +41,13 @@ pub fn gemm(c: &mut MinPlusMatrix, a: &MinPlusMatrix, b: &MinPlusMatrix) -> u64 
     let (av, bv) = (a.as_slice(), b.as_slice());
     let cv = c.as_mut_slice();
     let mut ops = 0u64;
+    let mut skips = 0u64;
     for i in 0..m {
         let crow = &mut cv[i * n..(i + 1) * n];
         for k in 0..kk {
             let aik = av[i * kk + k];
             if aik == INF {
+                skips += 1;
                 continue;
             }
             let brow = &bv[k * n..(k + 1) * n];
@@ -53,6 +60,7 @@ pub fn gemm(c: &mut MinPlusMatrix, a: &MinPlusMatrix, b: &MinPlusMatrix) -> u64 
             }
         }
     }
+    perf::record_gemm(ops, skips, (m * kk) as u64);
     ops
 }
 
@@ -69,16 +77,19 @@ pub fn gemm_parallel(c: &mut MinPlusMatrix, a: &MinPlusMatrix, b: &MinPlusMatrix
     let rows_per_chunk = m.div_ceil(apsp_par::num_threads()).max(1);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let ops = AtomicU64::new(0);
+    let skips = AtomicU64::new(0);
     apsp_par::par_chunks_mut(c.as_mut_slice(), rows_per_chunk * n, |start, chunk| {
         let i0 = start / n;
         let rows = chunk.len() / n;
         let mut local = 0u64;
+        let mut local_skips = 0u64;
         for r in 0..rows {
             let i = i0 + r;
             let crow = &mut chunk[r * n..(r + 1) * n];
             for k in 0..kk {
                 let aik = av[i * kk + k];
                 if aik == INF {
+                    local_skips += 1;
                     continue;
                 }
                 let brow = &bv[k * n..(k + 1) * n];
@@ -92,8 +103,11 @@ pub fn gemm_parallel(c: &mut MinPlusMatrix, a: &MinPlusMatrix, b: &MinPlusMatrix
             }
         }
         ops.fetch_add(local, Ordering::Relaxed);
+        skips.fetch_add(local_skips, Ordering::Relaxed);
     });
-    ops.into_inner()
+    let ops = ops.into_inner();
+    perf::record_gemm(ops, skips.into_inner(), (m * kk) as u64);
+    ops
 }
 
 /// Classical Floyd–Warshall closure of a square block, in place
@@ -108,10 +122,12 @@ pub fn fw_in_place(a: &mut MinPlusMatrix) -> u64 {
     }
     let buf = a.as_mut_slice();
     let mut ops = 0u64;
+    let mut skips = 0u64;
     for k in 0..n {
         for i in 0..n {
             let dik = buf[i * n + k];
             if dik == INF {
+                skips += 1;
                 continue;
             }
             ops += n as u64;
@@ -123,6 +139,7 @@ pub fn fw_in_place(a: &mut MinPlusMatrix) -> u64 {
             }
         }
     }
+    perf::record_fw(ops, skips, (n * n) as u64);
     ops
 }
 

@@ -15,6 +15,7 @@ pub mod algebra;
 pub mod blocked;
 pub mod kernels;
 pub mod matrix;
+pub mod perf;
 pub mod via;
 
 pub use algebra::{closure_in, AlgebraMatrix, MaxMin, MinPlus, MostReliable, PathAlgebra};

@@ -307,6 +307,7 @@ impl Machine {
                     recovery.restores = store.restores();
                     recovery.restore_words = store.restore_words();
                     let summary = faults.expect("faulty run carries a summary");
+                    crate::perf::record_recovery(&recovery);
                     return Ok((outs, report, summary, recovery));
                 }
                 Err(err) => err,
@@ -444,6 +445,8 @@ impl Machine {
     {
         assert!(p >= 1, "need at least one rank");
         Self::install_quiet_typed_panics();
+        // wall-clock observability only; inert unless metrics are enabled
+        let _machine_wall = apsp_metrics::time_phase("machine-run");
         let watchdog = Arc::new(Watchdog::new(p));
         let watchdog_ms =
             if mode.watchdog_ms > 0 { mode.watchdog_ms } else { default_watchdog_ms() };
@@ -644,6 +647,9 @@ impl Machine {
             .faults
             .is_some()
             .then_some(FaultSummary { per_rank: fault_ranks, unrecoverable: 0 });
+        // observability counters read the finished aggregates; the §3.1
+        // ledgers above are already sealed by this point
+        crate::perf::record_run(&report, faults.as_ref());
         Ok((outs, report, traces, faults))
     }
 }

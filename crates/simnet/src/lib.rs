@@ -55,6 +55,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod faults;
+pub mod perf;
 pub mod recovery;
 pub mod report;
 pub mod sched;

@@ -121,6 +121,7 @@ where
     F: Fn(&mut Comm) -> T + Sync,
     D: Fn(&[T]) -> u64,
 {
+    let _wall = apsp_metrics::time_phase("verify");
     let base = Machine::run_governed(p, &[], &f);
     let events = base.scripts.iter().map(Vec::len).sum();
     let choice_points = base.choices.len();
@@ -154,6 +155,12 @@ where
             violations.extend(exploration.violations);
         }
     }
+    let reg = apsp_metrics::global();
+    reg.counter("apsp_verify_reports_total", "Verification passes completed.").inc();
+    reg.counter("apsp_verify_schedules_total", "Governed schedules executed while verifying.")
+        .add(schedules_run as u64);
+    reg.counter("apsp_verify_violations_total", "Protocol violations found by the verifier.")
+        .add(violations.len() as u64);
     VerifyReport { p, events, schedules_run, choice_points, violations, report }
 }
 

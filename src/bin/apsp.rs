@@ -46,6 +46,18 @@ impl Args {
     fn flag(&self, name: &str) -> bool {
         self.0.iter().any(|a| a == name)
     }
+
+    /// `--name` → `Some(None)`, `--name=value` → `Some(Some(value))`,
+    /// absent → `None`. For options whose value is optional.
+    fn opt_eq(&self, name: &str) -> Option<Option<&str>> {
+        self.0.iter().find_map(|a| {
+            if a == name {
+                Some(None)
+            } else {
+                a.strip_prefix(name).and_then(|r| r.strip_prefix('=')).map(Some)
+            }
+        })
+    }
 }
 
 fn load_graph(path: &str) -> Csr {
@@ -349,7 +361,40 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
     }
 }
 
+/// Handles `--metrics[=BASE]`: enables the wall-clock timers up front
+/// (counters are always on) and returns the export action for the end of
+/// the run. Must run *before* the solve so the phase timers fire.
+fn metrics_setup(args: &Args) -> Option<Option<String>> {
+    let opt = args.opt_eq("--metrics")?;
+    sparse_apsp::metrics::enable();
+    Some(opt.map(String::from))
+}
+
+/// Emits the metrics the run collected: bare `--metrics` prints the human
+/// summary on stderr; `--metrics=BASE` writes `BASE.prom` (Prometheus
+/// text exposition) and `BASE.jsonl` (one series per line).
+fn metrics_emit(dest: Option<String>) {
+    let snap = sparse_apsp::metrics::global().snapshot();
+    match dest {
+        None => eprint!("{}", sparse_apsp::metrics::summary_table(&snap)),
+        Some(base) => {
+            let prom_path = format!("{base}.prom");
+            let prom = sparse_apsp::metrics::prometheus_text(&snap);
+            // self-check: our own exposition must parse back
+            sparse_apsp::metrics::parse_prometheus(&prom)
+                .unwrap_or_else(|e| die(&format!("internal: bad exposition: {e}")));
+            std::fs::write(&prom_path, prom)
+                .unwrap_or_else(|e| die(&format!("cannot write {prom_path}: {e}")));
+            let jsonl_path = format!("{base}.jsonl");
+            std::fs::write(&jsonl_path, sparse_apsp::metrics::jsonl(&snap))
+                .unwrap_or_else(|e| die(&format!("cannot write {jsonl_path}: {e}")));
+            eprintln!("metrics written to {prom_path} and {jsonl_path}");
+        }
+    }
+}
+
 fn cmd_solve(args: &Args) {
+    let metrics = metrics_setup(args);
     let (dist, report, level_costs) = if args.flag("--directed") {
         let (dg, dist, report, level_costs) = solve_directed(args);
         if args.flag("--verify") {
@@ -407,6 +452,48 @@ fn cmd_solve(args: &Args) {
         }
         None => println!("{json}"),
     }
+    if let Some(dest) = metrics {
+        metrics_emit(dest);
+    }
+}
+
+/// `apsp bench` — runs the pinned workload matrix and writes the
+/// schema-versioned `BENCH_<label>.json`; with `--compare BASELINE`,
+/// gates on wall-clock regressions (exit 1).
+fn cmd_bench(args: &Args) {
+    let quick = !args.flag("--full");
+    let label = args.opt("--label").unwrap_or(if quick { "quick" } else { "full" });
+    let iters: u32 = args.num("--iters", 3);
+    let out_path =
+        args.opt("--out").map(String::from).unwrap_or_else(|| format!("BENCH_{label}.json"));
+    let suite = sparse_apsp::bench::run_suite(label, quick, iters, &mut |msg| {
+        eprintln!("bench: {msg}");
+    });
+    std::fs::write(&out_path, suite.to_json())
+        .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+    eprintln!("bench results written to {out_path} ({} cases)", suite.cases.len());
+    if let Some(baseline_path) = args.opt("--compare") {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| die(&format!("cannot read {baseline_path}: {e}")));
+        let baseline = sparse_apsp::bench::BenchSuite::from_json(&text)
+            .unwrap_or_else(|e| die(&format!("bad baseline {baseline_path}: {e}")));
+        let tolerance: f64 = args.num("--tolerance", 0.25);
+        let cmp = sparse_apsp::bench::compare(&suite, &baseline, tolerance);
+        for w in &cmp.warnings {
+            eprintln!("bench: warning: {w}");
+        }
+        if !cmp.ok() {
+            for r in &cmp.regressions {
+                eprintln!("bench: REGRESSION: {r}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench: within {:.0}% of {baseline_path} ({} warning(s))",
+            tolerance * 100.0,
+            cmp.warnings.len()
+        );
+    }
 }
 
 fn cmd_path(args: &Args) {
@@ -439,10 +526,12 @@ USAGE:
   apsp solve    --input FILE [--algorithm sparse2d|fw2d|dcapsp|djohnson|superfw]
                 [--height H] [--verify] [--distances FILE] [--report FILE]
                 [--sequential-r4] [--compress-empty] [--charge-ordering]
-                [--trace DIR] [--profile]
+                [--trace DIR] [--profile] [--metrics[=BASE]]
                 [--faults SPEC] [--fault-seed N] [--recover POLICY]
                 [--directed]   (.gr inputs keep their arc orientation)
   apsp path     --input FILE --from A --to B [--algorithm ...] [--height H]
+  apsp bench    [--full] [--label NAME] [--out FILE] [--iters N]
+                [--compare BASELINE.json] [--tolerance F]
   apsp verify   --input FILE [--algorithm sparse2d|fw2d|dcapsp|djohnson|bad-fixture]
                 [--height H] [--n-grid N] [--depth D]
                 [--no-explore] [--max-schedules N]
@@ -458,6 +547,24 @@ span ledger over simulated critical-path time; open in Perfetto) and
 DIR/events.jsonl (one sent message per line); --profile prints a per-phase
 table of the critical-path cost (exact-sum attribution on uniform SPMD
 schedules). Both work with sparse2d, fw2d and dcapsp.
+
+Metrics: --metrics prints the host-side metrics registry (kernel perf
+counters, retransmission/recovery totals, per-phase wall-clock timers)
+as a summary table on stderr after the solve; --metrics=BASE instead
+writes BASE.prom (Prometheus text exposition 0.0.4) and BASE.jsonl (one
+series per line). Counters are always on; the flag additionally enables
+the wall-clock timers. Enabling metrics never changes the cost report —
+the §3.1 ledgers are test-pinned byte-identical either way.
+
+Benchmarks: `apsp bench` runs the pinned (workload x solver x height)
+matrix — quick by default, --full for every solver — verifying each
+solve against the Dijkstra oracle, and writes schema-versioned JSON
+(BENCH_<label>.json) with min wall-clock, the deterministic critical-path
+clocks, and kernel-counter deltas per case. --compare BASELINE.json exits
+1 when a case's wall-clock regresses more than --tolerance (default
+0.25); deterministic-counter drift is a warning, not a failure. CI runs
+`apsp bench --quick` against the committed BENCH_baseline.json (see
+docs/OBSERVABILITY.md for the override label).
 
 Fault injection: --faults SPEC runs the solver under deterministic,
 seed-reproducible message faults on the simulated machine; recovery is
@@ -564,6 +671,7 @@ fn main() {
         "solve" => cmd_solve(&args),
         "path" => cmd_path(&args),
         "verify" => cmd_verify(&args),
+        "bench" => cmd_bench(&args),
         "info" => cmd_info(&args),
         "help" | "--help" | "-h" => println!("{HELP}"),
         other => die(&format!("unknown command {other}")),

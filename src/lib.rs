@@ -41,10 +41,14 @@
 //! | [`partition`] | multilevel nested dissection, Kőnig separators (§4.1) |
 //! | [`simnet`] | the simulated distributed machine (§3.1 cost model) |
 //! | [`core`] | 2D-SPARSE-APSP, SuperFW, dense baselines, cost bounds |
+//! | [`metrics`] | host-side metrics registry (counters, histograms, phase timers) |
+//! | [`bench`] | experiment runners, `apsp bench` workload matrix |
 
+pub use apsp_bench as bench;
 pub use apsp_core as core;
 pub use apsp_etree as etree;
 pub use apsp_graph as graph;
+pub use apsp_metrics as metrics;
 pub use apsp_minplus as minplus;
 pub use apsp_par as par;
 pub use apsp_partition as partition;

@@ -590,3 +590,89 @@ fn trace_rejected_for_hostside_algorithm() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("simulated machine"));
 }
+
+#[test]
+fn solve_metrics_summary_and_export() {
+    let graph = tmp("metrics.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // bare --metrics: human summary on stderr, after the solve
+    let out = apsp()
+        .args(["solve", "--height", "2", "--metrics", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("apsp_minplus_gemm_ops_total"), "{stderr}");
+    assert!(stderr.contains("apsp_phase_wall_ns{phase=solve-sparse2d}"), "{stderr}");
+    assert!(stderr.contains("apsp_simnet_runs_total"), "{stderr}");
+
+    // --metrics=BASE: Prometheus exposition + JSONL files
+    let base = tmp("metrics-out");
+    let out = apsp()
+        .args(["solve", "--height", "2", "--input"])
+        .arg(&graph)
+        .arg(format!("--metrics={}", base.display()))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let prom = std::fs::read_to_string(format!("{}.prom", base.display())).unwrap();
+    assert!(prom.starts_with("# HELP "), "{prom}");
+    assert!(prom.contains("# TYPE apsp_minplus_gemm_ops_total counter"), "{prom}");
+    assert!(
+        prom.contains("apsp_phase_wall_ns_bucket{phase=\"machine-run\",le=\"+Inf\"}"),
+        "{prom}"
+    );
+    let jsonl = std::fs::read_to_string(format!("{}.jsonl", base.display())).unwrap();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        json::validate(line).unwrap_or_else(|at| panic!("bad JSONL at byte {at}: {line}"));
+    }
+}
+
+#[test]
+fn bench_quick_writes_schema_versioned_json_and_compares() {
+    let out_path = tmp("BENCH_test.json");
+    let out = apsp()
+        .args(["bench", "--iters", "1", "--label", "test", "--out"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    json::validate(&text).unwrap_or_else(|at| panic!("bad JSON at byte {at}"));
+    assert!(text.contains("\"schema\": \"apsp-bench-v1\""), "{text}");
+    for key in ["wall_ns", "critical_latency", "gemm_ops", "messages"] {
+        assert!(text.contains(key), "missing {key}");
+    }
+
+    // self-compare passes (the two runs share deterministic counters)
+    let out = apsp()
+        .args(["bench", "--iters", "1", "--label", "test2", "--out"])
+        .arg(tmp("BENCH_test2.json"))
+        .arg("--compare")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("within 25%"));
+
+    // a baseline with the wrong schema is rejected loudly
+    let bad = tmp("BENCH_bad.json");
+    std::fs::write(&bad, text.replace("apsp-bench-v1", "apsp-bench-v0")).unwrap();
+    let out = apsp()
+        .args(["bench", "--iters", "1", "--out"])
+        .arg(tmp("BENCH_test3.json"))
+        .arg("--compare")
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema mismatch"));
+}

@@ -1,0 +1,114 @@
+//! Golden test: metrics are provably neutral to the §3.1 cost ledgers.
+//!
+//! The observability layer (kernel counters, machine counters, phase
+//! wall-clock timers) must never touch a `Comm` or a `Clocks` — enabling
+//! it cannot change a single byte of a solve's distances, its cost
+//! report, or a `paper_report` table. This test pins that: everything is
+//! rendered to text with metrics off, then again with the global registry
+//! enabled, and the two renderings must be identical.
+//!
+//! One process-global registry means the "off" and "on" runs must happen
+//! in a fixed order inside one test (Rust runs tests in one process).
+
+use sparse_apsp::bench::{table2_bandwidth, table2_latency, table2_memory, table2_sweep};
+use sparse_apsp::prelude::*;
+
+/// Renders the parts of an [`ApspRun`] the cost model owns.
+fn render_run(run: &ApspRun) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let r = &run.report;
+    let _ = writeln!(
+        s,
+        "L={} B={} C={} msgs={} words={} peak={}",
+        r.critical_latency(),
+        r.critical_bandwidth(),
+        r.critical_compute(),
+        r.total_messages(),
+        r.total_words(),
+        r.max_peak_words()
+    );
+    for (i, stats) in r.per_rank.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "rank {i}: {} {} {} {} {}",
+            stats.clocks.latency,
+            stats.clocks.bandwidth,
+            stats.clocks.compute,
+            stats.sent_messages,
+            stats.sent_words
+        );
+    }
+    let _ = writeln!(s, "levels={:?}", run.level_costs);
+    for i in 0..run.dist.n() {
+        for j in 0..run.dist.n() {
+            let _ = write!(s, "{};", run.dist.get(i, j).to_bits());
+        }
+    }
+    s
+}
+
+fn solve_and_render(g: &Csr) -> String {
+    render_run(&SparseApsp::with_height(2).run(g))
+}
+
+fn fw2d_render(g: &Csr) -> String {
+    let out = fw2d(g, 3);
+    format!(
+        "L={} B={} C={}",
+        out.report.critical_latency(),
+        out.report.critical_bandwidth(),
+        out.report.critical_compute()
+    )
+}
+
+fn paper_tables() -> String {
+    let points = table2_sweep(8, &[2]);
+    format!(
+        "{}\n{}\n{}",
+        table2_memory(&points).to_csv(),
+        table2_bandwidth(&points).to_csv(),
+        table2_latency(&points).to_csv()
+    )
+}
+
+#[test]
+fn enabling_metrics_leaves_every_ledger_byte_identical() {
+    let g = grid2d(8, 8, WeightKind::Unit, 0);
+
+    // pass 1: metrics off (counters still count — the enabled flag only
+    // gates the wall-clock timers, which is exactly what could perturb
+    // scheduling if it were done wrong)
+    assert!(
+        !sparse_apsp::metrics::is_enabled(),
+        "test must run before anything enables the global registry"
+    );
+    let off_sparse = solve_and_render(&g);
+    let off_fw2d = fw2d_render(&g);
+    let off_tables = paper_tables();
+
+    // pass 2: metrics on
+    sparse_apsp::metrics::enable();
+    let on_sparse = solve_and_render(&g);
+    let on_fw2d = fw2d_render(&g);
+    let on_tables = paper_tables();
+
+    assert_eq!(off_sparse, on_sparse, "sparse2d ledgers changed under metrics");
+    assert_eq!(off_fw2d, on_fw2d, "fw2d ledgers changed under metrics");
+    assert_eq!(off_tables, on_tables, "paper_report tables changed under metrics");
+
+    // and the runs actually hit the observability layer: phase timers
+    // recorded wall samples, kernel counters advanced
+    let snap = sparse_apsp::metrics::global().snapshot();
+    assert!(snap.counter_value("apsp_simnet_runs_total") > 0);
+    assert!(
+        snap.counter_value("apsp_minplus_gemm_ops_total")
+            + snap.counter_value("apsp_minplus_fw_ops_total")
+            > 0
+    );
+    let prom = sparse_apsp::metrics::prometheus_text(&snap);
+    assert!(
+        prom.contains("apsp_phase_wall_ns_count{phase=\"solve-sparse2d\"}"),
+        "enabled pass must record the solve phase timer"
+    );
+}
