@@ -92,7 +92,9 @@ pub fn mesh3d(side: usize) -> Workload {
 /// Deterministic dense `n × n` min-plus matrix: zero diagonal, LCG
 /// off-diagonal weights in `[0, 100)`. Same `(n, seed)` ⇒ same matrix.
 pub fn dense_minplus(n: usize, seed: u64) -> MinPlusMatrix {
-    let mut state = seed | 1;
+    // scramble the seed so adjacent seeds start far apart (`seed | 1`
+    // mapped 42 and 43 to the same stream)
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
     MinPlusMatrix::from_fn(n, n, |i, j| {
         if i == j {
             return 0.0;

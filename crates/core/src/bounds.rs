@@ -4,6 +4,8 @@
 //! All formulas are asymptotic; the functions below return the formula
 //! *bodies* (no hidden constants), which is what a scaling study plots.
 
+pub use apsp_verify::costcheck::{fit_loglog, LogLogFit};
+
 /// `log₂ p`, as a float, clamped to ≥ 1 so `log²p` terms never vanish for
 /// tiny `p`.
 pub fn log2p(p: usize) -> f64 {
@@ -114,6 +116,52 @@ pub fn separator_latency(p: usize) -> f64 {
     log2p(p)
 }
 
+/// 2D-DC-APSP per-process memory (Table 2): `n²/p`.
+pub fn dc_memory(n: usize, p: usize) -> f64 {
+    (n * n) as f64 / p as f64
+}
+
+/// Blocked 2D Floyd–Warshall bandwidth (§2): `n²·log p/√p` — one row and
+/// one column panel broadcast along each grid dimension per pivot block.
+pub fn fw2d_bandwidth(n: usize, p: usize) -> f64 {
+    (n * n) as f64 * log2p(p) / (p as f64).sqrt()
+}
+
+/// Blocked 2D Floyd–Warshall latency (§2): `√p·log p` — `√p` pivot
+/// rounds, each a pair of `O(log √p)` broadcasts.
+pub fn fw2d_latency(p: usize) -> f64 {
+    (p as f64).sqrt() * log2p(p)
+}
+
+/// Distributed Johnson bandwidth (§2): `(n + 2m)·log p` — the packed
+/// graph (CSR offsets + 2m weighted arcs) broadcast once; rows stay
+/// local afterwards.
+pub fn johnson_bandwidth(n: usize, m: usize, p: usize) -> f64 {
+    (n + 2 * m) as f64 * log2p(p)
+}
+
+/// Distributed Johnson latency: `log p` — a single broadcast tree.
+pub fn johnson_latency(p: usize) -> f64 {
+    log2p(p)
+}
+
+/// Distributed Johnson per-process memory: `n²/p + n + 2m` — the owned
+/// row block plus a full replicated graph.
+pub fn johnson_memory(n: usize, m: usize, p: usize) -> f64 {
+    (n * n) as f64 / p as f64 + (n + 2 * m) as f64
+}
+
+/// Inverts Theorem 5.10: given a *measured* critical-path bandwidth `b`
+/// for 2D-SPARSE-APSP on `(n, p)`, returns the separator size the bound
+/// would need to explain it — `√(max(0, b/log²p − n²/p))`. Overlaying
+/// this against the ordering's actual top separator turns a bandwidth
+/// regression into a statement in the paper's own vocabulary ("you are
+/// communicating as if |S| were 90, but the ordering found 14").
+pub fn implied_separator(bandwidth: f64, n: usize, p: usize) -> f64 {
+    let l2 = log2p(p) * log2p(p);
+    (bandwidth / l2 - (n * n) as f64 / p as f64).max(0.0).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +222,32 @@ mod tests {
         // a single supernode holding everything: F = n³ (classical FW)
         let layout = crate::SupernodalLayout::new(apsp_etree::SchedTree::new(1), vec![12]);
         assert_eq!(three_nl_operations(&layout), 12u128 * 12 * 12);
+    }
+
+    #[test]
+    fn implied_separator_inverts_the_bound() {
+        // b = sparse_bandwidth(n, p, s) must imply exactly s back
+        let (n, p, s) = (4096, 961, 64);
+        let b = sparse_bandwidth(n, p, s);
+        assert!((implied_separator(b, n, p) - s as f64).abs() < 1e-6);
+        // a bandwidth below the n²/p floor implies no separator at all
+        assert_eq!(implied_separator(0.0, n, p), 0.0);
+    }
+
+    #[test]
+    fn dense_and_johnson_forms_scale_as_documented() {
+        // fw2d bandwidth falls like 1/√p at fixed n — visible once √p
+        // outruns the log factor (at p ≤ 16 the two exactly cancel)
+        assert!(fw2d_bandwidth(64, 64) < fw2d_bandwidth(64, 4));
+        // fw2d latency grows with p; johnson latency only logarithmically
+        assert!(fw2d_latency(16) > fw2d_latency(4));
+        assert!(johnson_latency(1 << 20) <= 20.0);
+        // johnson bandwidth is graph-sized — for sparse graphs (m = O(n))
+        // it undercuts the dense n²-shaped bound once n dominates log p
+        assert!(johnson_bandwidth(1000, 3000, 16) < dc_bandwidth(1000, 16));
+        // dc memory is the n²/p lower bound body
+        assert_eq!(dc_memory(100, 4), lower_bound_memory(100, 4));
+        assert!(johnson_memory(100, 300, 4) > dc_memory(100, 4));
     }
 
     #[test]

@@ -453,6 +453,25 @@ pub fn dc_apsp_verify(
     )
 }
 
+/// Like [`dc_apsp`], additionally returning every rank's recorded comm
+/// script — the cost-model auditor's sampling hook (`apsp audit`):
+/// [`apsp_simnet::phase_totals`] reduces the scripts to per-phase
+/// (`summa`, `base-fw`) ledgers fitted against the Table 2 dense bounds.
+/// Recording never touches the §3.1 clocks, so the embedded report is
+/// byte-identical to a plain run's.
+pub fn dc_apsp_recorded(
+    g: &Csr,
+    n_grid: usize,
+    depth: u32,
+) -> (DcApspResult, Vec<Vec<apsp_simnet::CommEvent>>) {
+    let geo = Cyclic::new(g.n(), n_grid, depth);
+    let p = n_grid * n_grid;
+    let (tiles_raw, report, scripts) =
+        Machine::run_recorded(p, |comm| rank_program(comm, geo, depth, g))
+            .expect("fault-free recorded launch cannot fail");
+    (assemble(g, geo, tiles_raw, report), scripts)
+}
+
 /// Like [`dc_apsp`], under a deterministic fault plan: the run recovers
 /// (or fails loudly with a [`MachineError`]) and reports its fault history.
 pub fn dc_apsp_faulty(

@@ -102,6 +102,24 @@ pub fn distributed_johnson_verify(
     )
 }
 
+/// Like [`distributed_johnson`], additionally returning every rank's
+/// recorded comm script — the cost-model auditor's sampling hook
+/// (`apsp audit`). All communication is the single replication
+/// broadcast, so the scripts reduce to one `main` phase fitted against
+/// the `(n + 2m)·log p` replication bound. Recording never touches the
+/// §3.1 clocks, so the embedded report is byte-identical to a plain
+/// run's.
+pub fn distributed_johnson_recorded(
+    g: &Csr,
+    p: usize,
+) -> (DJohnsonResult, Vec<Vec<apsp_simnet::CommEvent>>) {
+    let (n, offsets, packed, group) = setup(g, p);
+    let (rows, report, scripts) =
+        Machine::run_recorded(p, |comm| rank_program(comm, &packed, &group, &offsets, n))
+            .expect("fault-free recorded launch cannot fail");
+    (assemble(n, &offsets, rows, report), scripts)
+}
+
 /// Like [`distributed_johnson`], under a deterministic fault plan: the
 /// replication broadcast recovers (or fails loudly with a
 /// [`MachineError`]) and the run reports its fault history.

@@ -105,7 +105,8 @@ impl NodeCtx<'_> {
                 owner_of.insert(v as usize, pos);
             }
         }
-        let my_pos = group.iter().position(|&r| r == comm.rank()).expect("in group");
+        let my_pos =
+            group.iter().position(|&r| r == comm.rank()).expect("every rank sits in its own group");
 
         // ---- step 1: local coarsening (no communication) ----
         let (sub, ids) = self.g.induced_subgraph(&my_verts);

@@ -256,6 +256,41 @@ impl SparseApsp {
         }
     }
 
+    /// Like [`SparseApsp::run`], additionally returning every rank's
+    /// recorded comm script — the cost-model auditor's sampling hook
+    /// (`apsp audit`). The ordering pipeline runs exactly as in `run`
+    /// (so [`ApspRun::ordering`] carries the real `|S|` the Table 2
+    /// forms need), but host-side ordering costs are *not* absorbed
+    /// into the report: the auditor fits the solve's communication
+    /// against Theorems 5.7/5.10, which bound the solve alone.
+    pub fn run_recorded(&self, g: &Csr) -> (ApspRun, Vec<Vec<apsp_simnet::CommEvent>>) {
+        assert!(
+            g.has_nonnegative_weights(),
+            "undirected APSP requires non-negative weights (a negative \
+             undirected edge is a negative cycle)"
+        );
+        let (nd, _) = self.ordering_for(g);
+        nd.validate(g).expect("ordering violates the §4.1 separation invariant");
+        let layout = SupernodalLayout::from_ordering(&nd);
+        let gp = g.permuted(&nd.perm);
+        let opts =
+            Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
+        let (result, scripts) = crate::sparse2d::sparse2d_recorded(&layout, &gp, &opts);
+        let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
+        let report = result.report.clone();
+        (
+            ApspRun {
+                dist,
+                report,
+                ordering: nd,
+                level_costs: result.level_costs(),
+                faults: None,
+                recovery: None,
+            },
+            scripts,
+        )
+    }
+
     /// Verifies the configured pipeline's communication schedule for `g`
     /// without running the plain solve: the ordering and layout are
     /// computed exactly as in [`SparseApsp::run`], then the schedule is

@@ -219,6 +219,22 @@ pub fn fw2d_verify(
     )
 }
 
+/// Like [`fw2d`], additionally returning every rank's recorded comm
+/// script — the cost-model auditor's sampling hook (`apsp audit`):
+/// [`apsp_simnet::phase_totals`] reduces the scripts to per-phase
+/// (`pivot`) ledgers fitted against the §2 dense bounds. Recording never
+/// touches the §3.1 clocks, so the embedded report is byte-identical to
+/// a plain run's.
+pub fn fw2d_recorded(g: &Csr, n_grid: usize) -> (Fw2dResult, Vec<Vec<apsp_simnet::CommEvent>>) {
+    assert!(n_grid >= 1);
+    let grid = Grid::new(g.n(), n_grid);
+    let p = n_grid * n_grid;
+    let (blocks_raw, report, scripts) =
+        Machine::run_recorded(p, |comm| rank_program(comm, &grid, g))
+            .expect("fault-free recorded launch cannot fail");
+    (assemble(g, &grid, blocks_raw, report), scripts)
+}
+
 /// Like [`fw2d`], under a deterministic fault plan: the run recovers (or
 /// fails loudly with a [`MachineError`]) and reports its fault history.
 pub fn fw2d_faulty(

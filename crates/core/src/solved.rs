@@ -259,9 +259,9 @@ impl SolvedApsp {
         // reconstruct an aggregate bill on rank 0
         let mut report =
             RunReport { per_rank: vec![Default::default(); layout.p()], profile: None };
-        report.per_rank[0].clocks.latency = bill[0];
-        report.per_rank[0].clocks.bandwidth = bill[1];
-        report.per_rank[0].clocks.compute = bill[2];
+        report.per_rank[0].clocks.latency = bill[0]; // audit:allow(ledger-mutation)
+        report.per_rank[0].clocks.bandwidth = bill[1]; // audit:allow(ledger-mutation)
+        report.per_rank[0].clocks.compute = bill[2]; // audit:allow(ledger-mutation)
         report.per_rank[0].sent_messages = bill[3];
         report.per_rank[0].sent_words = bill[4];
         report.per_rank[0].peak_words = bill[5];

@@ -974,6 +974,26 @@ pub fn sparse2d_verify(
     )
 }
 
+/// Like [`sparse2d_with`], additionally returning every rank's recorded
+/// comm script — the cost-model auditor's sampling hook (`apsp audit`):
+/// [`apsp_simnet::phase_totals`] turns the scripts into per-phase
+/// (`level`, `r1`–`r4`) ledgers whose growth exponents are fitted
+/// against Theorems 5.7/5.10. Recording never touches the §3.1 clocks,
+/// so the embedded report is byte-identical to a plain run's.
+pub fn sparse2d_recorded(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+) -> (Sparse2dResult, Vec<Vec<apsp_simnet::CommEvent>>) {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let p = layout.p();
+    let (outputs, report, scripts) =
+        Machine::run_recorded(p, |comm| rank_program(comm, layout, &init, opts, false))
+            .expect("fault-free recorded launch cannot fail");
+    (assemble(layout, outputs, report), scripts)
+}
+
 /// Like [`sparse2d_with`], under a deterministic fault plan: the schedule
 /// recovers (or fails loudly with a [`MachineError`]) and the run reports
 /// its fault history alongside the result.

@@ -28,7 +28,7 @@ impl Csr {
     /// [`Csr::validate`] for a full audit.
     pub fn from_raw(xadj: Vec<usize>, adj: Vec<u32>, weights: Vec<Weight>) -> Self {
         assert!(!xadj.is_empty(), "xadj must hold n+1 offsets");
-        assert_eq!(*xadj.last().unwrap(), adj.len(), "xadj/adj mismatch");
+        assert_eq!(xadj[xadj.len() - 1], adj.len(), "xadj/adj mismatch");
         assert_eq!(adj.len(), weights.len(), "adj/weights mismatch");
         assert!(xadj.windows(2).all(|w| w[0] <= w[1]), "xadj not monotone");
         Csr { xadj, adj, weights }

@@ -17,9 +17,11 @@ impl Blocking {
     /// they arise from empty separators).
     pub fn new(sizes: Vec<usize>) -> Self {
         let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0usize;
         offsets.push(0);
         for &s in &sizes {
-            offsets.push(offsets.last().unwrap() + s);
+            acc += s;
+            offsets.push(acc);
         }
         Blocking { sizes, offsets }
     }
@@ -67,7 +69,7 @@ impl Blocking {
     /// Total element count.
     #[inline]
     pub fn total(&self) -> usize {
-        *self.offsets.last().unwrap()
+        self.offsets[self.offsets.len() - 1]
     }
 
     /// Block containing element `idx`.

@@ -36,9 +36,11 @@ impl NdOrdering {
     /// final sentinel entry.
     pub fn offsets(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.supernode_sizes.len() + 1);
+        let mut acc = 0usize;
         out.push(0);
         for &s in &self.supernode_sizes {
-            out.push(out.last().unwrap() + s);
+            acc += s;
+            out.push(acc);
         }
         out
     }
@@ -46,7 +48,7 @@ impl NdOrdering {
     /// The supernode label owning new vertex index `idx`.
     pub fn supernode_of_new(&self, idx: usize) -> usize {
         let offsets = self.offsets();
-        debug_assert!(idx < *offsets.last().unwrap());
+        debug_assert!(idx < offsets[offsets.len() - 1]);
         // label = position of the last offset ≤ idx
         match offsets.binary_search(&idx) {
             Ok(mut k) => {

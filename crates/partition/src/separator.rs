@@ -27,10 +27,11 @@ fn max_bipartite_matching(left_n: usize, right_n: usize, adj: &[Vec<usize>]) -> 
                 continue;
             }
             visited_r[r] = true;
-            let taken_by = match_r[r];
-            if taken_by.is_none()
-                || try_augment(taken_by.unwrap(), adj, match_l, match_r, visited_r)
-            {
+            let freed = match match_r[r] {
+                None => true,
+                Some(taken_by) => try_augment(taken_by, adj, match_l, match_r, visited_r),
+            };
+            if freed {
                 match_l[l] = Some(r);
                 match_r[r] = Some(l);
                 return true;

@@ -69,7 +69,7 @@ pub use recovery::{
 };
 pub use report::{Clocks, RankStats, RunReport};
 pub use sched::{ChoicePoint, DeadlockError, Governor, WaitEdge};
-pub use script::{CollectiveKind, CommEvent, ScriptBoard};
+pub use script::{phase_totals, CollectiveKind, CommEvent, PhaseTotals, ScriptBoard};
 pub use trace::{
     CommMatrix, PhaseBreakdown, PhaseRow, Profile, RankProfile, SpanLedger, SpanRecord,
     SpanSnapshot, TimeModel,

@@ -1,0 +1,39 @@
+//! Seeded forbidden-pattern fixture for the source auditor
+//! (`apsp-verify::srclint`). NOT compiled — linted from
+//! `srclint::lint_bad_fixture` under the virtual path
+//! `crates/core/src/badsource.rs`, so every rule is in scope.
+//!
+//! The file reads like a plausible "optimized" solver variant that
+//! commits every sanctioned-layer bypass at once: it times itself with
+//! wall clocks, spins up raw threads behind `Comm`'s back, edits its own
+//! cost bill, and panics casually. Each marked line must trip exactly
+//! the rule named beside it (asserted by `tests/audit_golden.rs`); if a
+//! rule stops firing here, the linter is broken, not the fixture.
+
+use std::time::{Instant, SystemTime};
+
+/// A "fast path" that measures itself with wall time instead of the
+/// §3.1 model.
+pub fn timed_exchange(comm: &mut Comm, block: &[f64]) -> f64 {
+    let t0 = Instant::now(); // rule: wall-clock
+    let _epoch = SystemTime::now(); // rule: wall-clock
+    let peers: Vec<usize> = (0..comm.size()).collect();
+    let (tx, rx) = std::sync::mpsc::channel(); // rule: raw-thread
+    for peer in peers {
+        let tx = tx.clone();
+        let chunk = block.to_vec();
+        std::thread::spawn(move || tx.send((peer, chunk))); // rule: raw-thread
+    }
+    let (_, first) = rx.recv().unwrap(); // rule: unwrap
+    let best = first.first().copied().expect("nonempty"); // rule: unwrap (8-char message)
+    println!("exchange finished in {:?}", t0.elapsed()); // rule: stdout-print
+    best
+}
+
+/// "Corrects" the bill after the fact so the envelope tests pass.
+pub fn discount_bill(report: &mut RunReport) {
+    for rank in &mut report.per_rank {
+        rank.clocks.latency = 0; // rule: ledger-mutation
+        rank.clocks.bandwidth = rank.clocks.bandwidth / 2; // rule: ledger-mutation
+    }
+}

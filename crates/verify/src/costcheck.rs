@@ -1,0 +1,437 @@
+//! Static cost-model auditor — executable Theorems 5.7/5.10 and Table 2.
+//!
+//! The dynamic envelope tests (`tests/cost_claims.rs`) assert fixed
+//! constants at one problem size, so they cannot tell a constant-factor
+//! change from an asymptotic regression. This module fits **growth
+//! exponents** instead: a recorded run's §3.1 ledgers are sampled over a
+//! deterministic `(n, p, |S|)` grid, each sweep is reduced to a log-log
+//! least-squares slope, and the measured slope is compared against the
+//! slope of the paper's closed-form bound *over the same grid*. A solver
+//! conforms when, for every metric and phase, the measured exponent does
+//! not exceed the bound's exponent beyond a pinned tolerance — no magic
+//! constants, and a bound that *shrinks* along a sweep (e.g. bandwidth
+//! `n²/√p` in a `p`-sweep) forces the measurement to shrink too.
+//!
+//! The module is deliberately solver-agnostic: callers (the root crate's
+//! `audit` module, which can see both the solvers and
+//! `apsp_core::bounds`) supply observations and bound closures; this
+//! module owns fitting, verdicts, and rendering.
+
+use apsp_simnet::script::{phase_totals, CommEvent, PhaseTotals};
+use apsp_simnet::RunReport;
+
+/// Which §3.1 ledger a conformance check audits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Metric {
+    /// Critical-path message count vs the latency bound `L`.
+    Latency,
+    /// Critical-path word count vs the bandwidth bound `B`.
+    Bandwidth,
+    /// Maximum per-rank peak live words vs the memory bound `M`.
+    Memory,
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Metric::Latency => "latency",
+            Metric::Bandwidth => "bandwidth",
+            Metric::Memory => "memory",
+        })
+    }
+}
+
+/// One grid point's measured ledgers, extracted from a recorded run.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// Vertex count.
+    pub n: usize,
+    /// Rank count.
+    pub p: usize,
+    /// Top separator size (`0` when the solver has no separator notion).
+    pub s: usize,
+    /// Critical-path latency (messages) from the run report.
+    pub latency: u64,
+    /// Critical-path bandwidth (words) from the run report.
+    pub bandwidth: u64,
+    /// Maximum per-rank peak live words from the run report.
+    pub memory: u64,
+    /// Per-phase send totals from the comm scripts (see
+    /// [`apsp_simnet::phase_totals`]).
+    pub phases: Vec<PhaseTotals>,
+}
+
+impl Observation {
+    /// Builds an observation from a recorded run's report and scripts.
+    pub fn from_run(
+        n: usize,
+        p: usize,
+        s: usize,
+        report: &RunReport,
+        scripts: &[Vec<CommEvent>],
+    ) -> Self {
+        Observation {
+            n,
+            p,
+            s,
+            latency: report.critical_latency(),
+            bandwidth: report.critical_bandwidth(),
+            memory: report.max_peak_words(),
+            phases: phase_totals(scripts),
+        }
+    }
+
+    /// The phase-local bandwidth proxy: max over ranks of words sent
+    /// inside `phase` (`0` when the phase never appeared).
+    pub fn phase_words(&self, phase: &str) -> u64 {
+        self.phases.iter().find(|t| t.phase == phase).map_or(0, |t| t.max_words)
+    }
+
+    /// The phase-local latency proxy: max over ranks of messages sent
+    /// inside `phase` (`0` when the phase never appeared).
+    pub fn phase_messages(&self, phase: &str) -> u64 {
+        self.phases.iter().find(|t| t.phase == phase).map_or(0, |t| t.max_messages)
+    }
+}
+
+/// A least-squares line through `(ln t, ln v)` points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogLogFit {
+    /// The fitted exponent: `v ~ t^slope`.
+    pub slope: f64,
+    /// Intercept in log space (`ln` of the fitted constant).
+    pub intercept: f64,
+    /// Coefficient of determination of the log-space fit.
+    pub r2: f64,
+}
+
+/// Fits `v ~ t^slope` by least squares on `(ln t, ln max(v, 1))`.
+/// Returns `None` with fewer than two distinct positive `t` values —
+/// a sweep that cannot support an exponent estimate.
+pub fn fit_loglog(points: &[(f64, f64)]) -> Option<LogLogFit> {
+    let logs: Vec<(f64, f64)> =
+        points.iter().filter(|&&(t, _)| t > 0.0).map(|&(t, v)| (t.ln(), v.max(1.0).ln())).collect();
+    let k = logs.len() as f64;
+    if logs.len() < 2 {
+        return None;
+    }
+    let mean_x = logs.iter().map(|&(x, _)| x).sum::<f64>() / k;
+    let mean_y = logs.iter().map(|&(_, y)| y).sum::<f64>() / k;
+    let var_x: f64 = logs.iter().map(|&(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    if var_x < 1e-12 {
+        return None;
+    }
+    let cov: f64 = logs.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = cov / var_x;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = logs.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LogLogFit { slope, intercept, r2 })
+}
+
+/// One conformance verdict: a `(solver, metric, phase)` ledger fitted
+/// along one sweep and compared against the paper's bound fitted over
+/// the *same* grid.
+#[derive(Clone, Debug)]
+pub struct Conformance {
+    /// Solver name (`sparse2d`, `fw2d`, `dcapsp`, `djohnson`, …).
+    pub solver: String,
+    /// Audited ledger.
+    pub metric: Metric,
+    /// Phase name, or `"total"` for the whole-run critical path.
+    pub phase: String,
+    /// The sweep variable (`"n"` or `"p"`).
+    pub sweep: String,
+    /// Human form of the closed-form bound (e.g. `n²log²p/p + |S|²log²p`).
+    pub bound_desc: String,
+    /// Pinned slack on the exponent comparison.
+    pub tolerance: f64,
+    /// Fit of the measured ledger along the sweep.
+    pub measured: LogLogFit,
+    /// Fit of the bound body along the same sweep.
+    pub bound: LogLogFit,
+    /// The raw `(t, measured, bound)` samples behind the fits.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl Conformance {
+    /// `true` when the measured exponent stays within tolerance of the
+    /// bound's exponent.
+    pub fn pass(&self) -> bool {
+        self.measured.slope <= self.bound.slope + self.tolerance
+    }
+
+    /// How far the measured exponent exceeds the allowed one (≤ 0 when
+    /// passing).
+    pub fn excess(&self) -> f64 {
+        self.measured.slope - self.bound.slope - self.tolerance
+    }
+}
+
+impl std::fmt::Display for Conformance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<9} {:<9} {:<10} {}-sweep  measured ~ {}^{:+.2}  bound ~ {}^{:+.2}  [{}]  {}",
+            self.solver,
+            self.metric,
+            self.phase,
+            self.sweep,
+            self.sweep,
+            self.measured.slope,
+            self.sweep,
+            self.bound.slope,
+            self.bound_desc,
+            if self.pass() { "ok" } else { "VIOLATION" },
+        )?;
+        if !self.pass() {
+            write!(
+                f,
+                " (exceeds bound exponent by {:.2} beyond tol {:.2})",
+                self.excess(),
+                self.tolerance
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Fits one conformance check. `measured` and `bound` map an observation
+/// to the ledger value and the closed-form body; `sweep_var` extracts the
+/// sweep variable. Returns `None` when the sweep cannot support a fit
+/// (fewer than two distinct sweep values) — callers should treat that as
+/// a grid-construction bug, not a pass.
+#[allow(clippy::too_many_arguments)]
+pub fn fit_conformance(
+    solver: &str,
+    metric: Metric,
+    phase: &str,
+    sweep: &str,
+    bound_desc: &str,
+    tolerance: f64,
+    obs: &[Observation],
+    sweep_var: impl Fn(&Observation) -> f64,
+    measured: impl Fn(&Observation) -> f64,
+    bound: impl Fn(&Observation) -> f64,
+) -> Option<Conformance> {
+    let points: Vec<(f64, f64, f64)> =
+        obs.iter().map(|o| (sweep_var(o), measured(o), bound(o))).collect();
+    let m_fit = fit_loglog(&points.iter().map(|&(t, m, _)| (t, m)).collect::<Vec<_>>())?;
+    let b_fit = fit_loglog(&points.iter().map(|&(t, _, b)| (t, b)).collect::<Vec<_>>())?;
+    Some(Conformance {
+        solver: solver.to_string(),
+        metric,
+        phase: phase.to_string(),
+        sweep: sweep.to_string(),
+        bound_desc: bound_desc.to_string(),
+        tolerance,
+        measured: m_fit,
+        bound: b_fit,
+        points,
+    })
+}
+
+/// The auditor's full verdict: every conformance check it ran.
+#[derive(Clone, Debug, Default)]
+pub struct CostReport {
+    /// All checks, in deterministic (solver, metric, phase, sweep) order.
+    pub checks: Vec<Conformance>,
+}
+
+impl CostReport {
+    /// `true` when every check passed.
+    pub fn is_clean(&self) -> bool {
+        self.checks.iter().all(Conformance::pass)
+    }
+
+    /// The failing checks, worst excess first.
+    pub fn failures(&self) -> Vec<&Conformance> {
+        let mut out: Vec<&Conformance> = self.checks.iter().filter(|c| !c.pass()).collect();
+        out.sort_by(|a, b| b.excess().total_cmp(&a.excess()));
+        out
+    }
+
+    /// Human-readable multi-line report (what `apsp audit` prints).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let failures = self.failures();
+        if failures.is_empty() {
+            let _ = writeln!(
+                out,
+                "cost audit: CLEAN — {} conformance check(s), all exponents within tolerance",
+                self.checks.len()
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "cost audit: FAILED — {} of {} conformance check(s) exceed the paper's bound",
+                failures.len(),
+                self.checks.len()
+            );
+        }
+        for c in &self.checks {
+            let _ = writeln!(out, "  {c}");
+        }
+        out
+    }
+
+    /// Machine-readable JSON form (what `apsp audit --json` prints).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"clean\":");
+        let _ = write!(out, "{},\"checks\":[", self.is_clean());
+        for (i, c) in self.checks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"solver\":{},\"metric\":\"{}\",\"phase\":{},\"sweep\":{},\
+                 \"bound\":{},\"tolerance\":{},\"measured_exponent\":{:.4},\
+                 \"bound_exponent\":{:.4},\"r2\":{:.4},\"pass\":{}}}",
+                json_str(&c.solver),
+                c.metric,
+                json_str(&c.phase),
+                json_str(&c.sweep),
+                json_str(&c.bound_desc),
+                c.tolerance,
+                c.measured.slope,
+                c.bound.slope,
+                c.measured.r2,
+                c.pass()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_power_laws() {
+        // v = 3·t²
+        let pts: Vec<(f64, f64)> =
+            [2.0, 4.0, 8.0, 16.0].iter().map(|&t| (t, 3.0 * t * t)).collect();
+        let fit = fit_loglog(&pts).expect("fit");
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+        assert!((fit.intercept - 3.0f64.ln()).abs() < 1e-9);
+        assert!(fit.r2 > 0.999999);
+    }
+
+    #[test]
+    fn fit_clamps_zeros_and_rejects_degenerate_sweeps() {
+        // zero measurements clamp to 1 word rather than -inf
+        let fit = fit_loglog(&[(2.0, 0.0), (4.0, 0.0)]).expect("fit");
+        assert_eq!(fit.slope, 0.0);
+        // a single sweep value cannot support an exponent
+        assert!(fit_loglog(&[(4.0, 10.0)]).is_none());
+        assert!(fit_loglog(&[(4.0, 10.0), (4.0, 20.0)]).is_none());
+        assert!(fit_loglog(&[]).is_none());
+    }
+
+    fn obs(n: usize, p: usize, bw: u64) -> Observation {
+        Observation { n, p, s: 0, latency: 1, bandwidth: bw, memory: 1, phases: Vec::new() }
+    }
+
+    #[test]
+    fn shrinking_bound_catches_flat_measurement() {
+        // bound n²/√p falls along a p-sweep; a measurement that stays flat
+        // (a solver that stopped scaling) must FAIL even though it never
+        // exceeds the bound's *value* on this grid
+        let grid = [obs(64, 4, 5000), obs(64, 9, 5000), obs(64, 16, 5000)];
+        let c = fit_conformance(
+            "toy",
+            Metric::Bandwidth,
+            "total",
+            "p",
+            "n²/√p",
+            0.25,
+            &grid,
+            |o| o.p as f64,
+            |o| o.bandwidth as f64,
+            |o| (o.n * o.n) as f64 / (o.p as f64).sqrt(),
+        )
+        .expect("conformance");
+        assert!((c.measured.slope - 0.0).abs() < 1e-9);
+        assert!((c.bound.slope - (-0.5)).abs() < 1e-9);
+        assert!(!c.pass(), "flat measurement against a shrinking bound must fail");
+        assert!(c.excess() > 0.0);
+    }
+
+    #[test]
+    fn conforming_measurement_passes_and_renders() {
+        let grid = [obs(16, 4, 300), obs(32, 4, 1200), obs(64, 4, 4800)];
+        let c = fit_conformance(
+            "toy",
+            Metric::Bandwidth,
+            "total",
+            "n",
+            "n²/√p",
+            0.25,
+            &grid,
+            |o| o.n as f64,
+            |o| o.bandwidth as f64,
+            |o| (o.n * o.n) as f64 / (o.p as f64).sqrt(),
+        )
+        .expect("conformance");
+        assert!(c.pass());
+        let report = CostReport { checks: vec![c] };
+        assert!(report.is_clean());
+        assert!(report.render().contains("CLEAN"));
+        let json = report.to_json();
+        assert!(json.contains("\"clean\":true"));
+        assert!(json.contains("\"measured_exponent\""));
+    }
+
+    #[test]
+    fn report_orders_failures_by_excess() {
+        let mk = |slope: f64| Conformance {
+            solver: "toy".into(),
+            metric: Metric::Latency,
+            phase: "total".into(),
+            sweep: "p".into(),
+            bound_desc: "log²p".into(),
+            tolerance: 0.1,
+            measured: LogLogFit { slope, intercept: 0.0, r2: 1.0 },
+            bound: LogLogFit { slope: 0.5, intercept: 0.0, r2: 1.0 },
+            points: Vec::new(),
+        };
+        let report = CostReport { checks: vec![mk(1.0), mk(2.0), mk(0.4)] };
+        let failures = report.failures();
+        assert_eq!(failures.len(), 2);
+        assert!(failures[0].measured.slope > failures[1].measured.slope);
+        assert!(report.render().contains("VIOLATION"));
+        assert!(report.to_json().contains("\"clean\":false"));
+    }
+}

@@ -51,6 +51,56 @@ pub fn bad_fixture(comm: &mut Comm) -> Vec<f64> {
     }
 }
 
+/// A deliberately **over-communicating** exchange: the seeded regression
+/// fixture for the cost-model auditor (`costcheck`). Each rank owns an
+/// `n²/p`-word block and, for `√p` rounds, sends the whole block to every
+/// peer point-to-point — no tree, no separator awareness — and holds all
+/// `p − 1` received copies live before folding them.
+///
+/// Per rank that costs `~√p·(p−1)` messages (vs the sparse latency bound
+/// `log²p`), `~√p·n²` words (vs bandwidth `n²log²p/p`, which *falls*
+/// with `p`), and `~n²` resident words (vs memory `n²/p`) — so every
+/// fitted `p`-sweep exponent exceeds its Table 2 bound and the auditor
+/// must reject it. It is protocol-clean (every send matched, no tag
+/// reuse, spans balanced): only the *cost* audit can catch it.
+///
+/// Returns each rank's folded block.
+pub fn flood_exchange(comm: &mut Comm, n: usize) -> Vec<f64> {
+    let p = comm.p();
+    let words = (n * n / p).max(1);
+    let mut block = vec![comm.rank() as f64; words];
+    comm.alloc(words);
+    let rounds = (p as f64).sqrt().ceil() as u64;
+    let mut flood = comm.span("flood", 0x40);
+    for round in 0..rounds {
+        let tag = 0x40 + round;
+        for peer in 0..p {
+            if peer != flood.rank() {
+                flood.send(peer, tag, block.clone());
+            }
+        }
+        let mut inbox = Vec::with_capacity(p - 1);
+        for peer in 0..p {
+            if peer != flood.rank() {
+                let got = flood.recv(peer, tag);
+                flood.alloc(got.len());
+                inbox.push(got);
+            }
+        }
+        for got in &inbox {
+            for (mine, theirs) in block.iter_mut().zip(got) {
+                *mine = mine.min(*theirs);
+            }
+            flood.compute(words as u64);
+        }
+        for got in inbox {
+            flood.release(got.len());
+        }
+    }
+    drop(flood);
+    block
+}
+
 /// An order-sensitive 4-rank program: rank 0 folds wildcard arrivals
 /// ([`Comm::recv_any`]) into an order-dependent accumulator, so different
 /// delivery schedules produce different outputs — the nondeterminism the

@@ -25,15 +25,24 @@
 //! Recording and governing never touch the §3.1 cost clocks: a verified
 //! program's subsequent plain run is byte-identical to one that was never
 //! verified.
+//!
+//! A third, fully static layer — the **cost-model auditor** — lives in
+//! [`costcheck`] (growth-exponent fits of recorded ledgers against the
+//! paper's Table 2 closed forms) and [`srclint`] (a repo-invariant source
+//! linter); both back the `apsp audit` CLI subcommand.
 
+pub mod costcheck;
 pub mod explore;
 pub mod fixture;
 pub mod lint;
+pub mod srclint;
 pub mod violation;
 
+pub use costcheck::{fit_conformance, fit_loglog, Conformance, CostReport, LogLogFit, Observation};
 pub use explore::MAX_EXPLORE_P;
-pub use fixture::{bad_fixture, racy_fixture};
+pub use fixture::{bad_fixture, flood_exchange, racy_fixture};
 pub use lint::lint_scripts;
+pub use srclint::{lint_bad_fixture, lint_sources, SrcReport, SrcViolation};
 pub use violation::Violation;
 
 use apsp_simnet::{Comm, Machine, MachineError, RunReport};

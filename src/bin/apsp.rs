@@ -536,6 +536,8 @@ USAGE:
                 [--height H] [--n-grid N] [--depth D]
                 [--no-explore] [--max-schedules N]
                 [--sequential-r4] [--compress-empty]
+  apsp audit    [--json] [--tolerance F] [--max-p N]
+                [--skip-cost] [--skip-src] [--root DIR] [--fixture cost|src]
   apsp info     --input FILE [--height H]   (graph statistics + separator probe)
   apsp help
 
@@ -600,7 +602,20 @@ nondeterminism, shrinking any hit to a minimal counterexample schedule
 that replays bit-identically. Exit 0 = clean, 1 = violations (printed).
 --n-grid sets the grid side directly for fw2d/dcapsp/djohnson (default
 (2^H - 1)); --algorithm bad-fixture runs the seeded-bad demo program.
-Recording is zero-cost: a verified schedule's solve is byte-identical.";
+Recording is zero-cost: a verified schedule's solve is byte-identical.
+
+Static audit: `apsp audit` is the asymptotic gate the envelope tests
+cannot be — it records every solver over a deterministic (n, p, |S|)
+grid (each sample oracle-verified), fits growth exponents by log-log
+regression, and fails (exit 1) when a fitted exponent exceeds the
+paper's Table 2 / Theorem 5.7/5.10 bound by more than --tolerance
+(default 0.25); it then lints crates/*/src for repo invariants (no wall
+clocks outside the metrics timer, no cost-ledger mutation outside the
+simnet machine, no raw threads in solver crates, no unwrap()/short
+expect() outside tests, no println! in libraries; deliberate exceptions
+carry an `// audit:allow(rule)` marker). --fixture cost|src runs the
+seeded regression fixtures, which must exit 1 — proof both layers fire.
+--json emits the machine-readable report. See docs/VERIFICATION.md.";
 
 /// `apsp verify` — the protocol verifier (static comm-script lint +
 /// deterministic schedule explorer; see `docs/VERIFICATION.md`). Exits 0
@@ -649,6 +664,80 @@ fn cmd_verify(args: &Args) {
     }
 }
 
+/// `apsp audit` — the static cost-model auditor (growth-exponent fits of
+/// recorded ledgers against Table 2) plus the repo-invariant source
+/// linter; see `docs/VERIFICATION.md`. Exits 0 when both layers are
+/// clean, 1 with a readable per-phase / per-file report otherwise.
+fn cmd_audit(args: &Args) {
+    use sparse_apsp::audit::{audit_cost_model, audit_flood_fixture, AuditOptions};
+    let json = args.flag("--json");
+    let opts = AuditOptions {
+        tolerance: args.num("--tolerance", AuditOptions::DEFAULT_TOLERANCE),
+        max_p: args.num("--max-p", AuditOptions::default().max_p),
+    };
+    if let Some(which) = args.opt("--fixture") {
+        // seeded regression fixtures: each must FAIL (exit 1) — CI proof
+        // that both audit layers can actually fire
+        let clean = match which {
+            "cost" => {
+                let report = audit_flood_fixture(opts.tolerance);
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render());
+                }
+                report.is_clean()
+            }
+            "src" => {
+                let report = sparse_apsp::verify::SrcReport {
+                    files_scanned: 1,
+                    allowed: 0,
+                    violations: sparse_apsp::verify::lint_bad_fixture(),
+                };
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render());
+                }
+                report.is_clean()
+            }
+            other => die(&format!("unknown fixture {other} (expected cost or src)")),
+        };
+        if !clean {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let root = std::path::Path::new(args.opt("--root").unwrap_or("."));
+    let mut clean = true;
+    let mut json_parts = Vec::new();
+    if !args.flag("--skip-src") {
+        let report = sparse_apsp::verify::lint_sources(root)
+            .unwrap_or_else(|e| die(&format!("cannot walk {}: {e}", root.display())));
+        clean &= report.is_clean();
+        if json {
+            json_parts.push(format!("\"source\":{}", report.to_json()));
+        } else {
+            print!("{}", report.render());
+        }
+    }
+    if !args.flag("--skip-cost") {
+        let report = audit_cost_model(&opts);
+        clean &= report.is_clean();
+        if json {
+            json_parts.push(format!("\"cost\":{}", report.to_json()));
+        } else {
+            print!("{}", report.render());
+        }
+    }
+    if json {
+        println!("{{{}}}", json_parts.join(","));
+    }
+    if !clean {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_info(args: &Args) {
     let g = load_graph(args.get("--input"));
     print!("{}", sparse_apsp::graph::stats::graph_stats(&g));
@@ -671,6 +760,7 @@ fn main() {
         "solve" => cmd_solve(&args),
         "path" => cmd_path(&args),
         "verify" => cmd_verify(&args),
+        "audit" => cmd_audit(&args),
         "bench" => cmd_bench(&args),
         "info" => cmd_info(&args),
         "help" | "--help" | "-h" => println!("{HELP}"),

@@ -44,6 +44,8 @@
 //! | [`metrics`] | host-side metrics registry (counters, histograms, phase timers) |
 //! | [`bench`] | experiment runners, `apsp bench` workload matrix |
 
+pub mod audit;
+
 pub use apsp_bench as bench;
 pub use apsp_core as core;
 pub use apsp_etree as etree;

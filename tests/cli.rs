@@ -676,3 +676,40 @@ fn bench_quick_writes_schema_versioned_json_and_compares() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("schema mismatch"));
 }
+
+#[test]
+fn audit_cli_is_clean_and_speaks_json() {
+    let out = apsp()
+        .args(["audit", "--max-p", "16", "--root", env!("CARGO_MANIFEST_DIR")])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("source audit: CLEAN"), "{text}");
+    assert!(text.contains("cost audit: CLEAN"), "{text}");
+
+    let out = apsp()
+        .args(["audit", "--json", "--skip-cost", "--root", env!("CARGO_MANIFEST_DIR")])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    json::validate(text.trim()).unwrap_or_else(|at| panic!("bad JSON at byte {at}: {text}"));
+    assert!(text.contains("\"clean\":true"), "{text}");
+}
+
+#[test]
+fn audit_cli_rejects_both_seeded_fixtures() {
+    let out = apsp().args(["audit", "--fixture", "cost"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "flood fixture must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("VIOLATION") && text.contains("flood-fixture"), "{text}");
+
+    let out = apsp().args(["audit", "--fixture", "src"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "source fixture must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("badsource.rs") && text.contains("[wall-clock]"), "{text}");
+
+    let out = apsp().args(["audit", "--fixture", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+}
