@@ -21,10 +21,10 @@
 
 use crate::jsonio::{self, Json};
 use crate::workloads::{self, Workload};
-use apsp_core::dcapsp::dc_apsp;
-use apsp_core::djohnson::distributed_johnson;
-use apsp_core::fw2d::fw2d;
-use apsp_core::SparseApsp;
+use apsp_core::dcapsp::{dc_apsp, dc_apsp_native};
+use apsp_core::djohnson::{distributed_johnson, distributed_johnson_native};
+use apsp_core::fw2d::{fw2d, fw2d_native};
+use apsp_core::{Backend, SparseApsp, SparseApspConfig};
 use apsp_graph::{oracle, Csr, DenseDist};
 use apsp_simnet::RunReport;
 use std::fmt::Write as _;
@@ -97,6 +97,9 @@ pub struct BenchSuite {
     pub label: String,
     /// `true` = the quick matrix, `false` = the full matrix.
     pub quick: bool,
+    /// Execution backend the suite ran on (`"sim"` or `"native"`; sim
+    /// baselines predating the field parse back as `"sim"`).
+    pub backend: String,
     /// Measured cells.
     pub cases: Vec<BenchCase>,
 }
@@ -125,26 +128,39 @@ pub fn full_specs() -> Vec<CaseSpec> {
     specs
 }
 
-fn solve_once(g: &Csr, solver: &str, height: u32) -> (DenseDist, RunReport) {
+fn solve_once(g: &Csr, solver: &str, height: u32, backend: Backend) -> (DenseDist, RunReport) {
     let n_grid = (1usize << height) - 1;
-    match solver {
-        "sparse2d" => {
-            let run = SparseApsp::with_height(height).run(g);
+    match (solver, backend) {
+        ("sparse2d", _) => {
+            let config = SparseApspConfig { height, backend, ..Default::default() };
+            let run = SparseApsp::new(config).run(g);
             (run.dist, run.report)
         }
-        "fw2d" => {
+        ("fw2d", Backend::Sim) => {
             let out = fw2d(g, n_grid);
             (out.dist, out.report)
         }
-        "dcapsp" => {
+        ("fw2d", Backend::Native) => {
+            let out = fw2d_native(g, n_grid);
+            (out.dist, out.report)
+        }
+        ("dcapsp", Backend::Sim) => {
             let out = dc_apsp(g, n_grid, 1);
             (out.dist, out.report)
         }
-        "djohnson" => {
+        ("dcapsp", Backend::Native) => {
+            let out = dc_apsp_native(g, n_grid, 1);
+            (out.dist, out.report)
+        }
+        ("djohnson", Backend::Sim) => {
             let out = distributed_johnson(g, n_grid * n_grid);
             (out.dist, out.report)
         }
-        other => panic!("unknown bench solver {other}"),
+        ("djohnson", Backend::Native) => {
+            let out = distributed_johnson_native(g, n_grid * n_grid);
+            (out.dist, out.report)
+        }
+        (other, _) => panic!("unknown bench solver {other}"),
     }
 }
 
@@ -155,10 +171,10 @@ fn counter_values() -> Vec<u64> {
 
 /// Runs one cell: an untimed verified solve bracketed by counter
 /// snapshots (the deltas), then `iters` timed solves (min wall-clock).
-pub fn run_case(spec: &CaseSpec, iters: u32) -> BenchCase {
+pub fn run_case(spec: &CaseSpec, iters: u32, backend: Backend) -> BenchCase {
     let g = &spec.workload.graph;
     let before = counter_values();
-    let (dist, report) = solve_once(g, spec.solver, spec.height);
+    let (dist, report) = solve_once(g, spec.solver, spec.height, backend);
     let after = counter_values();
     let reference = oracle::apsp_dijkstra(g);
     if let Some((i, j, a, b)) = dist.first_mismatch(&reference, 1e-9) {
@@ -168,7 +184,7 @@ pub fn run_case(spec: &CaseSpec, iters: u32) -> BenchCase {
     for _ in 0..iters.max(1) {
         // the bench harness is the one consumer of real wall time
         let t0 = Instant::now(); // audit:allow(wall-clock)
-        let _ = solve_once(g, spec.solver, spec.height);
+        let _ = solve_once(g, spec.solver, spec.height, backend);
         wall_ns = wall_ns.min(t0.elapsed().as_nanos() as u64);
     }
     BenchCase {
@@ -190,11 +206,24 @@ pub fn run_case(spec: &CaseSpec, iters: u32) -> BenchCase {
     }
 }
 
-/// Runs a whole matrix, announcing progress through `progress`.
+/// Runs a whole matrix on [`Backend::Sim`], announcing progress through
+/// `progress`.
 pub fn run_suite(
     label: &str,
     quick: bool,
     iters: u32,
+    progress: &mut dyn FnMut(&str),
+) -> BenchSuite {
+    run_suite_on(label, quick, iters, Backend::Sim, progress)
+}
+
+/// Runs a whole matrix on the given backend, announcing progress through
+/// `progress`.
+pub fn run_suite_on(
+    label: &str,
+    quick: bool,
+    iters: u32,
+    backend: Backend,
     progress: &mut dyn FnMut(&str),
 ) -> BenchSuite {
     let specs = if quick { quick_specs() } else { full_specs() };
@@ -202,16 +231,16 @@ pub fn run_suite(
     let mut cases = Vec::with_capacity(total);
     for (i, spec) in specs.iter().enumerate() {
         progress(&format!(
-            "[{}/{}] {} / {} / h={}",
+            "[{}/{}] {} / {} / h={} / {backend}",
             i + 1,
             total,
             spec.workload.name,
             spec.solver,
             spec.height
         ));
-        cases.push(run_case(spec, iters));
+        cases.push(run_case(spec, iters, backend));
     }
-    BenchSuite { label: label.to_string(), quick, cases }
+    BenchSuite { label: label.to_string(), quick, backend: backend.to_string(), cases }
 }
 
 impl BenchSuite {
@@ -221,6 +250,7 @@ impl BenchSuite {
         let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
         let _ = writeln!(s, "  \"label\": \"{}\",", jsonio::escape(&self.label));
         let _ = writeln!(s, "  \"quick\": {},", self.quick);
+        let _ = writeln!(s, "  \"backend\": \"{}\",", jsonio::escape(&self.backend));
         s.push_str("  \"cases\": [\n");
         for (i, c) in self.cases.iter().enumerate() {
             s.push_str("    {\n");
@@ -256,6 +286,7 @@ impl BenchSuite {
         }
         let label = doc.get("label").and_then(Json::as_str).unwrap_or("").to_string();
         let quick = doc.get("quick") == Some(&Json::Bool(true));
+        let backend = doc.get("backend").and_then(Json::as_str).unwrap_or("sim").to_string();
         let num = |case: &Json, key: &str| -> Result<u64, String> {
             case.get(key)
                 .and_then(Json::as_num)
@@ -297,7 +328,7 @@ impl BenchSuite {
                 counters,
             });
         }
-        Ok(BenchSuite { label, quick, cases })
+        Ok(BenchSuite { label, quick, backend, cases })
     }
 }
 
@@ -379,7 +410,12 @@ mod tests {
 
     fn tiny_suite() -> BenchSuite {
         let spec = CaseSpec { workload: workloads::mesh(6), solver: "sparse2d", height: 2 };
-        BenchSuite { label: "test".into(), quick: true, cases: vec![run_case(&spec, 1)] }
+        BenchSuite {
+            label: "test".into(),
+            quick: true,
+            backend: "sim".into(),
+            cases: vec![run_case(&spec, 1, Backend::Sim)],
+        }
     }
 
     #[test]

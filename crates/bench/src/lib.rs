@@ -17,6 +17,6 @@ pub mod jsonio;
 pub mod table;
 pub mod workloads;
 
-pub use benchrun::{compare, run_suite, BenchCase, BenchSuite, Comparison};
+pub use benchrun::{compare, run_suite, run_suite_on, BenchCase, BenchSuite, Comparison};
 pub use experiments::*;
 pub use table::Table;

@@ -447,6 +447,19 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                ::std::format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
 }
 
 /// `assert_ne!` for `proptest!` bodies.

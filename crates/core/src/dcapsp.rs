@@ -24,9 +24,10 @@
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
 use apsp_simnet::{
-    Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
+    FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
     RunReport,
 };
+use apsp_transport::{NativeMachine, Transport};
 
 /// Result of a [`dc_apsp`] run.
 pub struct DcApspResult {
@@ -162,8 +163,8 @@ fn tag(phase: u64, a: usize, b: usize) -> u64 {
 /// ranges. Snapshots of the operand ranges are taken locally first, so
 /// aliasing with `C` (e.g. `A₁₂ ← A₁₁ ⊗ A₁₂`) is safe.
 #[allow(clippy::too_many_arguments)]
-fn summa(
-    comm: &mut Comm,
+fn summa<C: Transport>(
+    comm: &mut C,
     t: &mut Tiles,
     rr: std::ops::Range<usize>,
     kk: std::ops::Range<usize>,
@@ -200,7 +201,7 @@ fn summa(
     *seq += 1;
     let s0 = *seq;
     let mut summa_span = comm.span("summa", s0);
-    let comm: &mut Comm = &mut summa_span;
+    let comm: &mut C = &mut summa_span;
     for step in 0..ng {
         // panel of A: k-tiles owned by processor column `step`
         let step_ks = geo.owned_in(kk.clone(), step);
@@ -266,9 +267,14 @@ fn summa(
 }
 
 /// Tile-pivot blocked FW over `range × range` — the recursion base case.
-fn base_fw(comm: &mut Comm, t: &mut Tiles, range: std::ops::Range<usize>, seq: &mut u64) {
+fn base_fw<C: Transport>(
+    comm: &mut C,
+    t: &mut Tiles,
+    range: std::ops::Range<usize>,
+    seq: &mut u64,
+) {
     let mut fw_span = comm.span("base-fw", range.start as u64);
-    let comm: &mut Comm = &mut fw_span;
+    let comm: &mut C = &mut fw_span;
     let geo = t.geo;
     let ng = geo.ng;
     let full_row_group: Vec<usize> = (0..ng).map(|c| t.my_row * ng + c).collect();
@@ -361,9 +367,10 @@ fn base_fw(comm: &mut Comm, t: &mut Tiles, range: std::ops::Range<usize>, seq: &
 /// this boundary, and the full local tile set is the phase state committed
 /// at the end. Skipping is SPMD-uniform (every rank shares the boundary
 /// counter), so `seq`-derived tags stay consistent across ranks.
-fn checkpointed<F>(comm: &mut Comm, t: &mut Tiles, body: F)
+fn checkpointed<C, F>(comm: &mut C, t: &mut Tiles, body: F)
 where
-    F: FnOnce(&mut Comm, &mut Tiles),
+    C: Transport,
+    F: FnOnce(&mut C, &mut Tiles),
 {
     if comm.phase_live() {
         body(comm, t);
@@ -383,7 +390,13 @@ where
 }
 
 /// The divide-and-conquer recursion over a tile range.
-fn dc(comm: &mut Comm, t: &mut Tiles, range: std::ops::Range<usize>, depth: u32, seq: &mut u64) {
+fn dc<C: Transport>(
+    comm: &mut C,
+    t: &mut Tiles,
+    range: std::ops::Range<usize>,
+    depth: u32,
+    seq: &mut u64,
+) {
     if depth == 0 {
         checkpointed(comm, t, |c, t| base_fw(c, t, range, seq));
         return;
@@ -427,6 +440,18 @@ pub fn dc_apsp(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
 /// the p×p communication matrix.
 pub fn dc_apsp_profiled(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
     run_dc_inner(g, n_grid, depth, depth, Launch::Profiled)
+}
+
+/// Like [`dc_apsp`], on the native shared-memory backend: the identical
+/// rank program runs on `p = n_grid²` OS threads over real channels.
+/// Distances are bit-identical to the simulator's; the report carries no
+/// costs (the native machine has no §3.1 clocks).
+pub fn dc_apsp_native(g: &Csr, n_grid: usize, depth: u32) -> DcApspResult {
+    let _wall = apsp_metrics::time_phase("solve-dcapsp-native");
+    let geo = Cyclic::new(g.n(), n_grid, depth);
+    let p = n_grid * n_grid;
+    let (tiles_raw, report) = NativeMachine::run(p, |comm| rank_program(comm, geo, depth, g));
+    assemble(g, geo, tiles_raw, report)
 }
 
 /// Verifies the 2D-DC-APSP communication schedule (SUMMA sweeps + base
@@ -525,7 +550,12 @@ fn run_dc_inner(
 
 /// The SPMD rank program: build the local block-cyclic tiles and run the
 /// divide-and-conquer recursion over them.
-fn rank_program(comm: &mut Comm, geo: Cyclic, rec_depth: u32, g: &Csr) -> Vec<MinPlusMatrix> {
+fn rank_program<C: Transport>(
+    comm: &mut C,
+    geo: Cyclic,
+    rec_depth: u32,
+    g: &Csr,
+) -> Vec<MinPlusMatrix> {
     let mut t = Tiles::new(geo, comm.rank(), g);
     let words: usize = t.data.iter().map(|m| m.words()).sum();
     comm.alloc(words);

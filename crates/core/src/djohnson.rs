@@ -23,9 +23,10 @@
 use crate::fw2d::balanced_sizes;
 use apsp_graph::{oracle, Csr, DenseDist};
 use apsp_simnet::{
-    Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
+    FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
     RunReport,
 };
+use apsp_transport::{NativeMachine, Transport};
 
 /// Result of a [`distributed_johnson`] run.
 pub struct DJohnsonResult {
@@ -81,6 +82,18 @@ fn unpack_graph(data: &[f64]) -> Csr {
 /// `p` simulated ranks.
 pub fn distributed_johnson(g: &Csr, p: usize) -> DJohnsonResult {
     djohnson_launch(g, p, Launch::Plain).expect("fault-free launch cannot fail").0
+}
+
+/// Like [`distributed_johnson`], on the native shared-memory backend: the
+/// identical rank program runs on `p` OS threads over real channels.
+/// Distances are bit-identical to the simulator's; the report carries no
+/// costs (the native machine has no §3.1 clocks).
+pub fn distributed_johnson_native(g: &Csr, p: usize) -> DJohnsonResult {
+    let _wall = apsp_metrics::time_phase("solve-djohnson-native");
+    let (n, offsets, packed, group) = setup(g, p);
+    let (rows, report) =
+        NativeMachine::run(p, |comm| rank_program(comm, &packed, &group, &offsets, n));
+    assemble(n, &offsets, rows, report)
 }
 
 /// Verifies the distributed-Johnson communication schedule (replication
@@ -171,8 +184,8 @@ fn setup(g: &Csr, p: usize) -> (usize, Vec<usize>, Vec<f64>, Vec<usize>) {
 /// The SPMD rank program: phase 1 replicates the graph, phase 2 runs
 /// Dijkstra from this rank's sources. Each phase ends at a checkpointable
 /// boundary whose state is exactly the phase's output vector.
-fn rank_program(
-    comm: &mut Comm,
+fn rank_program<C: Transport>(
+    comm: &mut C,
     packed: &[f64],
     group: &[usize],
     offsets: &[usize],

@@ -11,6 +11,51 @@ use apsp_simnet::{
     FaultPlan, FaultSummary, Machine, MachineError, RecoveryPolicy, RecoveryReport, RunReport,
 };
 
+/// Which execution backend runs the distributed solve.
+///
+/// Both backends execute the *identical* SPMD schedule — same messages,
+/// same tags, same collectives — so the distance matrices they produce
+/// are bit-for-bit equal. They differ in what the run measures:
+///
+/// * [`Backend::Sim`] is the §3.1 simulated machine (`apsp-simnet`):
+///   exact latency/bandwidth/compute clocks, fault injection, tracing,
+///   profiling, checkpoint/restart.
+/// * [`Backend::Native`] runs the schedule on `p` OS threads over plain
+///   channels (`apsp-transport`): no cost clocks (the report's counters
+///   are all zero), but real wall-clock execution — the backend for
+///   timing the actual message pattern.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The simulated distributed machine with §3.1 cost accounting.
+    #[default]
+    Sim,
+    /// Native shared-memory execution: OS threads, no cost model.
+    Native,
+}
+
+impl Backend {
+    /// Parses a CLI backend name.
+    ///
+    /// # Errors
+    /// A readable message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "native" => Ok(Backend::Native),
+            other => Err(format!("unknown backend {other} (expected sim or native)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Sim => "sim",
+            Backend::Native => "native",
+        })
+    }
+}
+
 /// How the nested-dissection ordering is obtained.
 #[derive(Clone, Copy, Debug)]
 pub enum Ordering {
@@ -59,6 +104,12 @@ pub struct SparseApspConfig {
     /// ranks roll back and re-execute (see
     /// [`apsp_simnet::Machine::launch_recovering`]).
     pub recovery: Option<RecoveryPolicy>,
+    /// Execution backend for the distributed solve. [`Backend::Native`]
+    /// is incompatible with the simulator-only features (`profile`,
+    /// `charge_ordering_distribution`, [`Ordering::Distributed`],
+    /// `recovery`) — the driver panics with a readable message rather
+    /// than silently dropping them.
+    pub backend: Backend,
 }
 
 impl Default for SparseApspConfig {
@@ -71,6 +122,7 @@ impl Default for SparseApspConfig {
             charge_ordering_distribution: false,
             profile: false,
             recovery: None,
+            backend: Backend::default(),
         }
     }
 }
@@ -119,6 +171,34 @@ impl ApspRun {
 /// ```
 pub struct SparseApsp {
     config: SparseApspConfig,
+}
+
+impl SparseApspConfig {
+    /// Panics with a readable message when a simulator-only feature is
+    /// combined with the native backend.
+    fn assert_backend_compatible(&self) {
+        if self.backend == Backend::Native {
+            assert!(
+                !self.profile,
+                "the native backend has no §3.1 cost clocks to profile; use the sim backend \
+                 for --trace/--profile"
+            );
+            assert!(
+                !self.charge_ordering_distribution,
+                "ordering-distribution cost accounting needs the simulated machine; use the \
+                 sim backend"
+            );
+            assert!(
+                self.recovery.is_none(),
+                "checkpoint/restart supervision needs the simulated machine; use the sim backend"
+            );
+            assert!(
+                !matches!(self.ordering, Ordering::Distributed),
+                "the distributed-ordering pipeline runs on the simulated machine; use the sim \
+                 backend or a host-side ordering"
+            );
+        }
+    }
 }
 
 impl SparseApsp {
@@ -188,6 +268,7 @@ impl SparseApsp {
     /// distance matrix is generally asymmetric.
     pub fn run_directed(&self, dg: &apsp_graph::DiCsr) -> ApspRun {
         assert!(dg.has_nonnegative_weights(), "directed APSP requires non-negative finite weights");
+        self.config.assert_backend_compatible();
         let pattern = dg.underlying_pattern();
         let (nd, ordering_report) = self.ordering_for(&pattern);
         nd.validate(&pattern).expect("ordering violates the §4.1 separation invariant");
@@ -197,10 +278,12 @@ impl SparseApsp {
         report.absorb(&ordering_report);
         let opts =
             Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
-        let result = if self.config.profile {
-            crate::sparse2d::sparse2d_directed_profiled(&layout, &dgp, &opts)
-        } else {
-            crate::sparse2d::sparse2d_directed(&layout, &dgp, &opts)
+        let result = match (self.config.backend, self.config.profile) {
+            (Backend::Native, _) => crate::sparse2d::sparse2d_native_directed(&layout, &dgp, &opts),
+            (Backend::Sim, true) => {
+                crate::sparse2d::sparse2d_directed_profiled(&layout, &dgp, &opts)
+            }
+            (Backend::Sim, false) => crate::sparse2d::sparse2d_directed(&layout, &dgp, &opts),
         };
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
@@ -224,6 +307,7 @@ impl SparseApsp {
         );
         let _wall = apsp_metrics::time_phase("driver-run");
         apsp_metrics::counter("apsp_driver_solves_total", "Full pipeline solves started.").inc();
+        self.config.assert_backend_compatible();
         let (nd, ordering_report) = self.ordering_for(g);
         // O(m) check, negligible next to the solve; an ordering violating
         // the cousin-separation invariant would make the distributed
@@ -239,10 +323,10 @@ impl SparseApsp {
         }
         let opts =
             Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
-        let result = if self.config.profile {
-            sparse2d_profiled(&layout, &gp, &opts)
-        } else {
-            sparse2d_with(&layout, &gp, &opts)
+        let result = match (self.config.backend, self.config.profile) {
+            (Backend::Native, _) => crate::sparse2d::sparse2d_native(&layout, &gp, &opts),
+            (Backend::Sim, true) => sparse2d_profiled(&layout, &gp, &opts),
+            (Backend::Sim, false) => sparse2d_with(&layout, &gp, &opts),
         };
         report.absorb(&result.report);
         let dist = SupernodalLayout::unpermute(&result.dist_eliminated, &nd.perm);
@@ -335,6 +419,10 @@ impl SparseApsp {
             g.has_nonnegative_weights(),
             "undirected APSP requires non-negative weights (a negative \
              undirected edge is a negative cycle)"
+        );
+        assert!(
+            self.config.backend == Backend::Sim,
+            "fault injection needs the simulated machine; use the sim backend"
         );
         let (nd, ordering_report) = self.ordering_for(g);
         nd.validate(g).expect("ordering violates the §4.1 separation invariant");

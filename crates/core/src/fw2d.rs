@@ -9,9 +9,10 @@
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
 use apsp_simnet::{
-    Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
+    FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
     RunReport,
 };
+use apsp_transport::{NativeMachine, Transport};
 
 /// Balanced partition of `n` into `parts` consecutive chunks.
 pub fn balanced_sizes(n: usize, parts: usize) -> Vec<usize> {
@@ -85,7 +86,7 @@ fn tag(t: usize, phase: u64, aux: usize) -> u64 {
     0xF_0000_0000_0000 | ((t as u64) << 32) | (phase << 24) | aux as u64
 }
 
-fn rank_program(comm: &mut Comm, grid: &Grid, g: &Csr) -> Vec<f64> {
+fn rank_program<C: Transport>(comm: &mut C, grid: &Grid, g: &Csr) -> Vec<f64> {
     let n_grid = grid.n_grid;
     let (bi, bj) = grid.block_of(comm.rank());
     let mut block = grid.extract(g, bi, bj);
@@ -110,8 +111,8 @@ fn rank_program(comm: &mut Comm, grid: &Grid, g: &Csr) -> Vec<f64> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn pivot_round(
-    comm: &mut Comm,
+fn pivot_round<C: Transport>(
+    comm: &mut C,
     grid: &Grid,
     block: &mut MinPlusMatrix,
     t: usize,
@@ -122,7 +123,7 @@ fn pivot_round(
 ) {
     {
         let mut pivot_span = comm.span("pivot", t as u64);
-        let comm: &mut Comm = &mut pivot_span;
+        let comm: &mut C = &mut pivot_span;
         // pivot closure
         if bi == t && bj == t {
             let ops = fw_in_place(block);
@@ -196,6 +197,19 @@ pub fn fw2d(g: &Csr, n_grid: usize) -> Fw2dResult {
 /// broadcasts nested inside) and the p×p communication matrix.
 pub fn fw2d_profiled(g: &Csr, n_grid: usize) -> Fw2dResult {
     fw2d_inner(g, n_grid, Launch::Profiled)
+}
+
+/// Like [`fw2d`], on the native shared-memory backend: the identical rank
+/// program runs on `p = n_grid²` OS threads over real channels. Distances
+/// are bit-identical to the simulator's; the report carries no costs (the
+/// native machine has no §3.1 clocks).
+pub fn fw2d_native(g: &Csr, n_grid: usize) -> Fw2dResult {
+    let _wall = apsp_metrics::time_phase("solve-fw2d-native");
+    assert!(n_grid >= 1);
+    let grid = Grid::new(g.n(), n_grid);
+    let p = n_grid * n_grid;
+    let (blocks_raw, report) = NativeMachine::run(p, |comm| rank_program(comm, &grid, g));
+    assemble(g, &grid, blocks_raw, report)
 }
 
 /// Verifies the fw2d communication schedule on an `n_grid × n_grid` grid:

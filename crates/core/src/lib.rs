@@ -36,7 +36,7 @@ pub mod superfw;
 pub mod supernodal;
 pub mod update;
 
-pub use driver::{ApspRun, SparseApsp, SparseApspConfig};
+pub use driver::{ApspRun, Backend, SparseApsp, SparseApspConfig};
 pub use solved::SolvedApsp;
 pub use sparse2d::R4Strategy;
 pub use supernodal::SupernodalLayout;

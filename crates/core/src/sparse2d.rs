@@ -49,9 +49,10 @@ use apsp_etree::{mapping, SchedTree};
 use apsp_graph::{Csr, DenseDist};
 use apsp_minplus::{fw_in_place, gemm, MinPlusMatrix};
 use apsp_simnet::{
-    Clocks, Comm, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy,
-    RecoveryReport, RunReport,
+    Clocks, FaultPlan, FaultSummary, Launch, Machine, MachineError, RecoveryPolicy, RecoveryReport,
+    RunReport,
 };
+use apsp_transport::{NativeMachine, Transport};
 
 /// How the `R⁴` computing units are scheduled (§5.2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -188,8 +189,8 @@ fn is_r4_upper(t: &SchedTree, l: u32, i: usize, j: usize) -> bool {
 /// `init` builds a rank's initial block (undirected or directed
 /// adjacency); `directed` switches the `R⁴` phase to the no-mirror dual
 /// schedule.
-fn rank_program(
-    comm: &mut Comm,
+fn rank_program<C: Transport>(
+    comm: &mut C,
     layout: &SupernodalLayout,
     init: &(dyn Fn(usize, usize) -> MinPlusMatrix + Sync),
     opts: &Sparse2dOptions,
@@ -255,8 +256,8 @@ fn decode_state(rows: usize, cols: usize, mut state: Vec<f64>) -> (MinPlusMatrix
 /// One elimination level of Algorithm 1 (`R¹`–`R⁴`), wrapped in its phase
 /// spans. Returns the cumulative critical-path clocks after the level.
 #[allow(clippy::too_many_arguments)]
-fn level_round(
-    comm: &mut Comm,
+fn level_round<C: Transport>(
+    comm: &mut C,
     layout: &SupernodalLayout,
     t: &SchedTree,
     l: u32,
@@ -276,11 +277,12 @@ fn level_round(
         // with the paper's computing units R¹–R⁴ nested inside — free
         // unless the run is profiled (see `Comm::span`)
         let mut level_span = comm.span("level", l as u64);
-        let comm: &mut Comm = &mut level_span;
+        let comm: &mut C = &mut level_span;
 
         // ---------------- R¹: diagonal pivot closure ----------------
         {
-            let mut comm = comm.span("r1", l as u64);
+            let mut r1_span = comm.span("r1", l as u64);
+            let comm: &mut C = &mut r1_span;
             if bi == bj && t.level(bi) == l {
                 let ops = fw_in_place(block);
                 comm.compute(ops);
@@ -290,7 +292,7 @@ fn level_round(
         // ---------------- R²: pivot broadcasts + panel updates ----------------
         {
             let mut r2_span = comm.span("r2", l as u64);
-            let comm: &mut Comm = &mut r2_span;
+            let comm: &mut C = &mut r2_span;
             // column phase: pivot k = bj broadcasts A(k,k)* down column k
             if t.level(bj) == l && t.related(bi, bj) {
                 let k = bj;
@@ -334,7 +336,7 @@ fn level_round(
         // ---------------- R³: panel broadcasts + single-unit updates ----------------
         {
             let mut r3_span = comm.span("r3", l as u64);
-            let comm: &mut Comm = &mut r3_span;
+            let comm: &mut C = &mut r3_span;
             let r3k = r3_pivot(t, l, bi, bj);
             // row phase: panel (i, k=bj) broadcasts A(i,k) along row i
             let mut r3_aik: Option<MinPlusMatrix> = None;
@@ -402,7 +404,7 @@ fn level_round(
         // ---------------- R⁴ ----------------
         if l < h {
             let mut r4_span = comm.span("r4", l as u64);
-            let comm: &mut Comm = &mut r4_span;
+            let comm: &mut C = &mut r4_span;
             match (opts.r4, directed) {
                 (R4Strategy::OneToOne, false) => {
                     r4_one_to_one(comm, layout, t, l, bi, bj, block, compress)
@@ -425,8 +427,8 @@ fn level_round(
 
 /// The Corollary 5.5 one-to-one schedule for `R⁴` at level `l`.
 #[allow(clippy::too_many_arguments)]
-fn r4_one_to_one(
-    comm: &mut Comm,
+fn r4_one_to_one<C: Transport>(
+    comm: &mut C,
     layout: &SupernodalLayout,
     t: &SchedTree,
     l: u32,
@@ -591,8 +593,8 @@ fn r4_one_to_one(
 
 /// The §5.2.2 "trivial strategy": `P_{i,j}` pulls all `2q` panels itself.
 #[allow(clippy::too_many_arguments)]
-fn r4_sequential(
-    comm: &mut Comm,
+fn r4_sequential<C: Transport>(
+    comm: &mut C,
     layout: &SupernodalLayout,
     t: &SchedTree,
     l: u32,
@@ -666,8 +668,8 @@ fn is_r4_block(t: &SchedTree, l: u32, i: usize, j: usize) -> bool {
 /// no transpose mirror exists for asymmetric weights. Costs stay within
 /// 2× of the undirected schedule, same asymptotics.
 #[allow(clippy::too_many_arguments)]
-fn r4_one_to_one_directed(
-    comm: &mut Comm,
+fn r4_one_to_one_directed<C: Transport>(
+    comm: &mut C,
     layout: &SupernodalLayout,
     t: &SchedTree,
     l: u32,
@@ -827,8 +829,8 @@ fn r4_one_to_one_directed(
 /// pulls its `2q` panels itself. Panel `(x, k)` feeds blocks `(x, y)` for
 /// every `y ∈ 𝒜(k)` above level `l`; panel `(k, x)` feeds `(y, x)`.
 #[allow(clippy::too_many_arguments)]
-fn r4_sequential_directed(
-    comm: &mut Comm,
+fn r4_sequential_directed<C: Transport>(
+    comm: &mut C,
     layout: &SupernodalLayout,
     t: &SchedTree,
     l: u32,
@@ -902,6 +904,42 @@ pub fn sparse2d_directed(
     assert_eq!(dg_perm.n(), layout.n(), "layout does not match the graph");
     let init = |i: usize, j: usize| layout.extract_block_directed(dg_perm, i, j);
     run_machine(layout, &init, opts, true)
+}
+
+/// Runs 2D-SPARSE-APSP on the **native** shared-memory backend: `p` OS
+/// threads over plain channels, no §3.1 cost clocks. The schedule — and
+/// therefore the distance matrix, bit for bit — is identical to the
+/// simulated run; the returned report carries no cost counters (all
+/// zeros). Use this for wall-clock measurements of the actual message
+/// pattern.
+pub fn sparse2d_native(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+) -> Sparse2dResult {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let _wall = apsp_metrics::time_phase("solve-sparse2d-native");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let p = layout.p();
+    let (outputs, report) =
+        NativeMachine::run(p, |comm| rank_program(comm, layout, &init, opts, false));
+    assemble(layout, outputs, report)
+}
+
+/// Native-backend variant of [`sparse2d_directed`] — same dual-orientation
+/// `R⁴` schedule, executed on OS threads without cost clocks.
+pub fn sparse2d_native_directed(
+    layout: &SupernodalLayout,
+    dg_perm: &apsp_graph::DiCsr,
+    opts: &Sparse2dOptions,
+) -> Sparse2dResult {
+    assert_eq!(dg_perm.n(), layout.n(), "layout does not match the graph");
+    let _wall = apsp_metrics::time_phase("solve-sparse2d-native");
+    let init = |i: usize, j: usize| layout.extract_block_directed(dg_perm, i, j);
+    let p = layout.p();
+    let (outputs, report) =
+        NativeMachine::run(p, |comm| rank_program(comm, layout, &init, opts, true));
+    assemble(layout, outputs, report)
 }
 
 /// Like [`sparse2d_with`], additionally returning every rank's sent-message

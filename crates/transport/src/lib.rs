@@ -1,0 +1,503 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+//! # apsp-transport
+//!
+//! The communication surface the distributed solvers are written against,
+//! abstracted from any particular machine. The [`Transport`] trait captures
+//! exactly what `sparse2d`, `fw2d`, `dcapsp`, and `djohnson` use of a
+//! communicator — point-to-point messaging, binomial-tree collectives,
+//! cost/memory charging, phase commits, and RAII spans — so the identical
+//! SPMD rank programs run on:
+//!
+//! * [`apsp_simnet::Comm`] — the §3.1 cost-model simulator. Keeps every
+//!   Table-2/verification/fault/recovery guarantee; the trait impl is a
+//!   zero-cost delegation to the inherent methods, so routing a solver
+//!   through the trait changes **no byte** of the simulator's output
+//!   (pinned by the `transport_digest` golden test).
+//! * [`NativeComm`] — a real shared-memory backend: `p` OS threads over
+//!   per-`(src, dst)` std `mpsc` channels, no cost clocks, genuine
+//!   wall-clock time. See [`NativeMachine`].
+//!
+//! ## Collective bit-compatibility
+//!
+//! The default collective methods are exact ports of the simulator's
+//! binomial trees ([`apsp_simnet::collectives`]): same virtual-index
+//! scheme, same mask walk, same combine order. Floating-point reduction
+//! order therefore matches the simulator **exactly**, which is what makes
+//! cross-backend distance matrices bit-identical rather than merely close
+//! (`tests/differential.rs` asserts `f64` equality, not tolerance).
+//!
+//! See `docs/BACKENDS.md` for the full contract (FIFO non-overtaking, tag
+//! semantics, phase commits, and what the native backend does *not*
+//! provide).
+
+mod native;
+
+pub use native::{NativeComm, NativeMachine, NativeSpan};
+
+use apsp_simnet::{Clocks, Comm, Rank, SpanGuard};
+use std::ops::DerefMut;
+
+/// Position of `rank` in `group`.
+///
+/// # Panics
+/// Panics when `rank` is not a member — calling a collective from outside
+/// its group is always a schedule bug.
+fn position(group: &[Rank], rank: Rank) -> usize {
+    debug_assert!(group.windows(2).all(|w| w[0] < w[1]), "group must be sorted unique");
+    group
+        .iter()
+        .position(|&r| r == rank)
+        .unwrap_or_else(|| panic!("rank {rank} not in group {group:?}"))
+}
+
+/// The communication surface of one SPMD rank.
+///
+/// Implementations must provide MPI's per-`(src, dst)` FIFO non-overtaking
+/// guarantee for point-to-point messages, tag checking on receives (a tag
+/// mismatch is always a schedule bug and must fail loudly), and monotone
+/// phase boundaries. Cost charging (`compute`/`alloc`/`release`/`clocks`)
+/// may be a no-op on backends without a cost model.
+pub trait Transport: Sized {
+    /// RAII span guard returned by [`Transport::span`]. Derefs to the
+    /// communicator so sends, receives, collectives, and nested spans all
+    /// go through the guard; the span closes when the guard drops (LIFO).
+    type Span<'s>: DerefMut<Target = Self>
+    where
+        Self: 's;
+
+    /// This rank's id.
+    fn rank(&self) -> Rank;
+
+    /// Total rank count `p`.
+    fn p(&self) -> usize;
+
+    /// Sends `payload` to `dst`. Never blocks. Self-sends are a schedule
+    /// bug and panic.
+    fn send(&mut self, dst: Rank, tag: u64, payload: Vec<f64>);
+
+    /// Receives the next message from `src` (FIFO per channel; blocks).
+    /// Panics when the arriving message's tag differs from `expected_tag`.
+    fn recv(&mut self, src: Rank, expected_tag: u64) -> Vec<f64>;
+
+    /// Wildcard receive: the next message from *any* rank bearing
+    /// `expected_tag`. Returns the source rank and the payload.
+    fn recv_any(&mut self, expected_tag: u64) -> (Rank, Vec<f64>);
+
+    /// Records `ops` scalar operations of local compute (no-op without a
+    /// cost model).
+    fn compute(&mut self, ops: u64);
+
+    /// Tracks an allocation of `words` words of resident data (no-op
+    /// without a cost model).
+    fn alloc(&mut self, words: usize);
+
+    /// Releases previously tracked words (no-op without a cost model).
+    fn release(&mut self, words: usize);
+
+    /// Current critical-path clocks. Backends without a cost model return
+    /// [`Clocks::default`] (all zero).
+    fn clocks(&self) -> Clocks;
+
+    /// Opens a phase span; see [`Transport::Span`].
+    fn span(&mut self, name: &'static str, tag: u64) -> Self::Span<'_>;
+
+    /// `true` when the current phase must actually execute — always,
+    /// except under a recovery supervisor while skipping phases a restored
+    /// checkpoint already covers.
+    fn phase_live(&self) -> bool;
+
+    /// Marks a phase boundary, handing the solver's per-rank `state`
+    /// through the (optional) checkpoint layer.
+    fn commit_phase(&mut self, state: Vec<f64>) -> Vec<f64>;
+
+    /// Binomial-tree broadcast of `data` from `root` to the whole group.
+    /// The root passes `Some(data)`, everyone else `None`; every member
+    /// returns the broadcast payload.
+    fn bcast(&mut self, group: &[Rank], root: Rank, tag: u64, data: Option<Vec<f64>>) -> Vec<f64> {
+        let mut s = self.span("bcast", tag);
+        bcast_tree(&mut *s, group, root, tag, data)
+    }
+
+    /// Binomial-tree reduction of every member's `contribution` to `root`,
+    /// combining with `combine(acc, incoming)`. Returns `Some(result)` on
+    /// the root, `None` elsewhere.
+    fn reduce(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        contribution: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Option<Vec<f64>> {
+        let mut s = self.span("reduce", tag);
+        reduce_tree(&mut *s, group, root, tag, contribution, combine)
+    }
+
+    /// Element-wise minimum reduction — the `⊕`-combine every distance
+    /// block reduction in the workspace uses.
+    fn reduce_min(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        contribution: Vec<f64>,
+    ) -> Option<Vec<f64>> {
+        self.reduce(group, root, tag, contribution, |acc, inc| {
+            debug_assert_eq!(acc.len(), inc.len(), "reduction shape mismatch");
+            for (a, &b) in acc.iter_mut().zip(inc) {
+                if b < *a {
+                    *a = b;
+                }
+            }
+        })
+    }
+
+    /// Linear gather to `root`: returns `Some(payloads in group order)` on
+    /// the root (the root's own entry included), `None` elsewhere.
+    fn gather(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> Option<Vec<Vec<f64>>> {
+        let mut s = self.span("gather", tag);
+        gather_linear(&mut *s, group, root, tag, payload)
+    }
+
+    /// Linear scatter from `root`: the root passes one payload per member
+    /// (group order); every member returns its slice.
+    fn scatter(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payloads: Option<Vec<Vec<f64>>>,
+    ) -> Vec<f64> {
+        let mut s = self.span("scatter", tag);
+        scatter_linear(&mut *s, group, root, tag, payloads)
+    }
+
+    /// Tree barrier over the group: a zero-word reduce followed by a
+    /// zero-word broadcast.
+    fn barrier(&mut self, group: &[Rank], tag: u64) {
+        let mut s = self.span("barrier", tag);
+        let this = &mut *s;
+        let root = group[0];
+        let done = reduce_tree(this, group, root, tag ^ 0xBA55, Vec::new(), |_, _| {});
+        let _ = bcast_tree(this, group, root, tag ^ 0xBA55, done.map(|_| Vec::new()));
+    }
+
+    /// All-gather over the group: every member contributes a payload and
+    /// receives everyone's payloads **in group order**. Contributions may
+    /// have different lengths (zero-length ones are preserved).
+    fn allgather(&mut self, group: &[Rank], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>> {
+        let mut s = self.span("allgather", tag);
+        let this = &mut *s;
+        let me = position(group, this.rank());
+        // frame: [index, len, words...] triplets concatenated
+        let mut framed = Vec::with_capacity(payload.len() + 2);
+        framed.push(me as f64);
+        framed.push(payload.len() as f64);
+        framed.extend_from_slice(&payload);
+        let root = group[0];
+        let gathered = reduce_tree(this, group, root, tag ^ 0xA116, framed, |acc, inc| {
+            acc.extend_from_slice(inc);
+        });
+        let all = bcast_tree(this, group, root, tag ^ 0xA117, gathered);
+        // unframe into group order
+        let mut out: Vec<Vec<f64>> = (0..group.len()).map(|_| Vec::new()).collect();
+        let mut cursor = 0usize;
+        let mut seen = 0usize;
+        while cursor < all.len() {
+            let idx = all[cursor] as usize;
+            let len = all[cursor + 1] as usize;
+            out[idx] = all[cursor + 2..cursor + 2 + len].to_vec();
+            cursor += 2 + len;
+            seen += 1;
+        }
+        assert_eq!(seen, group.len(), "allgather lost contributions");
+        out
+    }
+
+    /// All-reduce over the group: a reduce to `group[0]` followed by a
+    /// broadcast of the combined value.
+    fn allreduce(
+        &mut self,
+        group: &[Rank],
+        tag: u64,
+        contribution: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Vec<f64> {
+        let mut s = self.span("allreduce", tag);
+        let this = &mut *s;
+        let root = group[0];
+        let combined = reduce_tree(this, group, root, tag ^ 0xA11E, contribution, combine);
+        bcast_tree(this, group, root, tag ^ 0xA11F, combined)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic binomial trees — exact ports of `apsp_simnet::collectives`'s
+// internals. The mask walk, virtual-index scheme, tag stirring, and combine
+// order are byte-for-byte the simulator's, so reductions apply `combine` in
+// the identical sequence on every backend (f64 bit-compatibility).
+// ---------------------------------------------------------------------------
+
+fn bcast_tree<C: Transport>(
+    c: &mut C,
+    group: &[Rank],
+    root: Rank,
+    tag: u64,
+    data: Option<Vec<f64>>,
+) -> Vec<f64> {
+    let g = group.len();
+    let me = position(group, c.rank());
+    let root_pos = position(group, root);
+    if c.rank() == root {
+        assert!(data.is_some(), "broadcast root must supply the payload");
+    } else {
+        assert!(data.is_none(), "non-root must not supply a payload");
+    }
+    if g == 1 {
+        return data.expect("single-member broadcast is the root");
+    }
+    let rel = (me + g - root_pos) % g; // virtual index, root at 0
+    let actual = |virt: usize| group[(virt + root_pos) % g];
+
+    // receive phase: lowest set bit of `rel` determines the parent
+    let mut payload = data;
+    let mut mask = 1usize;
+    while mask < g {
+        if rel & mask != 0 {
+            let parent = actual(rel - mask);
+            payload = Some(c.recv(parent, tag ^ 0xB0AD));
+            break;
+        }
+        mask <<= 1;
+    }
+    // send phase: forward to children at decreasing distances
+    let payload = payload.expect("root or received");
+    let mut mask = mask >> 1;
+    while mask > 0 {
+        if rel + mask < g {
+            let child = actual(rel + mask);
+            c.send(child, tag ^ 0xB0AD, payload.clone());
+        }
+        mask >>= 1;
+    }
+    payload
+}
+
+fn reduce_tree<C: Transport>(
+    c: &mut C,
+    group: &[Rank],
+    root: Rank,
+    tag: u64,
+    contribution: Vec<f64>,
+    combine: impl Fn(&mut Vec<f64>, &[f64]),
+) -> Option<Vec<f64>> {
+    let g = group.len();
+    let me = position(group, c.rank());
+    let root_pos = position(group, root);
+    if g == 1 {
+        return Some(contribution);
+    }
+    let rel = (me + g - root_pos) % g;
+    let actual = |virt: usize| group[(virt + root_pos) % g];
+
+    let mut acc = contribution;
+    let mut mask = 1usize;
+    while mask < g {
+        if rel & mask == 0 {
+            let partner = rel | mask;
+            if partner < g {
+                let incoming = c.recv(actual(partner), tag ^ 0x5EDC);
+                combine(&mut acc, &incoming);
+            }
+        } else {
+            let parent = actual(rel & !mask);
+            c.send(parent, tag ^ 0x5EDC, acc);
+            return None;
+        }
+        mask <<= 1;
+    }
+    Some(acc)
+}
+
+fn gather_linear<C: Transport>(
+    c: &mut C,
+    group: &[Rank],
+    root: Rank,
+    tag: u64,
+    payload: Vec<f64>,
+) -> Option<Vec<Vec<f64>>> {
+    position(group, c.rank());
+    position(group, root);
+    if c.rank() != root {
+        c.send(root, tag ^ 0x6A78, payload);
+        return None;
+    }
+    let mut out = Vec::with_capacity(group.len());
+    for &r in group {
+        if r == root {
+            out.push(payload.clone());
+        } else {
+            out.push(c.recv(r, tag ^ 0x6A78));
+        }
+    }
+    Some(out)
+}
+
+fn scatter_linear<C: Transport>(
+    c: &mut C,
+    group: &[Rank],
+    root: Rank,
+    tag: u64,
+    payloads: Option<Vec<Vec<f64>>>,
+) -> Vec<f64> {
+    position(group, c.rank());
+    position(group, root);
+    if c.rank() == root {
+        let mut payloads = payloads.expect("scatter root supplies payloads");
+        assert_eq!(payloads.len(), group.len(), "one payload per member");
+        let mut mine = Vec::new();
+        for (pos, &r) in group.iter().enumerate() {
+            let data = std::mem::take(&mut payloads[pos]);
+            if r == c.rank() {
+                mine = data;
+            } else {
+                c.send(r, tag ^ 0x5CA7, data);
+            }
+        }
+        mine
+    } else {
+        assert!(payloads.is_none(), "non-root must not supply payloads");
+        c.recv(root, tag ^ 0x5CA7)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The simulator is one Transport. Every method is a direct delegation to
+// the inherent `Comm` API — including all collectives, whose inherent
+// versions additionally record `CommEvent::Collective` entries in recorded
+// runs — so a solver routed through the trait produces byte-identical
+// ledgers, traces, scripts, and distances to one calling `Comm` directly.
+// ---------------------------------------------------------------------------
+
+impl Transport for Comm {
+    type Span<'s> = SpanGuard<'s>;
+
+    fn rank(&self) -> Rank {
+        Comm::rank(self)
+    }
+
+    fn p(&self) -> usize {
+        Comm::p(self)
+    }
+
+    fn send(&mut self, dst: Rank, tag: u64, payload: Vec<f64>) {
+        Comm::send(self, dst, tag, payload);
+    }
+
+    fn recv(&mut self, src: Rank, expected_tag: u64) -> Vec<f64> {
+        Comm::recv(self, src, expected_tag)
+    }
+
+    fn recv_any(&mut self, expected_tag: u64) -> (Rank, Vec<f64>) {
+        Comm::recv_any(self, expected_tag)
+    }
+
+    fn compute(&mut self, ops: u64) {
+        Comm::compute(self, ops);
+    }
+
+    fn alloc(&mut self, words: usize) {
+        Comm::alloc(self, words);
+    }
+
+    fn release(&mut self, words: usize) {
+        Comm::release(self, words);
+    }
+
+    fn clocks(&self) -> Clocks {
+        Comm::clocks(self)
+    }
+
+    fn span(&mut self, name: &'static str, tag: u64) -> SpanGuard<'_> {
+        Comm::span(self, name, tag)
+    }
+
+    fn phase_live(&self) -> bool {
+        Comm::phase_live(self)
+    }
+
+    fn commit_phase(&mut self, state: Vec<f64>) -> Vec<f64> {
+        Comm::commit_phase(self, state)
+    }
+
+    fn bcast(&mut self, group: &[Rank], root: Rank, tag: u64, data: Option<Vec<f64>>) -> Vec<f64> {
+        Comm::bcast(self, group, root, tag, data)
+    }
+
+    fn reduce(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        contribution: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Option<Vec<f64>> {
+        Comm::reduce(self, group, root, tag, contribution, combine)
+    }
+
+    fn reduce_min(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        contribution: Vec<f64>,
+    ) -> Option<Vec<f64>> {
+        Comm::reduce_min(self, group, root, tag, contribution)
+    }
+
+    fn gather(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> Option<Vec<Vec<f64>>> {
+        Comm::gather(self, group, root, tag, payload)
+    }
+
+    fn scatter(
+        &mut self,
+        group: &[Rank],
+        root: Rank,
+        tag: u64,
+        payloads: Option<Vec<Vec<f64>>>,
+    ) -> Vec<f64> {
+        Comm::scatter(self, group, root, tag, payloads)
+    }
+
+    fn barrier(&mut self, group: &[Rank], tag: u64) {
+        Comm::barrier(self, group, tag);
+    }
+
+    fn allgather(&mut self, group: &[Rank], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>> {
+        Comm::allgather(self, group, tag, payload)
+    }
+
+    fn allreduce(
+        &mut self,
+        group: &[Rank],
+        tag: u64,
+        contribution: Vec<f64>,
+        combine: impl Fn(&mut Vec<f64>, &[f64]),
+    ) -> Vec<f64> {
+        Comm::allreduce(self, group, tag, contribution, combine)
+    }
+}

@@ -1,0 +1,489 @@
+//! The native shared-memory backend: `p` OS threads over per-`(src, dst)`
+//! std `mpsc` channels, no cost clocks, genuine wall-clock time.
+//!
+//! What it preserves from the simulator:
+//!
+//! * per-`(src, dst)` FIFO non-overtaking (one dedicated channel per
+//!   ordered rank pair);
+//! * tag checking — a mismatched tag panics with a diagnostic naming both
+//!   tags and dumping the pending queue, exactly like the simulator's
+//!   `ProtocolError`;
+//! * the hang watchdog — a rank blocked in a receive while the whole
+//!   machine makes no progress for `APSP_WATCHDOG_MS` (default 5000 ms)
+//!   aborts instead of hanging the test run;
+//! * cascade-death discipline — a rank dying on a disconnected channel is
+//!   a *victim* of a root-cause panic elsewhere; the root cause is
+//!   surfaced, the cascade markers are silenced.
+//!
+//! What it does **not** provide: §3.1 cost clocks, span ledgers, comm
+//! scripts, fault injection, checkpoint/recovery, schedule governors.
+//! [`crate::Transport::clocks`] returns zeros, spans are free no-ops, and
+//! [`crate::Transport::commit_phase`] only advances a local counter.
+
+use crate::Transport;
+use apsp_simnet::{Clocks, Rank, RankStats, RunReport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One message on a native wire: `(tag, payload)`.
+type Msg = (u64, Vec<f64>);
+
+/// Typed panic payload for a rank that died mid-send or mid-receive on a
+/// disconnected channel — always a cascade victim of a root-cause panic on
+/// the peer, never a first failure, so the panic printer silences it and
+/// [`NativeMachine::run`] surfaces the peer's error instead.
+#[derive(Clone, Debug)]
+struct NativeDisconnect {
+    rank: Rank,
+    peer: Rank,
+    tag: u64,
+}
+
+/// Machine-wide hang detection shared by every rank of one run: any send
+/// or completed receive bumps `progress`; a rank blocked in a receive
+/// while `progress` stays flat for the whole watchdog window declares the
+/// machine hung and aborts with a readable dump of the `blocked` registry.
+struct NativeWatchdog {
+    progress: AtomicU64,
+    /// `blocked[rank] = Some((src, tag))` while `rank` waits in a receive
+    /// (`src == rank` marks a wildcard wait).
+    blocked: Mutex<Vec<Option<(Rank, u64)>>>,
+}
+
+impl NativeWatchdog {
+    fn new(p: usize) -> Self {
+        NativeWatchdog { progress: AtomicU64::new(0), blocked: Mutex::new(vec![None; p]) }
+    }
+}
+
+/// The watchdog window: `APSP_WATCHDOG_MS` or 5000 ms of machine-wide
+/// inactivity — the same knob the simulator honours.
+fn default_watchdog_ms() -> u64 {
+    std::env::var("APSP_WATCHDOG_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(5000)
+}
+
+/// Launcher for the native backend — the shape of
+/// [`apsp_simnet::Machine::run`] without the cost model.
+pub struct NativeMachine;
+
+impl NativeMachine {
+    /// Runs `f(comm)` on `p` ranks (one OS thread each) and returns every
+    /// rank's result plus an all-zero [`RunReport`] (`p` default rank
+    /// entries, no profile) so callers keep a uniform result shape across
+    /// backends.
+    ///
+    /// Panics in any rank propagate and fail the run; when several ranks
+    /// die, the root cause (the first non-cascade panic in rank order) is
+    /// surfaced rather than a disconnect victim.
+    pub fn run<T, F>(p: usize, f: F) -> (Vec<T>, RunReport)
+    where
+        T: Send,
+        F: Fn(&mut NativeComm) -> T + Sync,
+    {
+        assert!(p >= 1, "need at least one rank");
+        install_quiet_disconnect_panics();
+        let watchdog = Arc::new(NativeWatchdog::new(p));
+        let watchdog_ms = default_watchdog_ms();
+        // channel matrix: tx_rows[src][dst] sends src→dst; each rank takes
+        // sole ownership of its row of senders and column of receivers, so
+        // a dying rank disconnects its channels (unblocking any peer stuck
+        // in recv, which then fails as a cascade victim instead of hanging).
+        let mut tx_rows: Vec<Vec<Sender<Msg>>> = Vec::with_capacity(p);
+        let mut rx_rows: Vec<Vec<Option<Receiver<Msg>>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect::<Vec<_>>()).collect();
+        for src in 0..p {
+            let mut row = Vec::with_capacity(p);
+            for rx_row in rx_rows.iter_mut() {
+                let (tx, rx) = channel();
+                row.push(tx);
+                rx_row[src] = Some(rx);
+            }
+            tx_rows.push(row);
+        }
+
+        // each rank's receiver ports ride along in its outcome so they stay
+        // open until every thread has finished; a *panicking* rank unwinds
+        // before depositing its outcome, so its ports close and unblock
+        // peers stuck in recv.
+        let mut results: Vec<Option<(T, Vec<Receiver<Msg>>)>> = (0..p).map(|_| None).collect();
+        {
+            let slots: Vec<_> = results.iter_mut().collect();
+            let f = &f;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(p);
+                let rank_iter = tx_rows.drain(..).zip(rx_rows.drain(..)).zip(slots).enumerate();
+                for (rank, ((tx_row, rx_row), slot)) in rank_iter {
+                    let rx_row: Vec<Receiver<Msg>> =
+                        rx_row.into_iter().map(|o| o.expect("receiver present at build")).collect();
+                    let watchdog = Arc::clone(&watchdog);
+                    handles.push(scope.spawn(move || {
+                        let mut comm = NativeComm {
+                            rank,
+                            p,
+                            tx: tx_row,
+                            rx: rx_row,
+                            boundary: 0,
+                            watchdog,
+                            watchdog_ms,
+                        };
+                        let out = f(&mut comm);
+                        let ports = std::mem::take(&mut comm.rx);
+                        *slot = Some((out, ports));
+                    }));
+                }
+                let mut panics = Vec::new();
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        panics.push(payload);
+                    }
+                }
+                if panics.is_empty() {
+                    return;
+                }
+                // skip cascade-victim markers when picking the panic to
+                // surface: a disconnect death always has a root cause
+                // elsewhere in the list. Handles were joined in rank order,
+                // so the surfaced error is deterministic.
+                if let Some(i) = panics.iter().position(|pl| !pl.is::<NativeDisconnect>()) {
+                    std::panic::resume_unwind(panics.remove(i));
+                }
+                let d = panics[0].downcast_ref::<NativeDisconnect>().expect("only markers left");
+                unreachable!(
+                    "rank {} died on disconnect from {} (tag {:#x}) with no root cause",
+                    d.rank, d.peer, d.tag
+                );
+            });
+        }
+
+        let mut outs = Vec::with_capacity(p);
+        for r in results {
+            let (out, _ports) = r.expect("rank completed without depositing an outcome");
+            outs.push(out);
+        }
+        (outs, RunReport { per_rank: vec![RankStats::default(); p], profile: None })
+    }
+}
+
+/// Silences the typed cascade markers: a `NativeDisconnect` death is about
+/// to be replaced by its root cause in [`NativeMachine::run`], so the
+/// "thread panicked" backtrace noise would only obscure the real error.
+/// Genuine panics still print. Installed once per process; chains to the
+/// previous hook.
+fn install_quiet_disconnect_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<NativeDisconnect>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// A rank's handle to the native machine: point-to-point messaging over
+/// std `mpsc` channels. No cost model — see the module docs for the exact
+/// contract differences from [`apsp_simnet::Comm`].
+pub struct NativeComm {
+    rank: Rank,
+    p: usize,
+    tx: Vec<Sender<Msg>>,
+    rx: Vec<Receiver<Msg>>,
+    /// Phase boundaries committed so far ([`Transport::commit_phase`]).
+    boundary: u64,
+    watchdog: Arc<NativeWatchdog>,
+    watchdog_ms: u64,
+}
+
+impl NativeComm {
+    /// Phase boundaries committed so far.
+    pub fn boundary(&self) -> u64 {
+        self.boundary
+    }
+
+    /// Blocking receive with the machine-wide watchdog discipline: the
+    /// wait is chopped into `recv_timeout` ticks; local idle time only
+    /// accumulates while *no* rank makes progress, and the run aborts
+    /// (readably) when it exceeds the watchdog window.
+    fn wire_recv(&mut self, src: Rank, tag: u64) -> Msg {
+        let tick = (self.watchdog_ms / 5).clamp(1, 50);
+        let mut registered = false;
+        let mut idle = 0u64;
+        let mut last_progress = self.watchdog.progress.load(Ordering::Relaxed);
+        loop {
+            match self.rx[src].recv_timeout(Duration::from_millis(tick)) {
+                Ok(msg) => {
+                    self.watchdog.progress.fetch_add(1, Ordering::Relaxed);
+                    if registered {
+                        self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] = None;
+                    }
+                    return msg;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if !registered {
+                        self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] =
+                            Some((src, tag));
+                        registered = true;
+                    }
+                    let progress = self.watchdog.progress.load(Ordering::Relaxed);
+                    if progress != last_progress {
+                        last_progress = progress;
+                        idle = 0;
+                        continue;
+                    }
+                    idle += tick;
+                    if idle < self.watchdog_ms {
+                        continue;
+                    }
+                    let blocked = self.watchdog.blocked.lock().expect("watchdog registry").clone();
+                    panic!(
+                        "native machine hang: rank {} blocked {} ms waiting for \
+                         (src {}, tag {:#x}) with no machine-wide progress; blocked: {:?}",
+                        self.rank, self.watchdog_ms, src, tag, blocked
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // the sender's ports only close when its thread unwound
+                    // before depositing its outcome — this rank is a cascade
+                    // victim of a root-cause panic over there. Die with a
+                    // typed marker so the root cause is surfaced instead.
+                    std::panic::panic_any(NativeDisconnect { rank: self.rank, peer: src, tag });
+                }
+            }
+        }
+    }
+
+    /// Tag check on an accepted message; a mismatch dumps up to 8 pending
+    /// `(tag, words)` entries from the same port, like the simulator's
+    /// `ProtocolError` diagnostic.
+    fn check_tag(&mut self, src: Rank, expected: u64, actual: u64) {
+        if actual == expected {
+            return;
+        }
+        let mut pending = Vec::new();
+        while pending.len() < 8 {
+            match self.rx[src].try_recv() {
+                Ok((t, payload)) => pending.push((t, payload.len())),
+                Err(_) => break,
+            }
+        }
+        panic!(
+            "native tag mismatch: rank {} expected tag {:#x} from rank {}, got {:#x}; \
+             further pending from that port: {:?}",
+            self.rank, expected, src, actual, pending
+        );
+    }
+}
+
+/// No-op RAII span for the native backend — the guard only forwards to the
+/// communicator; there is no ledger to record into.
+pub struct NativeSpan<'a> {
+    comm: &'a mut NativeComm,
+}
+
+impl std::ops::Deref for NativeSpan<'_> {
+    type Target = NativeComm;
+    fn deref(&self) -> &NativeComm {
+        self.comm
+    }
+}
+
+impl std::ops::DerefMut for NativeSpan<'_> {
+    fn deref_mut(&mut self) -> &mut NativeComm {
+        self.comm
+    }
+}
+
+impl Transport for NativeComm {
+    type Span<'s> = NativeSpan<'s>;
+
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn p(&self) -> usize {
+        self.p
+    }
+
+    fn send(&mut self, dst: Rank, tag: u64, payload: Vec<f64>) {
+        assert!(dst < self.p, "rank {dst} out of range (p = {})", self.p);
+        assert_ne!(dst, self.rank, "self-send: use local data instead");
+        if self.tx[dst].send((tag, payload)).is_err() {
+            // the receiver's thread already died of a root-cause error;
+            // die as a silenced cascade victim so that error surfaces
+            std::panic::panic_any(NativeDisconnect { rank: self.rank, peer: dst, tag });
+        }
+        // a send is machine progress: any rank still moving holds off
+        // every rank's watchdog
+        self.watchdog.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn recv(&mut self, src: Rank, expected_tag: u64) -> Vec<f64> {
+        assert!(src < self.p, "rank {src} out of range (p = {})", self.p);
+        assert_ne!(src, self.rank, "self-receive: use local data instead");
+        let (tag, payload) = self.wire_recv(src, expected_tag);
+        self.check_tag(src, expected_tag, tag);
+        payload
+    }
+
+    fn recv_any(&mut self, expected_tag: u64) -> (Rank, Vec<f64>) {
+        assert!(self.p > 1, "recv_any with no possible sender");
+        let tick = (self.watchdog_ms / 5).clamp(1, 50);
+        let mut registered = false;
+        let mut idle = 0u64;
+        let mut last_progress = self.watchdog.progress.load(Ordering::Relaxed);
+        loop {
+            for src in 0..self.p {
+                if src == self.rank {
+                    continue;
+                }
+                if let Ok((tag, payload)) = self.rx[src].try_recv() {
+                    self.watchdog.progress.fetch_add(1, Ordering::Relaxed);
+                    if registered {
+                        self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] = None;
+                    }
+                    self.check_tag(src, expected_tag, tag);
+                    return (src, payload);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(tick));
+            if !registered {
+                // wildcard wait: register blocked-on-self as the marker
+                self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] =
+                    Some((self.rank, expected_tag));
+                registered = true;
+            }
+            let progress = self.watchdog.progress.load(Ordering::Relaxed);
+            if progress != last_progress {
+                last_progress = progress;
+                idle = 0;
+                continue;
+            }
+            idle += tick;
+            if idle >= self.watchdog_ms {
+                let blocked = self.watchdog.blocked.lock().expect("watchdog registry").clone();
+                panic!(
+                    "native machine hang: rank {} blocked {} ms in recv_any (tag {:#x}) \
+                     with no machine-wide progress; blocked: {:?}",
+                    self.rank, self.watchdog_ms, expected_tag, blocked
+                );
+            }
+        }
+    }
+
+    fn compute(&mut self, _ops: u64) {}
+
+    fn alloc(&mut self, _words: usize) {}
+
+    fn release(&mut self, _words: usize) {}
+
+    fn clocks(&self) -> Clocks {
+        Clocks::default()
+    }
+
+    fn span(&mut self, _name: &'static str, _tag: u64) -> NativeSpan<'_> {
+        NativeSpan { comm: self }
+    }
+
+    fn phase_live(&self) -> bool {
+        true
+    }
+
+    fn commit_phase(&mut self, state: Vec<f64>) -> Vec<f64> {
+        self.boundary += 1;
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let (outs, report) = NativeMachine::run(2, |comm| match comm.rank() {
+            0 => {
+                comm.send(1, 7, vec![1.5, 2.5]);
+                comm.recv(1, 8)
+            }
+            _ => {
+                let got = comm.recv(0, 7);
+                comm.send(0, 8, vec![got[0] + got[1]]);
+                got
+            }
+        });
+        assert_eq!(outs[0], vec![4.0]);
+        assert_eq!(outs[1], vec![1.5, 2.5]);
+        // the native machine reports no costs, but keeps the report shape
+        assert_eq!(report.per_rank.len(), 2);
+        assert_eq!(report.critical_latency(), 0);
+    }
+
+    #[test]
+    fn fifo_non_overtaking_per_channel() {
+        let (outs, _) = NativeMachine::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100 {
+                    comm.send(1, 3, vec![i as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| comm.recv(0, 3)[0]).collect::<Vec<f64>>()
+            }
+        });
+        let expect: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert_eq!(outs[1], expect);
+    }
+
+    #[test]
+    fn recv_any_drains_all_senders() {
+        let (outs, _) = NativeMachine::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut got: Vec<f64> = (1..4).map(|_| comm.recv_any(5).1[0]).collect();
+                got.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                got
+            } else {
+                comm.send(0, 5, vec![comm.rank() as f64]);
+                Vec::new()
+            }
+        });
+        assert_eq!(outs[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn commit_phase_advances_boundary_and_returns_state() {
+        let (outs, _) = NativeMachine::run(1, |comm| {
+            let s1 = comm.commit_phase(vec![1.0]);
+            let s2 = comm.commit_phase(vec![2.0]);
+            assert!(comm.phase_live());
+            (s1, s2, comm.boundary())
+        });
+        assert_eq!(outs[0], (vec![1.0], vec![2.0], 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "native tag mismatch")]
+    fn tag_mismatch_fails_loudly() {
+        let _ = NativeMachine::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![0.0]);
+            } else {
+                let _ = comm.recv(0, 2);
+            }
+        });
+    }
+
+    #[test]
+    fn single_rank_machine_runs() {
+        let (outs, _) = NativeMachine::run(1, |comm| {
+            comm.compute(10);
+            comm.alloc(100);
+            comm.release(100);
+            comm.rank()
+        });
+        assert_eq!(outs, vec![0]);
+    }
+}

@@ -1,0 +1,380 @@
+//! Cross-backend conformance of the collectives: every `Transport`
+//! collective run on the native threads backend must return **bit-
+//! identical** results to the same program on the simulated machine.
+//!
+//! The native defaults are ports of simnet's binomial trees, so this is
+//! the property that keeps them in lockstep: same virtual ring, same
+//! mask walk, same combine order (floating-point combines are order-
+//! sensitive — bit equality proves the trees are truly identical), same
+//! `[index, len, words]` framing for ragged all-gathers.
+//!
+//! Groups are random ordered subsets of `0..p` for `p ∈ 1..=16` (grid
+//! sizes 1, 4, 9 included), roots are random positions, and payloads mix
+//! finite values with `∞` (the solvers' ⊕-identity).
+
+use apsp_simnet::Machine;
+use apsp_transport::{NativeMachine, Transport};
+use proptest::prelude::*;
+
+/// A random collective call site: machine size, an ordered group of
+/// distinct ranks, a root position within it, and a payload seed.
+#[derive(Clone, Debug)]
+struct Case {
+    p: usize,
+    group: Vec<usize>,
+    root_pos: usize,
+    seed: u64,
+}
+
+fn arb_case(max_p: usize) -> impl Strategy<Value = Case> {
+    (1..=max_p).prop_flat_map(|p| {
+        (1..=p, 0u64..u64::MAX).prop_flat_map(move |(g, shuffle_seed)| {
+            (0..g, 0u64..u64::MAX).prop_map(move |(root_pos, seed)| Case {
+                p,
+                group: pick_group(p, g, shuffle_seed),
+                root_pos,
+                seed,
+            })
+        })
+    })
+}
+
+/// Fisher–Yates over `0..p` from a seed, truncated to `g` members, then
+/// sorted — a deterministic random subset. (Collectives require sorted
+/// unique groups; the shuffle only randomizes *which* ranks are members.)
+fn pick_group(p: usize, g: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    let mut rnd = move |m: usize| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m
+    };
+    let mut ranks: Vec<usize> = (0..p).collect();
+    for i in (1..p).rev() {
+        ranks.swap(i, rnd(i + 1));
+    }
+    ranks.truncate(g);
+    ranks.sort_unstable();
+    ranks
+}
+
+/// Deterministic payload for `(case seed, rank, slot)`: mixed finite
+/// values with an `∞` sprinkled in (the solvers' ⊕-identity travels
+/// through every collective).
+fn payload(seed: u64, rank: usize, len: usize) -> Vec<f64> {
+    let mut state = seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (state >> 33) as i64;
+            if v % 13 == 0 {
+                f64::INFINITY
+            } else {
+                (v % 10_000) as f64 / 8.0 - 500.0
+            }
+        })
+        .collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn bits2(v: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    v.iter().map(|x| bits(x)).collect()
+}
+
+/// Runs the same generic SPMD program on both machines and returns the
+/// two per-rank output vectors.
+fn on_both_backends<T, F>(p: usize, f: F) -> (Vec<T>, Vec<T>)
+where
+    T: Send,
+    F: for<'a> Fn(&'a mut dyn ErasedTransport) -> T + Sync,
+{
+    let (sim, _) = Machine::run(p, |comm| f(&mut Erased(comm)));
+    let (native, _) = NativeMachine::run(p, |comm| f(&mut Erased(comm)));
+    (sim, native)
+}
+
+/// Object-safe facade so one closure drives both concrete transports
+/// (`Transport` itself is not object-safe: generic `combine` closures).
+trait ErasedTransport {
+    fn rank(&self) -> usize;
+    fn bcast(&mut self, group: &[usize], root: usize, tag: u64, data: Option<Vec<f64>>)
+        -> Vec<f64>;
+    fn reduce_sum(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        contribution: Vec<f64>,
+    ) -> Option<Vec<f64>>;
+    fn reduce_min(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        contribution: Vec<f64>,
+    ) -> Option<Vec<f64>>;
+    fn gather(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> Option<Vec<Vec<f64>>>;
+    fn scatter(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        payloads: Option<Vec<Vec<f64>>>,
+    ) -> Vec<f64>;
+    fn barrier(&mut self, group: &[usize], tag: u64);
+    fn allgather(&mut self, group: &[usize], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>>;
+    fn allreduce_sum(&mut self, group: &[usize], tag: u64, contribution: Vec<f64>) -> Vec<f64>;
+}
+
+struct Erased<'a, C: Transport>(&'a mut C);
+
+/// Order-sensitive elementwise combine: floating-point `+` does not
+/// associate, so bit equality across backends proves identical tree
+/// shape AND identical combine order.
+#[allow(clippy::ptr_arg)] // &mut Vec is the Transport::reduce combine signature
+fn sum(acc: &mut Vec<f64>, inc: &[f64]) {
+    assert_eq!(acc.len(), inc.len(), "reduction shape mismatch");
+    for (a, &b) in acc.iter_mut().zip(inc) {
+        *a += b;
+    }
+}
+
+impl<C: Transport> ErasedTransport for Erased<'_, C> {
+    fn rank(&self) -> usize {
+        self.0.rank()
+    }
+    fn bcast(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        data: Option<Vec<f64>>,
+    ) -> Vec<f64> {
+        self.0.bcast(group, root, tag, data)
+    }
+    fn reduce_sum(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        contribution: Vec<f64>,
+    ) -> Option<Vec<f64>> {
+        self.0.reduce(group, root, tag, contribution, sum)
+    }
+    fn reduce_min(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        contribution: Vec<f64>,
+    ) -> Option<Vec<f64>> {
+        self.0.reduce_min(group, root, tag, contribution)
+    }
+    fn gather(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> Option<Vec<Vec<f64>>> {
+        self.0.gather(group, root, tag, payload)
+    }
+    fn scatter(
+        &mut self,
+        group: &[usize],
+        root: usize,
+        tag: u64,
+        payloads: Option<Vec<Vec<f64>>>,
+    ) -> Vec<f64> {
+        self.0.scatter(group, root, tag, payloads)
+    }
+    fn barrier(&mut self, group: &[usize], tag: u64) {
+        self.0.barrier(group, tag);
+    }
+    fn allgather(&mut self, group: &[usize], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>> {
+        self.0.allgather(group, tag, payload)
+    }
+    fn allreduce_sum(&mut self, group: &[usize], tag: u64, contribution: Vec<f64>) -> Vec<f64> {
+        self.0.allreduce(group, tag, contribution, sum)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bcast_matches_simnet(case in arb_case(16), len in 0usize..24) {
+        let root = case.group[case.root_pos];
+        let data = payload(case.seed, root, len);
+        let expected = data.clone();
+        let (sim, native) = on_both_backends(case.p, |c| {
+            if case.group.contains(&c.rank()) {
+                let d = (c.rank() == root).then(|| data.clone());
+                c.bcast(&case.group, root, 0x7E57, d)
+            } else {
+                Vec::new()
+            }
+        });
+        for (rank, (s, n)) in sim.iter().zip(&native).enumerate() {
+            prop_assert_eq!(bits(s), bits(n), "rank {} diverged", rank);
+            if case.group.contains(&rank) {
+                prop_assert_eq!(bits(n), bits(&expected), "rank {} lost the payload", rank);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_simnet_bit_for_bit(case in arb_case(16), len in 1usize..16) {
+        // fp addition is order-sensitive: bit equality pins the tree order
+        let root = case.group[case.root_pos];
+        let (sim, native) = on_both_backends(case.p, |c| {
+            if case.group.contains(&c.rank()) {
+                c.reduce_sum(&case.group, root, 0x5ED5, payload(case.seed, c.rank(), len))
+            } else {
+                None
+            }
+        });
+        for (rank, (s, n)) in sim.iter().zip(&native).enumerate() {
+            prop_assert_eq!(s.is_some(), rank == root);
+            match (s, n) {
+                (Some(s), Some(n)) => prop_assert_eq!(bits(s), bits(n)),
+                (None, None) => {}
+                _ => prop_assert!(false, "rank {} root-ness diverged", rank),
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_min_matches_simnet(case in arb_case(16), len in 1usize..16) {
+        let root = case.group[case.root_pos];
+        let (sim, native) = on_both_backends(case.p, |c| {
+            if case.group.contains(&c.rank()) {
+                c.reduce_min(&case.group, root, 0x31D5, payload(case.seed, c.rank(), len))
+            } else {
+                None
+            }
+        });
+        let expect: Vec<f64> = (0..len)
+            .map(|i| {
+                case.group
+                    .iter()
+                    .map(|&r| payload(case.seed, r, len)[i])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        for (s, n) in sim.iter().zip(&native) {
+            match (s, n) {
+                (Some(s), Some(n)) => {
+                    prop_assert_eq!(bits(s), bits(n));
+                    prop_assert_eq!(bits(n), bits(&expect), "min-reduction wrong");
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "root-ness diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_match_simnet(case in arb_case(16), len in 0usize..12) {
+        let root = case.group[case.root_pos];
+        let per_member: Vec<Vec<f64>> =
+            case.group.iter().map(|&r| payload(case.seed, r, len)).collect();
+        let (sim, native) = on_both_backends(case.p, |c| {
+            if case.group.contains(&c.rank()) {
+                let gathered =
+                    c.gather(&case.group, root, 0x6A01, payload(case.seed, c.rank(), len));
+                let mine = c.scatter(
+                    &case.group,
+                    root,
+                    0x5C01,
+                    (c.rank() == root).then(|| per_member.clone()),
+                );
+                (gathered, mine)
+            } else {
+                (None, Vec::new())
+            }
+        });
+        for (rank, ((sg, ss), (ng, ns))) in sim.iter().zip(&native).enumerate() {
+            match (sg, ng) {
+                (Some(sg), Some(ng)) => {
+                    prop_assert_eq!(bits2(sg), bits2(ng));
+                    prop_assert_eq!(bits2(ng), bits2(&per_member), "gather order wrong");
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "rank {} gather root-ness diverged", rank),
+            }
+            prop_assert_eq!(bits(ss), bits(ns), "rank {} scatter diverged", rank);
+            if let Some(pos) = case.group.iter().position(|&r| r == rank) {
+                prop_assert_eq!(bits(ns), bits(&per_member[pos]), "scatter slice wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_matches_simnet_with_ragged_payloads(case in arb_case(16)) {
+        // ragged: member i contributes a length-(i % 5) payload — exercises
+        // the [index, len, words] framing, zero-length included
+        let (sim, native) = on_both_backends(case.p, |c| {
+            if let Some(pos) = case.group.iter().position(|&r| r == c.rank()) {
+                c.allgather(&case.group, 0xA601, payload(case.seed, c.rank(), pos % 5))
+            } else {
+                Vec::new()
+            }
+        });
+        let expect: Vec<Vec<f64>> = case
+            .group
+            .iter()
+            .enumerate()
+            .map(|(pos, &r)| payload(case.seed, r, pos % 5))
+            .collect();
+        for (rank, (s, n)) in sim.iter().zip(&native).enumerate() {
+            prop_assert_eq!(bits2(s), bits2(n), "rank {} diverged", rank);
+            if case.group.contains(&rank) {
+                prop_assert_eq!(bits2(n), bits2(&expect), "rank {} group order wrong", rank);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_simnet_bit_for_bit(case in arb_case(16), len in 1usize..12) {
+        let (sim, native) = on_both_backends(case.p, |c| {
+            if case.group.contains(&c.rank()) {
+                c.allreduce_sum(&case.group, 0xA201, payload(case.seed, c.rank(), len))
+            } else {
+                Vec::new()
+            }
+        });
+        let members: Vec<&Vec<f64>> = case
+            .group
+            .iter()
+            .filter_map(|&r| sim.get(r))
+            .collect();
+        for w in members.windows(2) {
+            prop_assert_eq!(bits(w[0]), bits(w[1]), "allreduce must agree across members");
+        }
+        for (rank, (s, n)) in sim.iter().zip(&native).enumerate() {
+            prop_assert_eq!(bits(s), bits(n), "rank {} diverged", rank);
+        }
+    }
+
+    #[test]
+    fn barrier_completes_on_both_backends(case in arb_case(16)) {
+        let (sim, native) = on_both_backends(case.p, |c| {
+            if case.group.contains(&c.rank()) {
+                c.barrier(&case.group, 0xBA01);
+                1u8
+            } else {
+                0u8
+            }
+        });
+        prop_assert_eq!(sim, native);
+    }
+}

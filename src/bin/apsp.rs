@@ -88,6 +88,32 @@ fn wants_profile(args: &Args) -> bool {
     args.opt("--trace").is_some() || args.flag("--profile")
 }
 
+/// Parses `--backend sim|native` (default sim), dying with the accepted
+/// values on a bad name.
+fn backend(args: &Args) -> Backend {
+    match args.opt("--backend") {
+        None => Backend::Sim,
+        Some(v) => Backend::parse(v).unwrap_or_else(|e| die(&e)),
+    }
+}
+
+/// The native backend runs the schedule on OS threads with no §3.1 cost
+/// model, so every simulator-only flag is rejected up front with a
+/// readable message instead of being silently ignored.
+fn reject_sim_only_flags(args: &Args) {
+    for (flag, present) in [
+        ("--faults", args.opt("--faults").is_some()),
+        ("--recover", args.opt("--recover").is_some()),
+        ("--trace", args.opt("--trace").is_some()),
+        ("--profile", args.flag("--profile")),
+        ("--charge-ordering", args.flag("--charge-ordering")),
+    ] {
+        if present {
+            die(&format!("{flag} needs the simulated machine; drop {flag} or use --backend sim"));
+        }
+    }
+}
+
 /// Parses `--faults SPEC` (seeded by `--fault-seed`, default 0) into a
 /// [`FaultPlan`], dying with the grammar error on a bad spec.
 fn fault_plan(args: &Args) -> Option<FaultPlan> {
@@ -217,6 +243,10 @@ fn solve_directed(args: &Args) -> (DiCsr, DenseDist, RunReport, Vec<(u64, u64)>)
     if args.opt("--faults").is_some() || args.opt("--recover").is_some() {
         die("--faults/--recover are not supported with --directed yet");
     }
+    let backend = backend(args);
+    if backend == Backend::Native {
+        reject_sim_only_flags(args);
+    }
     let input = args.get("--input");
     let dg = if input.ends_with(".gr") {
         let text = std::fs::read_to_string(input)
@@ -234,6 +264,7 @@ fn solve_directed(args: &Args) -> (DiCsr, DenseDist, RunReport, Vec<(u64, u64)>)
         },
         compress_empty: args.flag("--compress-empty"),
         profile: wants_profile(args),
+        backend,
         ..Default::default()
     };
     let run = SparseApsp::new(config).run_directed(&dg);
@@ -244,6 +275,10 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
     let algorithm = args.opt("--algorithm").unwrap_or("sparse2d");
     let height: u32 = args.num("--height", 3);
     let n_grid = (1usize << height) - 1;
+    let backend = backend(args);
+    if backend == Backend::Native {
+        reject_sim_only_flags(args);
+    }
     let recover = recovery_policy(args);
     // --recover without --faults still supervises the run (an empty plan
     // measures the pure checkpointing overhead)
@@ -264,6 +299,7 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
                 charge_ordering_distribution: args.flag("--charge-ordering"),
                 profile: wants_profile(args),
                 recovery: recover,
+                backend,
                 ..Default::default()
             };
             let run = match &plan {
@@ -280,6 +316,10 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
                 None => SparseApsp::new(config).run(g),
             };
             (run.dist, run.report, run.level_costs)
+        }
+        "fw2d" if backend == Backend::Native => {
+            let out = fw2d_native(g, n_grid);
+            (out.dist, out.report, Vec::new())
         }
         "fw2d" => {
             let out = match (&plan, recover) {
@@ -302,6 +342,10 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
             };
             (out.dist, out.report, Vec::new())
         }
+        "dcapsp" if backend == Backend::Native => {
+            let out = dc_apsp_native(g, n_grid, args.num("--depth", 1u32));
+            (out.dist, out.report, Vec::new())
+        }
         "dcapsp" => {
             let depth = args.num("--depth", 1u32);
             let out = match (&plan, recover) {
@@ -322,6 +366,10 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
                 (None, _) if wants_profile(args) => dc_apsp_profiled(g, n_grid, depth),
                 (None, _) => dc_apsp(g, n_grid, depth),
             };
+            (out.dist, out.report, Vec::new())
+        }
+        "djohnson" if backend == Backend::Native => {
+            let out = distributed_johnson_native(g, n_grid * n_grid);
             (out.dist, out.report, Vec::new())
         }
         "djohnson" => {
@@ -347,6 +395,9 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
             (out.dist, out.report, Vec::new())
         }
         "superfw" => {
+            if args.opt("--backend").is_some() {
+                die("superfw is host-side shared-memory already; --backend does not apply");
+            }
             if wants_profile(args) {
                 die("--trace/--profile need the simulated machine; superfw is shared-memory");
             }
@@ -462,11 +513,17 @@ fn cmd_solve(args: &Args) {
 /// gates on wall-clock regressions (exit 1).
 fn cmd_bench(args: &Args) {
     let quick = !args.flag("--full");
-    let label = args.opt("--label").unwrap_or(if quick { "quick" } else { "full" });
+    let backend = backend(args);
+    let default_label = match backend {
+        Backend::Native => "native",
+        Backend::Sim if quick => "quick",
+        Backend::Sim => "full",
+    };
+    let label = args.opt("--label").unwrap_or(default_label);
     let iters: u32 = args.num("--iters", 3);
     let out_path =
         args.opt("--out").map(String::from).unwrap_or_else(|| format!("BENCH_{label}.json"));
-    let suite = sparse_apsp::bench::run_suite(label, quick, iters, &mut |msg| {
+    let suite = sparse_apsp::bench::run_suite_on(label, quick, iters, backend, &mut |msg| {
         eprintln!("bench: {msg}");
     });
     std::fs::write(&out_path, suite.to_json())
@@ -524,14 +581,15 @@ USAGE:
                 [--rows N --cols N | --n N | --side N | --scale N]
                 [--weights unit|integer|uniform] [--seed N]
   apsp solve    --input FILE [--algorithm sparse2d|fw2d|dcapsp|djohnson|superfw]
-                [--height H] [--verify] [--distances FILE] [--report FILE]
+                [--backend sim|native] [--height H] [--verify]
+                [--distances FILE] [--report FILE]
                 [--sequential-r4] [--compress-empty] [--charge-ordering]
                 [--trace DIR] [--profile] [--metrics[=BASE]]
                 [--faults SPEC] [--fault-seed N] [--recover POLICY]
                 [--directed]   (.gr inputs keep their arc orientation)
   apsp path     --input FILE --from A --to B [--algorithm ...] [--height H]
-  apsp bench    [--full] [--label NAME] [--out FILE] [--iters N]
-                [--compare BASELINE.json] [--tolerance F]
+  apsp bench    [--full] [--backend sim|native] [--label NAME] [--out FILE]
+                [--iters N] [--compare BASELINE.json] [--tolerance F]
   apsp verify   --input FILE [--algorithm sparse2d|fw2d|dcapsp|djohnson|bad-fixture]
                 [--height H] [--n-grid N] [--depth D]
                 [--no-explore] [--max-schedules N]
@@ -543,6 +601,14 @@ USAGE:
 
 The simulated machine has p = (2^H - 1)^2 ranks; the JSON report carries
 the critical-path latency/bandwidth the paper's Table 2 analyzes.
+
+Backends: --backend sim (default) runs on the simulated machine with
+exact §3.1 cost clocks; --backend native runs the *identical* schedule
+on p OS threads over plain channels — bit-identical distances, real
+wall-clock, but no cost model, so the report's cost counters are zero
+and the simulator-only flags (--faults, --recover, --trace, --profile,
+--charge-ordering) are rejected. `apsp bench --backend native` writes
+BENCH_native.json (wall-clock only; see docs/BACKENDS.md).
 
 Observability: --trace DIR writes DIR/trace.json (Chrome-trace JSON of the
 span ledger over simulated critical-path time; open in Perfetto) and

@@ -40,6 +40,7 @@
 //! | [`etree`] | elimination-tree scheduling math (§4.2, §5.2), unit placement (Cor. 5.5) |
 //! | [`partition`] | multilevel nested dissection, Kőnig separators (§4.1) |
 //! | [`simnet`] | the simulated distributed machine (§3.1 cost model) |
+//! | [`transport`] | the [`transport::Transport`] trait and the native threads backend |
 //! | [`core`] | 2D-SPARSE-APSP, SuperFW, dense baselines, cost bounds |
 //! | [`metrics`] | host-side metrics registry (counters, histograms, phase timers) |
 //! | [`bench`] | experiment runners, `apsp bench` workload matrix |
@@ -55,29 +56,33 @@ pub use apsp_minplus as minplus;
 pub use apsp_par as par;
 pub use apsp_partition as partition;
 pub use apsp_simnet as simnet;
+pub use apsp_transport as transport;
 pub use apsp_verify as verify;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use apsp_core::bounds;
     pub use apsp_core::dcapsp::{
-        cyclic_fw, dc_apsp, dc_apsp_faulty, dc_apsp_profiled, dc_apsp_recovering, dc_apsp_verify,
+        cyclic_fw, dc_apsp, dc_apsp_faulty, dc_apsp_native, dc_apsp_profiled, dc_apsp_recovering,
+        dc_apsp_verify,
     };
     pub use apsp_core::djohnson::{
-        distributed_johnson, distributed_johnson_faulty, distributed_johnson_recovering,
-        distributed_johnson_verify,
+        distributed_johnson, distributed_johnson_faulty, distributed_johnson_native,
+        distributed_johnson_recovering, distributed_johnson_verify,
     };
     pub use apsp_core::dnd::{dist_nested_dissection, dist_nested_dissection_profiled};
     pub use apsp_core::driver::Ordering;
-    pub use apsp_core::fw2d::{fw2d, fw2d_faulty, fw2d_profiled, fw2d_recovering, fw2d_verify};
+    pub use apsp_core::fw2d::{
+        fw2d, fw2d_faulty, fw2d_native, fw2d_profiled, fw2d_recovering, fw2d_verify,
+    };
     pub use apsp_core::sparse2d::{
-        sparse2d, sparse2d_directed, sparse2d_faulty, sparse2d_profiled, sparse2d_recovering,
-        sparse2d_verify, sparse2d_with, Sparse2dOptions,
+        sparse2d, sparse2d_directed, sparse2d_faulty, sparse2d_native, sparse2d_native_directed,
+        sparse2d_profiled, sparse2d_recovering, sparse2d_verify, sparse2d_with, Sparse2dOptions,
     };
     pub use apsp_core::superfw::{superfw_apsp, superfw_opcount_comparison, superfw_parallel};
     pub use apsp_core::update::{apply_decreases, DecreasedEdge};
     pub use apsp_core::{
-        ApspRun, R4Strategy, SolvedApsp, SparseApsp, SparseApspConfig, SupernodalLayout,
+        ApspRun, Backend, R4Strategy, SolvedApsp, SparseApsp, SparseApspConfig, SupernodalLayout,
     };
     pub use apsp_etree::SchedTree;
     pub use apsp_graph::generators::{
@@ -96,5 +101,6 @@ pub mod prelude {
         PhaseBreakdown, Profile, RecoveryPolicy, RecoveryReport, RunReport, TimeModel,
         Unrecoverable,
     };
+    pub use apsp_transport::{NativeComm, NativeMachine, Transport};
     pub use apsp_verify::{VerifyOptions, VerifyReport, Violation};
 }

@@ -713,3 +713,131 @@ fn audit_cli_rejects_both_seeded_fixtures() {
     let out = apsp().args(["audit", "--fixture", "nope"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn native_backend_solves_match_sim_byte_for_byte() {
+    let graph = tmp("backend.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6"])
+        .args(["--weights", "integer", "--seed", "3", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+    // every distributed solver runs on the native backend, verifies, and
+    // writes the byte-identical distances file the sim backend writes
+    for algo in ["sparse2d", "fw2d", "dcapsp", "djohnson"] {
+        let sim_tsv = tmp(&format!("backend-{algo}-sim.tsv"));
+        let nat_tsv = tmp(&format!("backend-{algo}-native.tsv"));
+        for (backend, tsv) in [("sim", &sim_tsv), ("native", &nat_tsv)] {
+            let out = apsp()
+                .args(["solve", "--algorithm", algo, "--height", "2", "--verify"])
+                .args(["--backend", backend, "--input"])
+                .arg(&graph)
+                .arg("--distances")
+                .arg(tsv)
+                .output()
+                .unwrap();
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(out.status.success(), "{algo}/{backend}: {stderr}");
+            assert!(stderr.contains("verified against Dijkstra: OK"), "{algo}/{backend}: {stderr}");
+        }
+        assert_eq!(
+            std::fs::read(&sim_tsv).unwrap(),
+            std::fs::read(&nat_tsv).unwrap(),
+            "{algo}: native distances drifted from the sim backend"
+        );
+    }
+}
+
+#[test]
+fn native_backend_rejects_sim_only_flags_readably() {
+    let graph = tmp("backendrej.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "path", "--n", "10", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // every simulator-only flag dies with the same actionable shape,
+    // naming both the flag and the way out
+    let trace_dir = tmp("backendrej-trace");
+    let cases: Vec<(&str, Vec<String>)> = vec![
+        ("--faults", vec!["--faults".into(), "drop=0.1".into()]),
+        ("--recover", vec!["--recover".into(), "default".into()]),
+        ("--trace", vec!["--trace".into(), trace_dir.display().to_string()]),
+        ("--profile", vec!["--profile".into()]),
+        ("--charge-ordering", vec!["--charge-ordering".into()]),
+    ];
+    for (flag, extra) in cases {
+        let out = apsp()
+            .args(["solve", "--height", "2", "--backend", "native"])
+            .args(&extra)
+            .arg("--input")
+            .arg(&graph)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flag} must be rejected on the native backend");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!(
+                "{flag} needs the simulated machine; drop {flag} or use --backend sim"
+            )),
+            "{flag}: {stderr}"
+        );
+    }
+
+    // a bad backend name dies usage-style with the accepted values
+    let out = apsp()
+        .args(["solve", "--height", "2", "--backend", "bogus", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("unknown backend bogus (expected sim or native)"));
+
+    // superfw is host-side shared-memory; --backend means nothing there
+    let out = apsp()
+        .args(["solve", "--algorithm", "superfw", "--height", "2"])
+        .args(["--backend", "native", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("superfw is host-side shared-memory already; --backend does not apply"));
+}
+
+#[test]
+fn bench_native_backend_writes_and_compares() {
+    let out_path = tmp("BENCH_native_test.json");
+    let out = apsp()
+        .args(["bench", "--backend", "native", "--quick", "--iters", "1"])
+        .args(["--label", "native-test", "--out"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    json::validate(&text).unwrap_or_else(|at| panic!("bad JSON at byte {at}"));
+    assert!(text.contains("\"schema\": \"apsp-bench-v1\""), "{text}");
+    assert!(text.contains("\"backend\": \"native\""), "{text}");
+    // no §3.1 cost model on the native backend: comm clocks report zero,
+    // while the host-side kernel counters stay populated
+    assert!(text.contains("\"critical_latency\": 0"), "{text}");
+    assert!(text.contains("gemm_ops"), "{text}");
+
+    // self-compare under the default tolerance passes
+    let out = apsp()
+        .args(["bench", "--backend", "native", "--quick", "--iters", "1"])
+        .args(["--label", "native-test2", "--out"])
+        .arg(tmp("BENCH_native_test2.json"))
+        .arg("--compare")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("within 25%"));
+}

@@ -70,6 +70,79 @@ fn all_solvers_agree_pairwise_on_the_corpus() {
     }
 }
 
+/// Asserts exact f64 bit equality — `first_mismatch(.., 0.0)` would still
+/// admit `-0.0 == 0.0` and treats NaN specially; the backends run the
+/// identical schedule, so nothing short of `to_bits` equality is owed.
+fn assert_bit_identical(graph_name: &str, solver: &str, sim: &DenseDist, native: &DenseDist) {
+    assert_eq!(sim.n(), native.n(), "{graph_name}/{solver}: dimension drift");
+    for i in 0..sim.n() {
+        for j in 0..sim.n() {
+            let (a, b) = (sim.get(i, j), native.get(i, j));
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{graph_name}/{solver}: backends disagree at ({i},{j}): \
+                 sim {a} ({:#x}) vs native {b} ({:#x})",
+                a.to_bits(),
+                b.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn native_backend_is_bit_identical_to_simnet() {
+    // the Transport-trait guarantee: both backends execute the identical
+    // SPMD schedule, so every solver's distance matrix must match the
+    // simulated run bit for bit — to_bits equality, not tolerance
+    for (graph_name, g) in corpus() {
+        let sim = SparseApsp::with_height(2).run(&g).dist;
+        let native =
+            SparseApsp::new(SparseApspConfig { backend: Backend::Native, ..Default::default() })
+                .run(&g)
+                .dist;
+        assert_bit_identical(graph_name, "sparse2d", &sim, &native);
+
+        assert_bit_identical(graph_name, "fw2d", &fw2d(&g, 3).dist, &fw2d_native(&g, 3).dist);
+        assert_bit_identical(
+            graph_name,
+            "dcapsp",
+            &dc_apsp(&g, 3, 1).dist,
+            &dc_apsp_native(&g, 3, 1).dist,
+        );
+        assert_bit_identical(
+            graph_name,
+            "djohnson",
+            &distributed_johnson(&g, 9).dist,
+            &distributed_johnson_native(&g, 9).dist,
+        );
+    }
+}
+
+#[test]
+fn native_backend_matches_simnet_on_sparse2d_variants() {
+    // the option space the schedule actually branches on: R⁴ strategy,
+    // empty-block compression, taller trees, directed weights
+    let g = grid2d(8, 8, WeightKind::Integer { max: 6 }, 5);
+    let nd = grid_nd(8, 8, 3);
+    let layout = SupernodalLayout::from_ordering(&nd);
+    let gp = g.permuted(&nd.perm);
+    for opts in [
+        Sparse2dOptions::default(),
+        Sparse2dOptions { r4: R4Strategy::SequentialUnits, ..Default::default() },
+        Sparse2dOptions { compress_empty: true, ..Default::default() },
+    ] {
+        let sim = sparse2d_with(&layout, &gp, &opts).dist_eliminated;
+        let native = sparse2d_native(&layout, &gp, &opts).dist_eliminated;
+        assert_bit_identical("grid8x8", &format!("sparse2d {opts:?}"), &sim, &native);
+    }
+
+    let dg = DiCsr::from_undirected(&g).permuted(&nd.perm);
+    let opts = Sparse2dOptions::default();
+    let sim = sparse2d_directed(&layout, &dg, &opts).dist_eliminated;
+    let native = sparse2d_native_directed(&layout, &dg, &opts).dist_eliminated;
+    assert_bit_identical("grid8x8", "sparse2d-directed", &sim, &native);
+}
+
 #[test]
 fn faulted_and_clean_solvers_agree() {
     // the differential table, under faults: a recovered run must equal the

@@ -112,3 +112,148 @@ fn enabling_metrics_leaves_every_ledger_byte_identical() {
         "enabled pass must record the solve phase timer"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Transport-neutrality golden: routing the solvers through the `Transport`
+// trait must leave every byte of the simulator's output unchanged — comm
+// scripts, span ledgers, trace events, per-rank clocks, and distance bits.
+// The golden file was generated against the pre-refactor direct-`Comm`
+// code; regenerate (deliberately!) with `UPDATE_GOLDEN=1 cargo test`.
+// ---------------------------------------------------------------------------
+
+use sparse_apsp::simnet::CommEvent;
+use std::fmt::Write as _;
+
+fn render_report(s: &mut String, r: &RunReport) {
+    let _ = writeln!(
+        s,
+        "L={} B={} C={} msgs={} words={} peak={}",
+        r.critical_latency(),
+        r.critical_bandwidth(),
+        r.critical_compute(),
+        r.total_messages(),
+        r.total_words(),
+        r.max_peak_words()
+    );
+    for (i, stats) in r.per_rank.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "rank {i}: {} {} {} {} {}",
+            stats.clocks.latency,
+            stats.clocks.bandwidth,
+            stats.clocks.compute,
+            stats.sent_messages,
+            stats.sent_words
+        );
+    }
+    if let Some(profile) = &r.profile {
+        for (i, rp) in profile.per_rank.iter().enumerate() {
+            let _ = writeln!(s, "profile[{i}].final={:?}", rp.final_clocks);
+            for span in &rp.ledger.spans {
+                let _ = writeln!(s, "  span {:?}", span);
+            }
+            for send in &rp.sends {
+                let _ = writeln!(s, "  send {:?}", send);
+            }
+            for ev in &rp.events {
+                let _ = writeln!(s, "  event {:?}", ev);
+            }
+        }
+        let _ = writeln!(s, "comm_matrix={:?}", profile.comm_matrix);
+    }
+}
+
+fn render_dist(s: &mut String, d: &DenseDist) {
+    for i in 0..d.n() {
+        for j in 0..d.n() {
+            let _ = write!(s, "{};", d.get(i, j).to_bits());
+        }
+        let _ = writeln!(s);
+    }
+}
+
+fn render_scripts(s: &mut String, scripts: &[Vec<CommEvent>]) {
+    for (rank, script) in scripts.iter().enumerate() {
+        let _ = writeln!(s, "script[{rank}]:");
+        for ev in script {
+            let _ = writeln!(s, "  {ev:?}");
+        }
+    }
+}
+
+/// Renders every simulator-owned artifact of a fixed solve matrix: all
+/// four distributed solvers, recorded (comm scripts) and profiled (span
+/// ledgers + trace events) where the entry points exist.
+fn transport_digest() -> String {
+    let g = grid2d(5, 5, WeightKind::Integer { max: 9 }, 3);
+    let mut s = String::new();
+
+    let _ = writeln!(s, "== sparse2d recorded ==");
+    let (run, scripts) = SparseApsp::with_height(2).run_recorded(&g);
+    render_report(&mut s, &run.report);
+    let _ = writeln!(s, "levels={:?}", run.level_costs);
+    render_scripts(&mut s, &scripts);
+    render_dist(&mut s, &run.dist);
+
+    let _ = writeln!(s, "== sparse2d profiled ==");
+    let run = SparseApsp::new(SparseApspConfig { height: 2, profile: true, ..Default::default() })
+        .run(&g);
+    render_report(&mut s, &run.report);
+    render_dist(&mut s, &run.dist);
+
+    let _ = writeln!(s, "== fw2d recorded ==");
+    let (out, scripts) = sparse_apsp::core::fw2d::fw2d_recorded(&g, 3);
+    render_report(&mut s, &out.report);
+    render_scripts(&mut s, &scripts);
+    render_dist(&mut s, &out.dist);
+
+    let _ = writeln!(s, "== fw2d profiled ==");
+    let out = fw2d_profiled(&g, 3);
+    render_report(&mut s, &out.report);
+
+    let _ = writeln!(s, "== dcapsp recorded ==");
+    let (out, scripts) = sparse_apsp::core::dcapsp::dc_apsp_recorded(&g, 3, 1);
+    render_report(&mut s, &out.report);
+    render_scripts(&mut s, &scripts);
+    render_dist(&mut s, &out.dist);
+
+    let _ = writeln!(s, "== dcapsp profiled ==");
+    let out = dc_apsp_profiled(&g, 3, 1);
+    render_report(&mut s, &out.report);
+
+    let _ = writeln!(s, "== djohnson recorded ==");
+    let (out, scripts) = sparse_apsp::core::djohnson::distributed_johnson_recorded(&g, 4);
+    render_report(&mut s, &out.report);
+    render_scripts(&mut s, &scripts);
+    render_dist(&mut s, &out.dist);
+
+    s
+}
+
+#[test]
+fn transport_trait_path_is_byte_identical_to_pre_refactor_golden() {
+    let digest = transport_digest();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/transport_digest.txt");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &digest).expect("failed to write the golden digest file");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("tests/golden/transport_digest.txt missing — regenerate with UPDATE_GOLDEN=1");
+    if digest != golden {
+        for (i, (got, want)) in digest.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "simulator output drifted from the pre-refactor golden at line {}",
+                i + 1
+            );
+        }
+        panic!(
+            "simulator output drifted from the pre-refactor golden: \
+             lengths differ ({} vs {} bytes)",
+            digest.len(),
+            golden.len()
+        );
+    }
+}

@@ -1,8 +1,14 @@
-//! Large-machine stress tests. Expensive, so `#[ignore]`d by default:
+//! Large-machine stress tests (expensive, so `#[ignore]`d by default):
 //!
 //! ```text
 //! cargo test --release --test stress -- --ignored
 //! ```
+//!
+//! plus native-backend shutdown/drop-ordering stress (fast, runs by
+//! default): rapid machine churn without thread leaks, undelivered
+//! traffic at exit, staggered rank completion, and panic propagation
+//! that surfaces the root cause instead of hanging or drowning it in
+//! cascade victims.
 
 use sparse_apsp::prelude::*;
 
@@ -92,4 +98,129 @@ fn superfw_on_4k_vertices() {
     }
     // the supernodal elimination must beat n³ comfortably at this scale
     assert!(stats.ops * 10 < oracle::classical_fw_opcount(g.n()));
+}
+
+// ---- native backend shutdown / drop ordering (fast, not ignored) ----
+
+/// Kernel-reported thread count for this process.
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .expect("Threads: line in /proc/self/status")
+}
+
+#[test]
+fn native_rapid_fire_runs_do_not_leak_threads() {
+    // churn through ~120 machines of varying size; scoped threads must all
+    // be joined by the time each run returns, so the process thread count
+    // stays flat (generous slack absorbs unrelated harness threads — a
+    // genuine leak here would show up as hundreds)
+    let before = thread_count();
+    for round in 0..120usize {
+        let p = 2 + (round % 7);
+        let (outs, _) = NativeMachine::run(p, |comm| {
+            // ring shift: every rank both sends and receives, so every
+            // run opens live traffic on 2p channels before tearing down
+            let right = (comm.rank() + 1) % comm.p();
+            let left = (comm.rank() + comm.p() - 1) % comm.p();
+            comm.send(right, 0xF1F0, vec![comm.rank() as f64]);
+            comm.recv(left, 0xF1F0)[0]
+        });
+        for (rank, &v) in outs.iter().enumerate() {
+            assert_eq!(v, ((rank + p - 1) % p) as f64, "round {round} rank {rank}");
+        }
+    }
+    let after = thread_count();
+    assert!(after <= before + 32, "native machines leak threads: {before} -> {after}");
+}
+
+#[test]
+fn native_undelivered_messages_do_not_block_shutdown() {
+    // senders flood a rank that never receives, then exit. Receiver ports
+    // ride in the outcome slots, so the pending traffic keeps its channels
+    // alive until every thread has deposited — the run must complete
+    // cleanly, not hang and not kill the senders with a disconnect.
+    let (outs, _) = NativeMachine::run(6, |comm| {
+        if comm.rank() != 0 {
+            for i in 0..64 {
+                comm.send(0, 0xD1AF, vec![i as f64; 32]);
+            }
+        }
+        comm.rank()
+    });
+    assert_eq!(outs, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn native_staggered_exit_keeps_late_traffic_alive() {
+    // rank 0 finishes (and would drop its senders) long before the relay
+    // reaches rank 4 — early completion must not disconnect anyone
+    let (outs, _) = NativeMachine::run(5, |comm| match comm.rank() {
+        0 => {
+            comm.send(1, 1, vec![1.0]);
+            0.0
+        }
+        r => {
+            let v = comm.recv(r - 1, r as u64)[0] + 1.0;
+            if r + 1 < comm.p() {
+                comm.send(r + 1, (r + 1) as u64, vec![v]);
+            }
+            v
+        }
+    });
+    assert_eq!(outs, vec![0.0, 2.0, 3.0, 4.0, 5.0]);
+}
+
+#[test]
+fn native_panic_surfaces_root_cause_over_cascade_victims() {
+    // rank 5 dies first; every other rank is blocked on traffic only rank 5
+    // could send and dies as a disconnect cascade victim. The machine must
+    // re-raise the ROOT CAUSE, promptly (disconnects fire as soon as the
+    // dead rank's ports drop — no watchdog wait).
+    let result = std::panic::catch_unwind(|| {
+        NativeMachine::run(8, |comm| {
+            if comm.rank() == 5 {
+                panic!("deliberate failure at rank 5");
+            }
+            let _ = comm.recv(5, 0x0BAD);
+        })
+    });
+    let payload = result.expect_err("machine with a dead rank must fail");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("deliberate failure at rank 5"),
+        "surfaced panic should be the root cause, got: {msg:?}"
+    );
+}
+
+#[test]
+fn native_panic_mid_collective_does_not_hang() {
+    // a rank dying before joining a barrier strands the binomial tree; the
+    // survivors must fail fast on disconnect instead of waiting forever
+    let result = std::panic::catch_unwind(|| {
+        NativeMachine::run(6, |comm| {
+            let group: Vec<usize> = (0..comm.p()).collect();
+            if comm.rank() == 3 {
+                panic!("rank 3 died before the barrier");
+            }
+            comm.barrier(&group, 0xBA11);
+        })
+    });
+    let payload = result.expect_err("stranded barrier must fail the run");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(msg.contains("rank 3 died"), "surfaced: {msg:?}");
 }
