@@ -531,6 +531,43 @@ pub fn dc_apsp_recovering(
     Ok((assemble(g, geo, tiles_raw, report), faults, recovery))
 }
 
+/// [`dc_apsp_faulty`] on the **native** backend: the same seeded plan
+/// over real channel traffic, with `kill=` rules killing actual rank
+/// threads. Recovered runs are bit-identical to [`dc_apsp_native`].
+pub fn dc_apsp_native_faulty(
+    g: &Csr,
+    n_grid: usize,
+    depth: u32,
+    plan: &FaultPlan,
+) -> Result<(DcApspResult, FaultSummary), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-dcapsp-native");
+    let geo = Cyclic::new(g.n(), n_grid, depth);
+    let p = n_grid * n_grid;
+    let (tiles_raw, report, faults) =
+        NativeMachine::launch_faulty(p, plan, |comm| rank_program(comm, geo, depth, g))?;
+    Ok((assemble(g, geo, tiles_raw, report), faults))
+}
+
+/// [`dc_apsp_recovering`] on the **native** backend: per-sweep
+/// checkpoints, thread-level kill and respawn, spare-thread takeover for
+/// permanently dead ranks.
+pub fn dc_apsp_native_recovering(
+    g: &Csr,
+    n_grid: usize,
+    depth: u32,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+) -> Result<(DcApspResult, FaultSummary, RecoveryReport), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-dcapsp-native");
+    let geo = Cyclic::new(g.n(), n_grid, depth);
+    let p = n_grid * n_grid;
+    let (tiles_raw, report, faults, recovery) =
+        NativeMachine::launch_recovering(p, plan, policy, |comm| {
+            rank_program(comm, geo, depth, g)
+        })?;
+    Ok((assemble(g, geo, tiles_raw, report), faults, recovery))
+}
+
 /// Shared driver: `tile_depth` controls the block-cyclic oversubscription
 /// (`T = √p · 2^tile_depth` tiles per dimension), `rec_depth ≤ tile_depth`
 /// how many divide-and-conquer levels run before the blocked-FW base case.

@@ -166,6 +166,41 @@ pub fn distributed_johnson_recovering(
     Ok((assemble(n, &offsets, rows, report), faults, recovery))
 }
 
+/// [`distributed_johnson_faulty`] on the **native** backend: the same
+/// seeded plan over real channel traffic, with `kill=` rules killing
+/// actual rank threads. Recovered runs are bit-identical to
+/// [`distributed_johnson_native`].
+pub fn distributed_johnson_native_faulty(
+    g: &Csr,
+    p: usize,
+    plan: &FaultPlan,
+) -> Result<(DJohnsonResult, FaultSummary), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-djohnson-native");
+    let (n, offsets, packed, group) = setup(g, p);
+    let (rows, report, faults) = NativeMachine::launch_faulty(p, plan, |comm| {
+        rank_program(comm, &packed, &group, &offsets, n)
+    })?;
+    Ok((assemble(n, &offsets, rows, report), faults))
+}
+
+/// [`distributed_johnson_recovering`] on the **native** backend:
+/// phase-boundary checkpoints, thread-level kill and respawn,
+/// spare-thread takeover for permanently dead ranks.
+pub fn distributed_johnson_native_recovering(
+    g: &Csr,
+    p: usize,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+) -> Result<(DJohnsonResult, FaultSummary, RecoveryReport), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-djohnson-native");
+    let (n, offsets, packed, group) = setup(g, p);
+    let (rows, report, faults, recovery) =
+        NativeMachine::launch_recovering(p, plan, policy, |comm| {
+            rank_program(comm, &packed, &group, &offsets, n)
+        })?;
+    Ok((assemble(n, &offsets, rows, report), faults, recovery))
+}
+
 /// Host-side setup shared by all entry points: source offsets, the packed
 /// graph held by rank 0, and the full-machine broadcast group.
 fn setup(g: &Csr, p: usize) -> (usize, Vec<usize>, Vec<f64>, Vec<usize>) {

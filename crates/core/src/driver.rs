@@ -23,7 +23,10 @@ use apsp_simnet::{
 /// * [`Backend::Native`] runs the schedule on `p` OS threads over plain
 ///   channels (`apsp-transport`): no cost clocks (the report's counters
 ///   are all zero), but real wall-clock execution — the backend for
-///   timing the actual message pattern.
+///   timing the actual message pattern. Fault injection and
+///   checkpoint/restart run here too (the same seeded plans, with
+///   `kill=` rules killing actual rank threads); only tracing,
+///   profiling, and cost accounting stay simulator-only.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Backend {
     /// The simulated distributed machine with §3.1 cost accounting.
@@ -187,10 +190,6 @@ impl SparseApspConfig {
                 !self.charge_ordering_distribution,
                 "ordering-distribution cost accounting needs the simulated machine; use the \
                  sim backend"
-            );
-            assert!(
-                self.recovery.is_none(),
-                "checkpoint/restart supervision needs the simulated machine; use the sim backend"
             );
             assert!(
                 !matches!(self.ordering, Ordering::Distributed),
@@ -420,10 +419,7 @@ impl SparseApsp {
             "undirected APSP requires non-negative weights (a negative \
              undirected edge is a negative cycle)"
         );
-        assert!(
-            self.config.backend == Backend::Sim,
-            "fault injection needs the simulated machine; use the sim backend"
-        );
+        self.config.assert_backend_compatible();
         let (nd, ordering_report) = self.ordering_for(g);
         nd.validate(g).expect("ordering violates the §4.1 separation invariant");
         let layout = SupernodalLayout::from_ordering(&nd);
@@ -436,15 +432,25 @@ impl SparseApsp {
         }
         let opts =
             Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
-        let (result, faults, recovery) = match self.config.recovery {
-            Some(policy) => {
+        let (result, faults, recovery) = match (self.config.backend, self.config.recovery) {
+            (Backend::Sim, Some(policy)) => {
                 let (result, faults, recovery) =
                     sparse2d_recovering(&layout, &gp, &opts, plan, policy, self.config.profile)?;
                 (result, faults, Some(recovery))
             }
-            None => {
+            (Backend::Sim, None) => {
                 let (result, faults) =
                     sparse2d_faulty(&layout, &gp, &opts, plan, self.config.profile)?;
+                (result, faults, None)
+            }
+            (Backend::Native, Some(policy)) => {
+                let (result, faults, recovery) =
+                    crate::sparse2d::sparse2d_native_recovering(&layout, &gp, &opts, plan, policy)?;
+                (result, faults, Some(recovery))
+            }
+            (Backend::Native, None) => {
+                let (result, faults) =
+                    crate::sparse2d::sparse2d_native_faulty(&layout, &gp, &opts, plan)?;
                 (result, faults, None)
             }
         };
@@ -749,6 +755,42 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, MachineError::Unrecoverable(_)), "got {err}");
+    }
+
+    #[test]
+    fn native_faulty_run_recovers_to_oracle() {
+        let g = generators::grid2d(6, 6, WeightKind::Integer { max: 5 }, 1);
+        let plan = apsp_simnet::FaultPlan::new(99).with_drop(0.05).with_dup(0.03);
+        let config = SparseApspConfig { backend: Backend::Native, ..Default::default() };
+        let run = SparseApsp::new(config).run_faulty(&g, &plan).expect("recoverable plan");
+        let reference = oracle::apsp_dijkstra(&g);
+        assert!(run.dist.first_mismatch(&reference, 1e-9).is_none());
+        let summary = run.faults.expect("faulty run carries a summary");
+        assert!(summary.injected() > 0, "5% drop over a real schedule must fire");
+        assert_eq!(summary.unrecoverable, 0);
+        // and the recovered distances are bit-identical to the clean native run
+        let clean = SparseApsp::new(config).run(&g);
+        assert!(run.dist.first_mismatch(&clean.dist, 0.0).is_none());
+    }
+
+    #[test]
+    fn native_supervised_run_survives_a_killed_rank() {
+        let g = generators::grid2d(6, 6, WeightKind::Integer { max: 5 }, 1);
+        let plan = apsp_simnet::FaultPlan::new(7).with_kill_rank_from(4, 1);
+        let config = SparseApspConfig {
+            backend: Backend::Native,
+            recovery: Some(RecoveryPolicy::default()),
+            ..Default::default()
+        };
+        let run = SparseApsp::new(config).run_faulty(&g, &plan).expect("supervised run recovers");
+        let clean =
+            SparseApsp::new(SparseApspConfig { backend: Backend::Native, ..Default::default() })
+                .run(&g);
+        assert!(run.dist.first_mismatch(&clean.dist, 0.0).is_none(), "bit-identical recovery");
+        let recovery = run.recovery.expect("supervised run carries a recovery report");
+        assert!(recovery.restarts >= 1, "the killed rank must force a restart");
+        assert_eq!(recovery.spare_takeovers.len(), 1);
+        assert_eq!(run.faults.expect("summary").unrecoverable, 0);
     }
 
     #[test]

@@ -281,6 +281,41 @@ pub fn fw2d_recovering(
     Ok((assemble(g, &grid, blocks_raw, report), summary, recovery))
 }
 
+/// [`fw2d_faulty`] on the **native** backend: the same seeded plan over
+/// real channel traffic, with `kill=` rules killing actual rank threads.
+/// Recovered runs are bit-identical to [`fw2d_native`].
+pub fn fw2d_native_faulty(
+    g: &Csr,
+    n_grid: usize,
+    plan: &FaultPlan,
+) -> Result<(Fw2dResult, FaultSummary), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-fw2d-native");
+    assert!(n_grid >= 1);
+    let grid = Grid::new(g.n(), n_grid);
+    let p = n_grid * n_grid;
+    let (blocks_raw, report, faults) =
+        NativeMachine::launch_faulty(p, plan, |comm| rank_program(comm, &grid, g))?;
+    Ok((assemble(g, &grid, blocks_raw, report), faults))
+}
+
+/// [`fw2d_recovering`] on the **native** backend: per-pivot checkpoints,
+/// thread-level kill and respawn, spare-thread takeover for permanently
+/// dead ranks.
+pub fn fw2d_native_recovering(
+    g: &Csr,
+    n_grid: usize,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+) -> Result<(Fw2dResult, FaultSummary, RecoveryReport), MachineError> {
+    let _wall = apsp_metrics::time_phase("solve-fw2d-native");
+    assert!(n_grid >= 1);
+    let grid = Grid::new(g.n(), n_grid);
+    let p = n_grid * n_grid;
+    let (blocks_raw, report, summary, recovery) =
+        NativeMachine::launch_recovering(p, plan, policy, |comm| rank_program(comm, &grid, g))?;
+    Ok((assemble(g, &grid, blocks_raw, report), summary, recovery))
+}
+
 fn fw2d_inner(g: &Csr, n_grid: usize, how: Launch<'_>) -> Fw2dResult {
     fw2d_launch(g, n_grid, how).expect("fault-free launch cannot fail").0
 }

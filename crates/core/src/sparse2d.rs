@@ -1072,6 +1072,49 @@ pub fn sparse2d_recovering(
     Ok((assemble(layout, outputs, report), faults, recovery))
 }
 
+/// [`sparse2d_faulty`] on the **native** backend: the same seeded fault
+/// plan injected into real channel traffic (OS threads, no cost clocks),
+/// with `kill=` rules killing actual rank threads. Same plan ⇒ the same
+/// deterministic fault trajectory; recovered runs are bit-identical to
+/// [`sparse2d_native`].
+pub fn sparse2d_native_faulty(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+    plan: &FaultPlan,
+) -> Result<(Sparse2dResult, FaultSummary), MachineError> {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let _wall = apsp_metrics::time_phase("solve-sparse2d-native");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let p = layout.p();
+    let (outputs, report, faults) = NativeMachine::launch_faulty(p, plan, |comm| {
+        rank_program(comm, layout, &init, opts, false)
+    })?;
+    Ok((assemble(layout, outputs, report), faults))
+}
+
+/// [`sparse2d_recovering`] on the **native** backend: per-level
+/// checkpoints into the shared snapshot store, thread-level kill and
+/// respawn, spare-thread takeover for permanently dead ranks — the
+/// simulator's supervisor semantics over real OS threads.
+pub fn sparse2d_native_recovering(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+    plan: &FaultPlan,
+    policy: RecoveryPolicy,
+) -> Result<(Sparse2dResult, FaultSummary, RecoveryReport), MachineError> {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let _wall = apsp_metrics::time_phase("solve-sparse2d-native");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let p = layout.p();
+    let (outputs, report, faults, recovery) =
+        NativeMachine::launch_recovering(p, plan, policy, |comm| {
+            rank_program(comm, layout, &init, opts, false)
+        })?;
+    Ok((assemble(layout, outputs, report), faults, recovery))
+}
+
 fn run_machine(
     layout: &SupernodalLayout,
     init: &(dyn Fn(usize, usize) -> MinPlusMatrix + Sync),

@@ -6,7 +6,7 @@ use crate::recovery::{
     SnapshotStore, Unrecoverable,
 };
 use crate::report::{Clocks, RankStats, RunReport};
-use crate::sched::{ChoicePoint, DeadlockError, Governor};
+use crate::sched::{ChoicePoint, Governor};
 use crate::script::{CollectiveKind, CommEvent, ScriptBoard};
 use crate::trace::{Profile, RankProfile, SendTotal, SpanLedger, SpanSnapshot};
 use std::collections::BTreeMap;
@@ -108,17 +108,6 @@ impl Ord for TraceEvent {
 
 /// The simulated machine.
 pub struct Machine;
-
-/// Marker payload for a rank that died because a peer's channel
-/// disconnected mid-send or mid-receive — always a cascade victim of a
-/// root-cause panic on the peer, never a first failure, so the panic
-/// printer silences it and `run_inner` surfaces the peer's error instead.
-#[derive(Clone, Debug)]
-struct PeerDisconnect {
-    rank: Rank,
-    src: Rank,
-    tag: u64,
-}
 
 impl Machine {
     /// Runs `f(comm)` on `p` ranks (one OS thread each) and returns every
@@ -407,32 +396,6 @@ impl Machine {
         GovernedRun { outcome, scripts: board.take(), choices: gov.choices() }
     }
 
-    /// Silences the default panic printer for the machine's *typed* abort
-    /// payloads (fault, protocol, hang, deadlock): those panics are the
-    /// machine's internal control flow — `run_inner` downcasts them into a
-    /// [`MachineError`] the caller renders — so the "thread panicked"
-    /// backtrace noise would be a raw dump of an error that is about to be
-    /// reported properly. Genuine (string) panics still print. Installed
-    /// once per process; chains to the previous hook.
-    fn install_quiet_typed_panics() {
-        static ONCE: std::sync::Once = std::sync::Once::new();
-        ONCE.call_once(|| {
-            let prev = std::panic::take_hook();
-            std::panic::set_hook(Box::new(move |info| {
-                let p = info.payload();
-                if p.is::<FaultError>()
-                    || p.is::<ProtocolError>()
-                    || p.is::<HangError>()
-                    || p.is::<DeadlockError>()
-                    || p.is::<PeerDisconnect>()
-                {
-                    return;
-                }
-                prev(info);
-            }));
-        });
-    }
-
     #[allow(clippy::type_complexity)]
     fn run_inner<T, F>(
         p: usize,
@@ -444,7 +407,7 @@ impl Machine {
         F: Fn(&mut Comm) -> T + Sync,
     {
         assert!(p >= 1, "need at least one rank");
-        Self::install_quiet_typed_panics();
+        crate::cascade::install_quiet_typed_panics();
         // wall-clock observability only; inert unless metrics are enabled
         let _machine_wall = apsp_metrics::time_phase("machine-run");
         let watchdog = Arc::new(Watchdog::new(p));
@@ -591,34 +554,10 @@ impl Machine {
                 // the root cause, not the cascade. Handles were joined in
                 // rank order, so the lowest faulting rank wins a tie and
                 // the surfaced error is deterministic.
-                if mode.faults.is_some() {
-                    if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<FaultError>())
-                    {
-                        return Err(MachineError::Fault(err.clone()));
-                    }
+                if let Some(err) = crate::cascade::classify_panics(&panics, mode.faults.is_some()) {
+                    return Err(err);
                 }
-                if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<ProtocolError>()) {
-                    return Err(MachineError::Protocol(err.clone()));
-                }
-                if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<HangError>()) {
-                    return Err(MachineError::Hang(err.clone()));
-                }
-                // last in priority: deadlock panics are often victims of a
-                // rank that already died with a more specific error above
-                if let Some(err) = panics.iter().find_map(|pl| pl.downcast_ref::<DeadlockError>()) {
-                    return Err(MachineError::Deadlock(err.clone()));
-                }
-                // skip cascade-victim markers when picking the panic to
-                // surface: a disconnect death always has a root cause
-                // elsewhere in the list
-                if let Some(i) = panics.iter().position(|pl| !pl.is::<PeerDisconnect>()) {
-                    std::panic::resume_unwind(panics.remove(i));
-                }
-                let d = panics[0].downcast_ref::<PeerDisconnect>().expect("only markers left");
-                unreachable!(
-                    "rank {} died on disconnect from {} (tag {:#x}) with no root cause",
-                    d.rank, d.src, d.tag
-                );
+                crate::cascade::surface_root_cause(panics);
             });
             scope_outcome?;
         }
@@ -911,7 +850,7 @@ impl Comm {
         if self.tx[dst].send(msg).is_err() {
             // the receiver's thread already died of a root-cause error;
             // die as a silenced cascade victim so that error surfaces
-            std::panic::panic_any(PeerDisconnect { rank: self.rank, src: dst, tag });
+            std::panic::panic_any(crate::cascade::Disconnect { rank: self.rank, peer: dst, tag });
         }
         // a send is machine progress: any rank still moving holds off
         // every rank's watchdog
@@ -1185,7 +1124,11 @@ impl Comm {
                     // before depositing its outcome — this rank is a cascade
                     // victim of a root-cause panic over there. Die with a
                     // typed marker so the root cause is surfaced instead.
-                    std::panic::panic_any(PeerDisconnect { rank: self.rank, src, tag });
+                    std::panic::panic_any(crate::cascade::Disconnect {
+                        rank: self.rank,
+                        peer: src,
+                        tag,
+                    });
                 }
             }
         }

@@ -52,6 +52,7 @@
 //! operation's internal message pattern is acyclic (trees are). All
 //! algorithms in `apsp-core` follow this discipline.
 
+pub mod cascade;
 pub mod collectives;
 pub mod comm;
 pub mod faults;
@@ -60,16 +61,19 @@ pub mod recovery;
 pub mod report;
 pub mod sched;
 pub mod script;
+pub mod snapshot;
 pub mod trace;
 
+pub use cascade::Disconnect;
 pub use comm::{Comm, GovernedRun, Launch, Machine, Rank, SpanGuard, TraceEvent};
 pub use faults::{FaultError, FaultPlan, FaultStats, FaultSummary, Injection};
 pub use recovery::{
-    HangError, MachineError, ProtocolError, RecoveryPolicy, RecoveryReport, Unrecoverable,
+    HangError, MachineError, ProtocolError, RankDown, RecoveryPolicy, RecoveryReport, Unrecoverable,
 };
 pub use report::{Clocks, RankStats, RunReport};
 pub use sched::{ChoicePoint, DeadlockError, Governor, WaitEdge};
 pub use script::{phase_totals, CollectiveKind, CommEvent, PhaseTotals, ScriptBoard};
+pub use snapshot::{Snapshot, SnapshotStore};
 pub use trace::{
     CommMatrix, PhaseBreakdown, PhaseRow, Profile, RankProfile, SpanLedger, SpanRecord,
     SpanSnapshot, TimeModel,

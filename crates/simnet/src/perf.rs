@@ -90,8 +90,10 @@ pub(crate) fn record_run(report: &RunReport, faults: Option<&FaultSummary>) {
     }
 }
 
-/// Records one finished checkpoint/restart trajectory.
-pub(crate) fn record_recovery(recovery: &RecoveryReport) {
+/// Records one finished checkpoint/restart trajectory into the machine
+/// counters. Public so the native backend's recovery supervisor
+/// (`apsp-transport`) feeds the same observability stream.
+pub fn record_recovery(recovery: &RecoveryReport) {
     let c = counters();
     c.restarts.add(u64::from(recovery.restarts));
     c.snapshot_words.add(recovery.snapshot_words);

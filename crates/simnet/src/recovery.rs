@@ -30,11 +30,9 @@
 //! bit-for-bit.
 
 use crate::comm::Rank;
-use crate::faults::{FaultStats, FaultSummary};
-use crate::report::Clocks;
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use crate::faults::FaultSummary;
+#[doc(inline)]
+pub use crate::snapshot::{Snapshot, SnapshotStore};
 
 // ---------------------------------------------------------------------------
 // Policy
@@ -153,135 +151,6 @@ impl RecoveryReport {
 }
 
 // ---------------------------------------------------------------------------
-// Snapshot store
-// ---------------------------------------------------------------------------
-
-/// One rank's state at a phase boundary — everything
-/// [`crate::Comm::commit_phase`] needs to roll the rank back.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct Snapshot {
-    /// The solver's opaque per-rank state words.
-    pub state: Vec<f64>,
-    /// §3.1 clocks at the boundary (including the snapshot's own charge).
-    pub clocks: Clocks,
-    /// Cumulative messages sent at the boundary.
-    pub sent_messages: u64,
-    /// Cumulative words sent at the boundary.
-    pub sent_words: u64,
-    /// Peak tracked memory at the boundary.
-    pub peak_words: u64,
-    /// Resident tracked memory at the boundary.
-    pub resident_words: u64,
-    /// Fault-protocol send sequence counters, per destination.
-    pub seq_next: Vec<u64>,
-    /// Fault-protocol receive sequence counters, per source.
-    pub seq_seen: Vec<u64>,
-    /// Fault counters at the boundary.
-    pub stats: FaultStats,
-}
-
-/// Shared store of per-rank snapshots, keyed by (logical rank, boundary).
-/// Ranks write their own slot only, so the mutexes are uncontended; the
-/// supervisor reads between epochs, when no rank is running.
-pub(crate) struct SnapshotStore {
-    ranks: Vec<Mutex<BTreeMap<u64, Snapshot>>>,
-    saves: AtomicU64,
-    save_words: AtomicU64,
-    restores: AtomicU64,
-    restore_words: AtomicU64,
-}
-
-impl SnapshotStore {
-    pub(crate) fn new(p: usize) -> Self {
-        SnapshotStore {
-            ranks: (0..p).map(|_| Mutex::new(BTreeMap::new())).collect(),
-            saves: AtomicU64::new(0),
-            save_words: AtomicU64::new(0),
-            restores: AtomicU64::new(0),
-            restore_words: AtomicU64::new(0),
-        }
-    }
-
-    /// Saves `rank`'s snapshot at `boundary` (1-based).
-    pub(crate) fn save(&self, rank: Rank, boundary: u64, snapshot: Snapshot) {
-        self.saves.fetch_add(1, Ordering::Relaxed);
-        self.save_words.fetch_add(snapshot.state.len() as u64, Ordering::Relaxed);
-        self.ranks[rank].lock().expect("snapshot store poisoned").insert(boundary, snapshot);
-    }
-
-    /// Takes `rank`'s snapshot at `boundary`; panics if absent (the
-    /// supervisor only resumes at boundaries every rank has saved).
-    pub(crate) fn restore(&self, rank: Rank, boundary: u64) -> Snapshot {
-        let snapshot = self.ranks[rank]
-            .lock()
-            .expect("snapshot store poisoned")
-            .get(&boundary)
-            .cloned()
-            .unwrap_or_else(|| panic!("rank {rank} has no snapshot at boundary {boundary}"));
-        self.restores.fetch_add(1, Ordering::Relaxed);
-        self.restore_words.fetch_add(snapshot.state.len() as u64, Ordering::Relaxed);
-        snapshot
-    }
-
-    /// The highest boundary **every** rank has snapshotted — the last
-    /// consistent cut (0 when any rank has none: restart from scratch).
-    pub(crate) fn consistent_boundary(&self) -> u64 {
-        self.ranks
-            .iter()
-            .map(|r| {
-                r.lock().expect("snapshot store poisoned").keys().next_back().copied().unwrap_or(0)
-            })
-            .min()
-            .unwrap_or(0)
-    }
-
-    /// Discards snapshots beyond `boundary` (stale work from a failed
-    /// epoch) and returns the state words discarded — the rollback cost.
-    pub(crate) fn prune_beyond(&self, boundary: u64) -> u64 {
-        let mut discarded = 0;
-        for r in &self.ranks {
-            let mut map = r.lock().expect("snapshot store poisoned");
-            let stale = map.split_off(&(boundary + 1));
-            discarded += stale.values().map(|s| s.state.len() as u64).sum::<u64>();
-        }
-        discarded
-    }
-
-    /// Per-rank fault counters at boundary `cut` — the partial
-    /// [`FaultSummary`] an [`Unrecoverable`] report carries.
-    pub(crate) fn partial_summary(&self, cut: u64) -> FaultSummary {
-        let per_rank = self
-            .ranks
-            .iter()
-            .map(|r| {
-                r.lock()
-                    .expect("snapshot store poisoned")
-                    .get(&cut)
-                    .map(|s| s.stats)
-                    .unwrap_or_default()
-            })
-            .collect();
-        FaultSummary { per_rank, unrecoverable: 1 }
-    }
-
-    pub(crate) fn saves(&self) -> u64 {
-        self.saves.load(Ordering::Relaxed)
-    }
-
-    pub(crate) fn save_words(&self) -> u64 {
-        self.save_words.load(Ordering::Relaxed)
-    }
-
-    pub(crate) fn restores(&self) -> u64 {
-        self.restores.load(Ordering::Relaxed)
-    }
-
-    pub(crate) fn restore_words(&self) -> u64 {
-        self.restore_words.load(Ordering::Relaxed)
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Typed machine errors
 // ---------------------------------------------------------------------------
 
@@ -298,6 +167,9 @@ pub enum MachineError {
     /// A governed run's wait-for graph closed: every unfinished rank was
     /// blocked with nothing deliverable ([`crate::sched::DeadlockError`]).
     Deadlock(crate::sched::DeadlockError),
+    /// A rank's thread was killed outright by the fault plan at a phase
+    /// boundary (the native backend's thread-kill chaos mode).
+    Down(RankDown),
     /// The recovery supervisor exhausted its restart budget.
     Unrecoverable(Unrecoverable),
 }
@@ -309,6 +181,7 @@ impl std::fmt::Display for MachineError {
             MachineError::Protocol(e) => e.fmt(f),
             MachineError::Hang(e) => e.fmt(f),
             MachineError::Deadlock(e) => e.fmt(f),
+            MachineError::Down(e) => e.fmt(f),
             MachineError::Unrecoverable(e) => e.fmt(f),
         }
     }
@@ -321,6 +194,39 @@ impl From<crate::faults::FaultError> for MachineError {
         MachineError::Fault(e)
     }
 }
+
+impl From<RankDown> for MachineError {
+    fn from(e: RankDown) -> Self {
+        MachineError::Down(e)
+    }
+}
+
+/// A rank whose OS thread the fault plan killed outright at a phase
+/// boundary — the native backend's analogue of a lost executor. Carried
+/// as the dying thread's panic payload and surfaced over cascade panics.
+/// A rank-down is **permanent**: replaying with the same physical id dies
+/// at the same boundary every epoch, so the recovery supervisor must
+/// remap the logical rank onto a spare before replay can succeed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankDown {
+    /// The logical rank that died.
+    pub rank: Rank,
+    /// The phase-boundary counter at the moment of death.
+    pub boundary: u64,
+}
+
+impl std::fmt::Display for RankDown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} down: thread killed by the fault plan at phase boundary {} — \
+             permanent loss; recovery needs a spare-rank takeover",
+            self.rank, self.boundary
+        )
+    }
+}
+
+impl std::error::Error for RankDown {}
 
 /// A receive whose arriving tag did not match the expected one — always an
 /// algorithm-schedule bug. Typed so the supervisor (and tests) can route
@@ -461,40 +367,13 @@ mod tests {
     }
 
     #[test]
-    fn store_tracks_the_consistent_cut() {
-        let store = SnapshotStore::new(2);
-        assert_eq!(store.consistent_boundary(), 0);
-        store.save(0, 1, Snapshot { state: vec![1.0; 4], ..Default::default() });
-        assert_eq!(store.consistent_boundary(), 0, "rank 1 has nothing yet");
-        store.save(1, 1, Snapshot { state: vec![2.0; 3], ..Default::default() });
-        store.save(0, 2, Snapshot { state: vec![3.0; 5], ..Default::default() });
-        assert_eq!(store.consistent_boundary(), 1, "rank 1 stops at boundary 1");
-        assert_eq!(store.saves(), 3);
-        assert_eq!(store.save_words(), 12);
-        // pruning discards rank 0's stale boundary-2 snapshot
-        assert_eq!(store.prune_beyond(1), 5);
-        assert_eq!(store.consistent_boundary(), 1);
-        assert_eq!(store.restore(0, 1).state, vec![1.0; 4]);
-        assert_eq!(store.restore_words(), 4);
-    }
-
-    #[test]
-    fn partial_summary_reads_the_cut() {
-        let store = SnapshotStore::new(2);
-        let stats = FaultStats { drops_injected: 7, ..Default::default() };
-        store.save(0, 1, Snapshot { stats, ..Default::default() });
-        let partial = store.partial_summary(1);
-        assert_eq!(partial.per_rank[0].drops_injected, 7);
-        assert_eq!(partial.per_rank[1], FaultStats::default(), "missing rank defaults");
-        assert_eq!(partial.unrecoverable, 1);
-    }
-
-    #[test]
     fn error_displays_carry_the_grepable_phrases() {
         let p = ProtocolError { rank: 1, src: 0, expected: 0xC, actual: 0xA, pending: vec![] };
         assert!(p.to_string().contains("schedule mismatch"));
         let h = HangError { rank: 0, src: 1, tag: 7, blocked: vec![None, None], pending: vec![] };
         assert!(h.to_string().contains("machine hung"));
+        let d = RankDown { rank: 2, boundary: 1 };
+        assert!(d.to_string().contains("rank 2 down"));
         let u = Unrecoverable {
             cause: Box::new(MachineError::Protocol(p)),
             restarts: 3,

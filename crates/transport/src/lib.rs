@@ -17,7 +17,13 @@
 //!   (pinned by the `transport_digest` golden test).
 //! * [`NativeComm`] — a real shared-memory backend: `p` OS threads over
 //!   per-`(src, dst)` std `mpsc` channels, no cost clocks, genuine
-//!   wall-clock time. See [`NativeMachine`].
+//!   wall-clock time. See [`NativeMachine`]. The full robustness stack
+//!   runs here too: [`NativeMachine::launch_faulty`] injects the same
+//!   seeded fault grammar into real channel traffic (killing actual OS
+//!   threads for `kill=` rules), and
+//!   [`NativeMachine::launch_recovering`] checkpoint/restarts across
+//!   thread death through the shared
+//!   [`apsp_simnet::SnapshotStore`].
 //!
 //! ## Collective bit-compatibility
 //!
@@ -34,7 +40,13 @@
 
 mod native;
 
-pub use native::{NativeComm, NativeMachine, NativeSpan};
+pub use native::{NativeComm, NativeFaultError, NativeFaultPlan, NativeMachine, NativeSpan};
+
+// The shared panic-triage helpers (quiet typed-panic hook, cascade-marker
+// classification) live in `apsp_simnet::cascade` because the crate DAG
+// points transport → simnet; re-exported here so backend-agnostic callers
+// need only this crate.
+pub use apsp_simnet::cascade;
 
 use apsp_simnet::{Clocks, Comm, Rank, SpanGuard};
 use std::ops::DerefMut;

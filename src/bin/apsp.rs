@@ -99,11 +99,12 @@ fn backend(args: &Args) -> Backend {
 
 /// The native backend runs the schedule on OS threads with no §3.1 cost
 /// model, so every simulator-only flag is rejected up front with a
-/// readable message instead of being silently ignored.
+/// readable message instead of being silently ignored. Fault injection
+/// and checkpoint/restart (`--faults`/`--recover`) are **not** in this
+/// list: the native backend runs the same seeded chaos over real channel
+/// traffic (see docs/BACKENDS.md, "Native fault model").
 fn reject_sim_only_flags(args: &Args) {
     for (flag, present) in [
-        ("--faults", args.opt("--faults").is_some()),
-        ("--recover", args.opt("--recover").is_some()),
         ("--trace", args.opt("--trace").is_some()),
         ("--profile", args.flag("--profile")),
         ("--charge-ordering", args.flag("--charge-ordering")),
@@ -111,6 +112,18 @@ fn reject_sim_only_flags(args: &Args) {
         if present {
             die(&format!("{flag} needs the simulated machine; drop {flag} or use --backend sim"));
         }
+    }
+}
+
+/// `--fault-seed` only keys a fault plan: without `--faults` (or
+/// `--recover`, whose empty plan is seeded too) it would be silently
+/// ignored, which always means the user expected chaos that never ran.
+fn reject_orphan_fault_seed(args: &Args) {
+    if args.opt("--fault-seed").is_some()
+        && args.opt("--faults").is_none()
+        && args.opt("--recover").is_none()
+    {
+        die("--fault-seed requires --faults (or --recover); add a fault spec or drop the seed");
     }
 }
 
@@ -243,6 +256,7 @@ fn solve_directed(args: &Args) -> (DiCsr, DenseDist, RunReport, Vec<(u64, u64)>)
     if args.opt("--faults").is_some() || args.opt("--recover").is_some() {
         die("--faults/--recover are not supported with --directed yet");
     }
+    reject_orphan_fault_seed(args);
     let backend = backend(args);
     if backend == Backend::Native {
         reject_sim_only_flags(args);
@@ -279,6 +293,7 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
     if backend == Backend::Native {
         reject_sim_only_flags(args);
     }
+    reject_orphan_fault_seed(args);
     let recover = recovery_policy(args);
     // --recover without --faults still supervises the run (an empty plan
     // measures the pure checkpointing overhead)
@@ -318,7 +333,22 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
             (run.dist, run.report, run.level_costs)
         }
         "fw2d" if backend == Backend::Native => {
-            let out = fw2d_native(g, n_grid);
+            let out = match (&plan, recover) {
+                (Some(p), Some(policy)) => {
+                    let (out, summary, recovery) = fw2d_native_recovering(g, n_grid, p, policy)
+                        .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    report_recovery(&recovery);
+                    out
+                }
+                (Some(p), None) => {
+                    let (out, summary) =
+                        fw2d_native_faulty(g, n_grid, p).unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    out
+                }
+                (None, _) => fw2d_native(g, n_grid),
+            };
             (out.dist, out.report, Vec::new())
         }
         "fw2d" => {
@@ -343,7 +373,24 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
             (out.dist, out.report, Vec::new())
         }
         "dcapsp" if backend == Backend::Native => {
-            let out = dc_apsp_native(g, n_grid, args.num("--depth", 1u32));
+            let depth = args.num("--depth", 1u32);
+            let out = match (&plan, recover) {
+                (Some(p), Some(policy)) => {
+                    let (out, summary, recovery) =
+                        dc_apsp_native_recovering(g, n_grid, depth, p, policy)
+                            .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    report_recovery(&recovery);
+                    out
+                }
+                (Some(p), None) => {
+                    let (out, summary) = dc_apsp_native_faulty(g, n_grid, depth, p)
+                        .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    out
+                }
+                (None, _) => dc_apsp_native(g, n_grid, depth),
+            };
             (out.dist, out.report, Vec::new())
         }
         "dcapsp" => {
@@ -369,7 +416,24 @@ fn solve(args: &Args, g: &Csr) -> (DenseDist, RunReport, Vec<(u64, u64)>) {
             (out.dist, out.report, Vec::new())
         }
         "djohnson" if backend == Backend::Native => {
-            let out = distributed_johnson_native(g, n_grid * n_grid);
+            let ranks = n_grid * n_grid;
+            let out = match (&plan, recover) {
+                (Some(p), Some(policy)) => {
+                    let (out, summary, recovery) =
+                        distributed_johnson_native_recovering(g, ranks, p, policy)
+                            .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    report_recovery(&recovery);
+                    out
+                }
+                (Some(p), None) => {
+                    let (out, summary) = distributed_johnson_native_faulty(g, ranks, p)
+                        .unwrap_or_else(|e| die_unrecoverable(e));
+                    report_faults(&summary);
+                    out
+                }
+                (None, _) => distributed_johnson_native(g, ranks),
+            };
             (out.dist, out.report, Vec::new())
         }
         "djohnson" => {
@@ -606,9 +670,12 @@ Backends: --backend sim (default) runs on the simulated machine with
 exact §3.1 cost clocks; --backend native runs the *identical* schedule
 on p OS threads over plain channels — bit-identical distances, real
 wall-clock, but no cost model, so the report's cost counters are zero
-and the simulator-only flags (--faults, --recover, --trace, --profile,
---charge-ordering) are rejected. `apsp bench --backend native` writes
-BENCH_native.json (wall-clock only; see docs/BACKENDS.md).
+and the simulator-only flags (--trace, --profile, --charge-ordering)
+are rejected. --faults and --recover DO work on the native backend:
+the same seeded plans inject chaos into real channel traffic, and
+kill= rules kill actual rank threads (recovered by thread-level
+checkpoint/restart under --recover). `apsp bench --backend native`
+writes BENCH_native.json (wall-clock only; see docs/BACKENDS.md).
 
 Observability: --trace DIR writes DIR/trace.json (Chrome-trace JSON of the
 span ledger over simulated critical-path time; open in Perfetto) and
@@ -635,13 +702,17 @@ clocks, and kernel-counter deltas per case. --compare BASELINE.json exits
 docs/OBSERVABILITY.md for the override label).
 
 Fault injection: --faults SPEC runs the solver under deterministic,
-seed-reproducible message faults on the simulated machine; recovery is
-charged to the same cost ledgers and summarized on stderr. SPEC is
+seed-reproducible message faults; on the simulated machine recovery is
+charged to the same cost ledgers, on the native backend the same plan
+perturbs real channel traffic (delay/straggle are counted but inert —
+no cost clocks to inflate). The summary prints on stderr. SPEC is
 comma-separated clauses: drop=P, dup=P, corrupt=P, delay=P[:UNITS],
 straggle=RANK:FACTOR, kill=SRC>DST, kill=RANK[@BOUNDARY], retries=N
 (probabilities in [0,1)). The same --faults/--fault-seed pair replays
-bit-identically. Without --recover, a kill= rule on a used link is
-unrecoverable: the solver exits loudly instead of returning distances.
+bit-identically on either backend (--fault-seed without --faults or
+--recover is rejected — it would be silently ignored). Without
+--recover, a kill= rule on a used link is unrecoverable: the solver
+exits loudly instead of returning distances.
 
 Checkpoint/restart: --recover POLICY supervises the faulty solve —
 phase boundaries are checkpointed (snapshot bytes charged to the same
@@ -651,10 +722,14 @@ restart/rollback ledger is printed on stderr as `recovery: ...`.
 POLICY is comma-separated clauses restarts=N,every=K,spares=S (or
 `default` = restarts=3,every=1,spares=1). When the budget is exhausted
 the solver exits with a typed unrecoverable error. Works with
-sparse2d, fw2d, dcapsp and djohnson. Examples:
+sparse2d, fw2d, dcapsp and djohnson, on both backends — on native the
+kill is a real thread death and the respawn is a real spare thread.
+Examples:
   apsp solve --input mesh.el --algorithm fw2d \\
              --faults \"drop=0.05,dup=0.02\" --fault-seed 7 --verify
   apsp solve --input mesh.el --algorithm sparse2d \\
+             --faults \"kill=4@1\" --recover default --verify
+  apsp solve --input mesh.el --algorithm sparse2d --backend native \\
              --faults \"kill=4@1\" --recover default --verify
 
 Protocol verification: `apsp verify` checks the *communication schedule*

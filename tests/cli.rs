@@ -761,11 +761,10 @@ fn native_backend_rejects_sim_only_flags_readably() {
         .success());
 
     // every simulator-only flag dies with the same actionable shape,
-    // naming both the flag and the way out
+    // naming both the flag and the way out (--faults/--recover are no
+    // longer in this list — the native backend runs them for real)
     let trace_dir = tmp("backendrej-trace");
     let cases: Vec<(&str, Vec<String>)> = vec![
-        ("--faults", vec!["--faults".into(), "drop=0.1".into()]),
-        ("--recover", vec!["--recover".into(), "default".into()]),
         ("--trace", vec!["--trace".into(), trace_dir.display().to_string()]),
         ("--profile", vec!["--profile".into()]),
         ("--charge-ordering", vec!["--charge-ordering".into()]),
@@ -808,6 +807,119 @@ fn native_backend_rejects_sim_only_flags_readably() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr)
         .contains("superfw is host-side shared-memory already; --backend does not apply"));
+}
+
+#[test]
+fn orphan_fault_seed_is_rejected_readably() {
+    let graph = tmp("orphanseed.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "path", "--n", "10", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // --fault-seed alone is a silent no-op trap: reject it loudly
+    for backend in ["sim", "native"] {
+        let out = apsp()
+            .args(["solve", "--height", "2", "--backend", backend])
+            .args(["--fault-seed", "7", "--input"])
+            .arg(&graph)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{backend}: orphan --fault-seed must be rejected");
+        assert_eq!(out.status.code(), Some(2), "{backend}: usage errors exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--fault-seed requires --faults"), "{backend}: {stderr}");
+    }
+
+    // paired with --faults (or --recover) the seed is legitimate
+    let out = apsp()
+        .args(["solve", "--height", "2", "--faults", "drop=0.01"])
+        .args(["--fault-seed", "7", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn native_faulty_solve_recovers_and_reports() {
+    let graph = tmp("nativefault.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--seed", "2", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // transient chaos on real threads: retransmission alone recovers,
+    // the answer verifies, and the digest is seed-deterministic
+    let run = || {
+        apsp()
+            .args(["solve", "--height", "2", "--backend", "native", "--verify"])
+            .args(["--faults", "drop=0.05,dup=0.02,corrupt=0.02", "--fault-seed", "7", "--input"])
+            .arg(&graph)
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("verified against Dijkstra: OK"), "{stderr}");
+    assert!(stderr.contains("faults: injected"), "{stderr}");
+    assert!(stderr.contains("unrecoverable 0"), "{stderr}");
+    let digest = |s: &str| s.lines().find(|l| l.starts_with("faults:")).map(String::from);
+    let again = run();
+    assert!(again.status.success());
+    assert_eq!(
+        digest(&stderr),
+        digest(&String::from_utf8_lossy(&again.stderr)),
+        "native fault replay must be deterministic"
+    );
+}
+
+#[test]
+fn native_recovering_solve_survives_a_killed_thread() {
+    let graph = tmp("nativerecover.el");
+    assert!(apsp()
+        .args(["generate", "--kind", "grid", "--rows", "6", "--cols", "6", "--seed", "2", "--out"])
+        .arg(&graph)
+        .status()
+        .unwrap()
+        .success());
+
+    // rank 4's actual OS thread dies after its first phase boundary; the
+    // native supervisor rolls survivors back, respawns onto a spare
+    // thread, and the solve still verifies against Dijkstra
+    let out = apsp()
+        .args(["solve", "--height", "2", "--backend", "native", "--verify"])
+        .args(["--faults", "kill=4@1", "--recover", "default", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("verified against Dijkstra: OK"), "{stderr}");
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("recovery:"))
+        .unwrap_or_else(|| panic!("no recovery digest on stderr:\n{stderr}"));
+    assert!(!line.starts_with("recovery: 0 restarts"), "the kill must force a restart: {line}");
+    assert!(line.contains("spares"), "{line}");
+
+    // exhausting the spare budget surfaces a typed unrecoverable error,
+    // not a panic, a hang, or a wrong answer
+    let out = apsp()
+        .args(["solve", "--height", "2", "--backend", "native"])
+        .args(["--faults", "kill=4", "--recover", "restarts=1,spares=0", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("machine error"), "{stderr}");
+    assert!(stderr.contains("rank 4"), "{stderr}");
 }
 
 #[test]

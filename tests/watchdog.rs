@@ -1,0 +1,57 @@
+//! Native watchdog regression: a stalled rank must surface a typed
+//! [`MachineError::Hang`] well before the test runner's own timeout, and
+//! the aborted machine must not leak its rank threads.
+//!
+//! This lives in its own integration binary so the `APSP_WATCHDOG_MS`
+//! override cannot race with other tests' environments — the whole file
+//! is a single test function.
+
+use sparse_apsp::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Kernel-reported thread count for this process (same gauge as
+/// `tests/stress.rs`).
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .expect("Threads: line in /proc/self/status")
+}
+
+#[test]
+fn stalled_rank_yields_typed_hang_error_and_leaks_no_threads() {
+    std::env::set_var("APSP_WATCHDOG_MS", "300");
+    let before = thread_count();
+    let started = Instant::now();
+
+    // Two ranks, each waiting for a message the other never sends — the
+    // classic deadlocked exchange. The empty plan keeps the fault layer
+    // engaged (so the error is routed through launch_faulty's typed
+    // classification) without injecting anything.
+    let plan = FaultPlan::new(0);
+    let result = NativeMachine::launch_faulty(2, &plan, |comm| {
+        let peer = comm.rank() ^ 1;
+        let _ = comm.recv(peer, 7);
+        Vec::<f64>::new()
+    });
+
+    let err = result.expect_err("a mutual recv stall must not succeed");
+    assert!(matches!(err, MachineError::Hang(_)), "expected a typed hang, got: {err}");
+    assert!(
+        err.to_string().starts_with("machine hung"),
+        "hang display should be self-describing: {err}"
+    );
+    // The watchdog, not the test harness, must have broken the stall:
+    // 300ms budget plus generous scheduling slack, far below any runner
+    // timeout.
+    assert!(started.elapsed() < Duration::from_secs(30), "watchdog did not fire in time");
+
+    // Every rank thread must have been reaped by the scoped join.
+    let after = thread_count();
+    assert!(after <= before + 2, "stalled machine leaked threads: {before} -> {after}");
+}
