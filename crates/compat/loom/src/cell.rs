@@ -1,0 +1,46 @@
+//! Access-tracked `UnsafeCell`: the `with`/`with_mut` windows are
+//! scheduling points, and overlapping windows that include a writer fail
+//! the model as a data race — this is how `unsafe` aliasing claims (like
+//! `apsp-par`'s `Slot`) get *checked* instead of trusted.
+
+use crate::rt;
+
+#[derive(Debug)]
+pub struct UnsafeCell<T: ?Sized> {
+    id: usize,
+    inner: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    pub fn new(value: T) -> Self {
+        let c = rt::ctx();
+        UnsafeCell { id: c.rt.register_cell(), inner: std::cell::UnsafeCell::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// Runs `f` with shared access. The window is a scheduling point, so
+    /// any concurrently attempted mutable window is observed and fails
+    /// the model.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        let c = rt::ctx();
+        c.rt.cell_begin(self.id, false);
+        c.rt.switch(c.id, false);
+        let out = f(self.inner.get());
+        c.rt.cell_end(self.id, false);
+        out
+    }
+
+    /// Runs `f` with mutable access; overlapping with *any* other access
+    /// window is a race and fails the model.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        let c = rt::ctx();
+        c.rt.cell_begin(self.id, true);
+        c.rt.switch(c.id, false);
+        let out = f(self.inner.get());
+        c.rt.cell_end(self.id, true);
+        out
+    }
+}

@@ -1,0 +1,265 @@
+//! Modeled synchronization primitives with std-shaped APIs: `Mutex`,
+//! `mpsc` channels, and sequentially-consistent atomics. `Arc` is re-used
+//! from std (reference-count schedules are not explored — see the crate
+//! docs).
+
+use crate::rt::{self, Block};
+use std::sync::PoisonError;
+
+pub use std::sync::Arc;
+pub use std::sync::{LockResult, TryLockError, TryLockResult};
+
+/// Sequentially-consistent modeled atomics: every access is a scheduling
+/// point, so all SC interleavings are explored (weak orderings are
+/// strengthened to SC — sound for checking, blind to relaxed-only bugs).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    fn access_point() {
+        let c = crate::rt::ctx();
+        c.rt.switch(c.id, false);
+    }
+
+    macro_rules! modeled_atomic {
+        ($name:ident, $std:ty, $ty:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub fn new(v: $ty) -> Self {
+                    Self { inner: <$std>::new(v) }
+                }
+
+                pub fn load(&self, order: Ordering) -> $ty {
+                    access_point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    access_point();
+                    self.inner.store(v, order);
+                }
+
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    access_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    access_point();
+                    self.inner.swap(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    access_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            access_point();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            access_point();
+            self.inner.store(v, order);
+        }
+    }
+}
+
+/// A modeled mutex: acquisition order among contenders is explored; the
+/// payload lives in an (always token-serialized, hence uncontended) std
+/// mutex so guards deref exactly like std's.
+pub struct Mutex<T: ?Sized> {
+    id: usize,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let c = rt::ctx();
+        Mutex { id: c.rt.register_mutex(), inner: std::sync::Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let c = rt::ctx();
+        c.rt.switch(c.id, false);
+        while !c.rt.mutex_try_acquire(self.id) {
+            c.rt.block(c.id, Block::Lock { mutex: self.id });
+        }
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        Ok(MutexGuard { owner_id: self.id, inner: Some(inner) })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.inner.into_inner().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    owner_id: usize,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the inner lock until drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the inner lock until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // release the payload lock first, then the model ownership; no
+        // scheduling point here so unlock-during-unwind can never park
+        self.inner.take();
+        let c = rt::ctx();
+        c.rt.mutex_release(self.owner_id);
+    }
+}
+
+/// Modeled `std::sync::mpsc` with stall-escape deadline semantics (see
+/// the crate docs for why `recv_timeout` only times out at a global
+/// stall).
+pub mod mpsc {
+    use crate::rt::{self, Block, Poll};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, PoisonError};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    struct ChanInner<T> {
+        id: usize,
+        q: std::sync::Mutex<VecDeque<T>>,
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let c = rt::ctx();
+        let inner = Arc::new(ChanInner {
+            id: c.rt.register_chan(),
+            q: std::sync::Mutex::new(VecDeque::new()),
+        });
+        (Sender { ch: Arc::clone(&inner) }, Receiver { ch: inner })
+    }
+
+    pub struct Sender<T> {
+        ch: Arc<ChanInner<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let c = rt::ctx();
+            c.rt.switch(c.id, false);
+            if !c.rt.chan_send(self.ch.id) {
+                return Err(SendError(value));
+            }
+            self.ch.q.lock().unwrap_or_else(PoisonError::into_inner).push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let c = rt::ctx();
+            c.rt.chan_clone_sender(self.ch.id);
+            Sender { ch: Arc::clone(&self.ch) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let c = rt::ctx();
+            c.rt.chan_drop_sender(self.ch.id);
+        }
+    }
+
+    pub struct Receiver<T> {
+        ch: Arc<ChanInner<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        fn pop(&self) -> T {
+            self.ch
+                .q
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+                .expect("channel length mirror matches the queue")
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let c = rt::ctx();
+            c.rt.switch(c.id, false);
+            match c.rt.chan_poll(self.ch.id) {
+                Poll::Msg => Ok(self.pop()),
+                Poll::Empty => Err(TryRecvError::Empty),
+                Poll::Disconnected => Err(TryRecvError::Disconnected),
+            }
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.recv_inner(false).map_err(|_| RecvError)
+        }
+
+        /// The deadline is model time, not wall time: it fires (with the
+        /// `Timeout` error) only when the whole model is stalled, i.e.
+        /// exactly when a real deadline would be the only way forward.
+        pub fn recv_timeout(&self, _timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_inner(true)
+        }
+
+        fn recv_inner(&self, timed: bool) -> Result<T, RecvTimeoutError> {
+            let c = rt::ctx();
+            loop {
+                c.rt.switch(c.id, false);
+                match c.rt.chan_poll(self.ch.id) {
+                    Poll::Msg => return Ok(self.pop()),
+                    Poll::Disconnected => return Err(RecvTimeoutError::Disconnected),
+                    Poll::Empty => {}
+                }
+                c.rt.block(c.id, Block::Recv { chan: self.ch.id, timed });
+                if timed && c.rt.take_timeout_fired(c.id) {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let c = rt::ctx();
+            c.rt.chan_drop_receiver(self.ch.id);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Model-thread spawning: real OS threads whose execution is gated by
+//! the scheduling token, with std-shaped `spawn`/`scope`/join APIs.
+
+use crate::rt::{self, Ctx, ThreadId};
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+type Payload<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+/// A voluntary scheduling point (never counts as a preemption).
+pub fn yield_now() {
+    let c = rt::ctx();
+    c.rt.switch(c.id, true);
+}
+
+/// Model time does not pass; a sleep is just a voluntary reschedule.
+pub fn sleep(_dur: Duration) {
+    yield_now();
+}
+
+fn take_result<T>(result: &Payload<T>) -> std::thread::Result<T> {
+    result
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .expect("a finished loom thread has deposited its result")
+}
+
+/// Spawns a model thread. The closure runs on a real OS thread but only
+/// while it holds the scheduling token, so every interleaving with the
+/// spawner is explored.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (target, _os, result) = spawn_inner(f);
+    JoinHandle { target, result }
+}
+
+pub struct JoinHandle<T> {
+    target: ThreadId,
+    result: Payload<T>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let c = rt::ctx();
+        c.rt.join_wait(c.id, self.target);
+        take_result(&self.result)
+    }
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    target: ThreadId,
+    result: Payload<T>,
+    _scope: PhantomData<&'scope ()>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        let c = rt::ctx();
+        c.rt.join_wait(c.id, self.target);
+        take_result(&self.result)
+    }
+}
+
+pub struct Scope<'scope> {
+    spawned: RefCell<Vec<(ThreadId, std::thread::JoinHandle<()>)>>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let (target, os, result) = spawn_inner(f);
+        self.spawned.borrow_mut().push((target, os));
+        ScopedJoinHandle { target, result, _scope: PhantomData }
+    }
+}
+
+/// `std::thread::scope`-shaped structured concurrency: every spawned
+/// model thread is joined (model-level and OS-level) before this returns,
+/// even when `f` panics, so borrowed captures stay sound.
+pub fn scope<'env, T>(f: impl FnOnce(&Scope<'env>) -> T) -> T {
+    let c = rt::ctx();
+    let s = Scope { spawned: RefCell::new(Vec::new()), _scope: PhantomData };
+    let out = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    let spawned = s.spawned.take();
+    if out.is_err() && spawned.iter().any(|(id, _)| !c.rt.is_finished(*id)) {
+        // a panic is escaping the scope with children still live: poison
+        // the execution so they unwind instead of blocking forever
+        c.rt.poison("loom: scope tore down while child threads were still running");
+    }
+    for (id, os) in spawned {
+        c.rt.join_wait(c.id, id);
+        let _ = os.join();
+    }
+    match out {
+        Ok(v) => v,
+        Err(p) => resume_unwind(p),
+    }
+}
+
+fn spawn_inner<'a, F, T>(f: F) -> (ThreadId, std::thread::JoinHandle<()>, Payload<T>)
+where
+    F: FnOnce() -> T + Send + 'a,
+    T: Send + 'a,
+{
+    let c = rt::ctx();
+    let id = c.rt.register_thread();
+    let result: Payload<T> = Arc::new(StdMutex::new(None));
+    let slot = Arc::clone(&result);
+    let child = Ctx { rt: Arc::clone(&c.rt), id };
+    let body: Box<dyn FnOnce() + Send + 'a> = Box::new(move || {
+        rt::set_ctx(Some(child.clone()));
+        child.rt.wait_first(id);
+        let out = catch_unwind(AssertUnwindSafe(f));
+        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+        child.rt.finish(id);
+        rt::set_ctx(None);
+    });
+    // SAFETY: the closure may borrow from the spawner's stack ('a), but
+    // every model thread is driven to completion and OS-joined before 'a
+    // can end — `scope` joins on both paths, and plain `spawn` requires
+    // 'static so nothing borrowed can dangle. The transmute only erases
+    // the lifetime bound on the box, never the data behind it.
+    let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(body)
+        .expect("spawn a loom model thread");
+    // the child is schedulable from here on: give the scheduler the
+    // chance to run it right away
+    c.rt.switch(c.id, true);
+    (id, os, result)
+}

@@ -478,6 +478,19 @@ pub fn dc_apsp_verify(
     )
 }
 
+/// Native-backend variant of [`dc_apsp_verify`]: the identical rank
+/// program records the same logical comm script over real OS threads and
+/// the layer-1 static lint checks it (the layer-2 explorer needs the
+/// governed simulator; see `docs/VERIFICATION.md`).
+pub fn dc_apsp_native_verify(g: &Csr, n_grid: usize, depth: u32) -> apsp_verify::VerifyReport {
+    let geo = Cyclic::new(g.n(), n_grid, depth);
+    let p = n_grid * n_grid;
+    apsp_verify::lint_recorded_outcome(
+        p,
+        NativeMachine::run_recorded(p, |comm| rank_program(comm, geo, depth, g)),
+    )
+}
+
 /// Like [`dc_apsp`], additionally returning every rank's recorded comm
 /// script — the cost-model auditor's sampling hook (`apsp audit`):
 /// [`apsp_simnet::phase_totals`] reduces the scripts to per-phase

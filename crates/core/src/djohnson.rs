@@ -115,6 +115,18 @@ pub fn distributed_johnson_verify(
     )
 }
 
+/// Native-backend variant of [`distributed_johnson_verify`]: the
+/// identical rank program records the same logical comm script over real
+/// OS threads and the layer-1 static lint checks it (the layer-2
+/// explorer needs the governed simulator; see `docs/VERIFICATION.md`).
+pub fn distributed_johnson_native_verify(g: &Csr, p: usize) -> apsp_verify::VerifyReport {
+    let (n, offsets, packed, group) = setup(g, p);
+    apsp_verify::lint_recorded_outcome(
+        p,
+        NativeMachine::run_recorded(p, |comm| rank_program(comm, &packed, &group, &offsets, n)),
+    )
+}
+
 /// Like [`distributed_johnson`], additionally returning every rank's
 /// recorded comm script — the cost-model auditor's sampling hook
 /// (`apsp audit`). All communication is the single replication

@@ -380,6 +380,11 @@ impl SparseApsp {
     /// recorded and linted (layer 1) and its wildcard delivery orders
     /// explored (layer 2) — see [`apsp_verify::verify_program`] and
     /// `docs/VERIFICATION.md`. Recording is zero-cost to the §3.1 ledgers.
+    ///
+    /// With [`SparseApspConfig::backend`] set to [`Backend::Native`], the
+    /// schedule is recorded over real OS threads instead and checked by
+    /// the layer-1 lint alone (the layer-2 explorer needs the governed
+    /// simulator) — the same invariants, pinned on the real machine.
     pub fn verify(&self, g: &Csr, vopts: &apsp_verify::VerifyOptions) -> apsp_verify::VerifyReport {
         assert!(
             g.has_nonnegative_weights(),
@@ -392,7 +397,10 @@ impl SparseApsp {
         let gp = g.permuted(&nd.perm);
         let opts =
             Sparse2dOptions { r4: self.config.r4, compress_empty: self.config.compress_empty };
-        crate::sparse2d::sparse2d_verify(&layout, &gp, &opts, vopts)
+        match self.config.backend {
+            Backend::Sim => crate::sparse2d::sparse2d_verify(&layout, &gp, &opts, vopts),
+            Backend::Native => crate::sparse2d::sparse2d_native_verify(&layout, &gp, &opts),
+        }
     }
 
     /// Runs the full pipeline on `g` with a deterministic fault plan

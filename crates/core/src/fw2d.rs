@@ -233,6 +233,20 @@ pub fn fw2d_verify(
     )
 }
 
+/// Native-backend variant of [`fw2d_verify`]: the identical rank program
+/// records the same logical comm script over real OS threads and the
+/// layer-1 static lint checks it (the layer-2 explorer needs the
+/// governed simulator; see `docs/VERIFICATION.md`).
+pub fn fw2d_native_verify(g: &Csr, n_grid: usize) -> apsp_verify::VerifyReport {
+    assert!(n_grid >= 1);
+    let grid = Grid::new(g.n(), n_grid);
+    let p = n_grid * n_grid;
+    apsp_verify::lint_recorded_outcome(
+        p,
+        NativeMachine::run_recorded(p, |comm| rank_program(comm, &grid, g)),
+    )
+}
+
 /// Like [`fw2d`], additionally returning every rank's recorded comm
 /// script — the cost-model auditor's sampling hook (`apsp audit`):
 /// [`apsp_simnet::phase_totals`] reduces the scripts to per-phase

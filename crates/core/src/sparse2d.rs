@@ -1012,6 +1012,27 @@ pub fn sparse2d_verify(
     )
 }
 
+/// Native-backend variant of [`sparse2d_verify`]: the same rank program
+/// records the same logical comm script over real OS threads and
+/// channels, and the layer-1 static lint checks it — send/recv pairing,
+/// tag freshness, collective order, checkpoint quiescence and span
+/// balance are pinned on both machines. The layer-2 schedule explorer
+/// needs the governed simulator and does not run here (see
+/// `docs/VERIFICATION.md`).
+pub fn sparse2d_native_verify(
+    layout: &SupernodalLayout,
+    g_perm: &Csr,
+    opts: &Sparse2dOptions,
+) -> apsp_verify::VerifyReport {
+    assert_eq!(g_perm.n(), layout.n(), "layout does not match the graph");
+    let init = |i: usize, j: usize| layout.extract_block(g_perm, i, j);
+    let p = layout.p();
+    apsp_verify::lint_recorded_outcome(
+        p,
+        NativeMachine::run_recorded(p, |comm| rank_program(comm, layout, &init, opts, false)),
+    )
+}
+
 /// Like [`sparse2d_with`], additionally returning every rank's recorded
 /// comm script — the cost-model auditor's sampling hook (`apsp audit`):
 /// [`apsp_simnet::phase_totals`] turns the scripts into per-phase

@@ -16,24 +16,81 @@
 //! * a dynamic (atomic-counter) variant [`par_for_indexed`] covers
 //!   irregular workloads;
 //! * everything falls back to sequential execution for small inputs.
+//!
+//! ## Model checking
+//!
+//! All scheduling primitives route through the private `sync` shim, so
+//! `RUSTFLAGS="--cfg loom"` swaps std for the `loom` model checker and the
+//! in-crate `loom_tests` module exhaustively explores worker
+//! interleavings — in particular the `Slot` aliasing claim below is
+//! *checked* (via loom's access-tracked `UnsafeCell`), not just asserted.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+/// Backend switch for every primitive this crate schedules with: std by
+/// default, the loom model checker under `cfg(loom)`.
+mod sync {
+    #[cfg(loom)]
+    pub use loom::sync::atomic;
+    #[cfg(loom)]
+    pub use loom::thread;
+
+    #[cfg(not(loom))]
+    pub use std::sync::atomic;
+    #[cfg(not(loom))]
+    pub use std::thread;
+
+    /// `UnsafeCell` with loom's closure-windowed API on both backends, so
+    /// `Slot` has one body: under `cfg(loom)` each window is an access
+    /// that the checker races against every other window.
+    pub mod cell {
+        #[cfg(loom)]
+        pub use loom::cell::UnsafeCell;
+
+        #[cfg(not(loom))]
+        #[derive(Debug)]
+        pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+        #[cfg(not(loom))]
+        impl<T> UnsafeCell<T> {
+            pub fn new(value: T) -> Self {
+                UnsafeCell(std::cell::UnsafeCell::new(value))
+            }
+
+            pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+                f(self.0.get())
+            }
+        }
+    }
+}
+
+use sync::atomic::{AtomicUsize, Ordering};
+use sync::thread;
 
 /// Number of worker threads used by the helpers: the available parallelism,
 /// overridable with the `APSP_PAR_THREADS` environment variable.
+///
+/// Under `cfg(loom)` this is a fixed 2: schedule exploration is
+/// exponential in thread count, and two workers already exercise every
+/// pairwise interleaving the helpers can produce.
 pub fn num_threads() -> usize {
-    static CACHED: AtomicUsize = AtomicUsize::new(0);
-    let cached = CACHED.load(Ordering::Relaxed);
-    if cached != 0 {
-        return cached;
+    #[cfg(loom)]
+    {
+        2
     }
-    let n = std::env::var("APSP_PAR_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-    CACHED.store(n, Ordering::Relaxed);
-    n
+    #[cfg(not(loom))]
+    {
+        static CACHED: AtomicUsize = AtomicUsize::new(0);
+        let cached = CACHED.load(Ordering::Relaxed);
+        if cached != 0 {
+            return cached;
+        }
+        let n = std::env::var("APSP_PAR_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        CACHED.store(n, Ordering::Relaxed);
+        n
+    }
 }
 
 /// Minimum items per chunk below which the helpers run sequentially; keeps
@@ -56,7 +113,7 @@ where
         }
         return;
     }
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
             let f = &f;
             s.spawn(move || f(idx * chunk_len, chunk));
@@ -78,7 +135,7 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         for _ in 0..threads {
             let next = &next;
             let f = &f;
@@ -116,7 +173,7 @@ pub fn join<A: Send, B: Send>(
     if num_threads() <= 1 {
         return (fa(), fb());
     }
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         let hb = s.spawn(fb);
         let a = fa();
         (a, hb.join().expect("join: task panicked"))
@@ -127,12 +184,19 @@ pub fn join<A: Send, B: Send>(
 /// slot without locks. Safe because `par_for_indexed` runs each index
 /// exactly once and the slots borrow disjoint `Option`s.
 mod slot {
-    use std::cell::UnsafeCell;
+    use crate::sync::cell::UnsafeCell;
 
     pub struct Slot<'a, U>(UnsafeCell<&'a mut Option<U>>);
 
-    // SAFETY: each slot is written by exactly one task (each index visited
-    // once), and the underlying Options are disjoint &mut borrows.
+    // SAFETY: `Slot` is shared across worker threads but never written
+    // concurrently: `par_for_indexed`'s atomic counter hands each index to
+    // exactly one worker, each slot is written at exactly one index, and
+    // the `&'a mut Option<U>` targets are disjoint borrows of distinct
+    // vector elements — so at most one thread ever touches a given slot,
+    // and only within its task. `U: Send` suffices because the value only
+    // *moves* into the slot; no `&U` is ever shared across threads. The
+    // claim is model-checked under `cfg(loom)` (`loom_tests` below): any
+    // schedule with overlapping access windows fails the checker.
     unsafe impl<U: Send> Sync for Slot<'_, U> {}
 
     impl<'a, U> Slot<'a, U> {
@@ -141,13 +205,74 @@ mod slot {
         }
 
         pub fn put(&self, value: U) {
-            // SAFETY: unique writer per slot (see type-level comment).
-            unsafe { **self.0.get() = Some(value) };
+            // SAFETY: unique writer per slot (see the `Sync` impl's
+            // justification): this is the only access window ever opened
+            // on this cell, so the raw pointer is exclusive for the
+            // window's duration and writing through the interior
+            // `&mut Option<U>` cannot alias another task's target.
+            self.0.with_mut(|target| unsafe { **target = Some(value) });
         }
     }
 }
 
-#[cfg(test)]
+/// Exhaustive interleaving checks for the helpers' synchronization, run
+/// with `RUSTFLAGS="--cfg loom" cargo test -p apsp-par`. Kept deliberately
+/// tiny: the model explores every schedule, so a 3-element map already
+/// covers all counter/slot orderings two workers can produce.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+
+    #[test]
+    fn par_map_slots_have_unique_writers_in_every_schedule() {
+        loom::model(|| {
+            let items = [1u64, 2, 3];
+            let out = par_map(&items, |&x| x * 10);
+            assert_eq!(out, vec![10, 20, 30]);
+        });
+    }
+
+    #[test]
+    fn par_for_indexed_visits_each_index_exactly_once() {
+        use crate::sync::atomic::{AtomicUsize, Ordering};
+        loom::model(|| {
+            let hits = [AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)];
+            par_for_indexed(3, |i| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::SeqCst), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn join_returns_both_in_every_schedule() {
+        loom::model(|| {
+            let (a, b) = join(|| 1 + 1, || 40 + 2);
+            assert_eq!((a, b), (2, 42));
+        });
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_chunks_commute() {
+        loom::model(|| {
+            // 300 > MIN_CHUNK forces the parallel path; two 150-element
+            // chunks, one worker each.
+            let mut v = vec![0u32; 300];
+            par_chunks_mut(&mut v, 150, |start, chunk| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = (start + k) as u32 + 1;
+                }
+            });
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(x, i as u32 + 1);
+            }
+        });
+    }
+}
+
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
@@ -214,6 +339,31 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn slot_concurrent_writers_stay_disjoint() {
+        // Targeted miri exercise of `Slot`'s unsafe aliasing claim: four
+        // genuinely concurrent writers striding over eight slots (bypassing
+        // `par_map`, whose thread count miri's isolated env collapses to 1).
+        // Sized for `cargo miri test -p apsp-par`.
+        let mut out: Vec<Option<u64>> = (0..8).map(|_| None).collect();
+        {
+            let slots: Vec<slot::Slot<u64>> = out.iter_mut().map(slot::Slot::new).collect();
+            let slots = &slots;
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    s.spawn(move || {
+                        for i in (t..slots.len()).step_by(4) {
+                            slots[i].put(i as u64 * 3);
+                        }
+                    });
+                }
+            });
+        }
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(*o, Some(i as u64 * 3));
+        }
     }
 
     #[test]

@@ -207,8 +207,11 @@ impl ScriptBoard {
         ScriptBoard { ranks: (0..p).map(|_| Mutex::new(Vec::new())).collect() }
     }
 
-    /// Appends an event to `rank`'s script.
-    pub(crate) fn push(&self, rank: Rank, ev: CommEvent) {
+    /// Appends an event to `rank`'s script. Public because both machines
+    /// record: the simulator's `Comm` and the native backend's
+    /// `NativeComm` (apsp-transport) push into the same board type, so
+    /// one comm-script linter serves both.
+    pub fn push(&self, rank: Rank, ev: CommEvent) {
         if let Ok(mut script) = self.ranks[rank].lock() {
             script.push(ev);
         }

@@ -39,6 +39,7 @@
 //! provide).
 
 mod native;
+pub mod sync;
 
 pub use native::{NativeComm, NativeFaultError, NativeFaultPlan, NativeMachine, NativeSpan};
 
@@ -48,7 +49,7 @@ pub use native::{NativeComm, NativeFaultError, NativeFaultPlan, NativeMachine, N
 // need only this crate.
 pub use apsp_simnet::cascade;
 
-use apsp_simnet::{Clocks, Comm, Rank, SpanGuard};
+use apsp_simnet::{Clocks, CollectiveKind, Comm, Rank, SpanGuard};
 use std::ops::DerefMut;
 
 /// Position of `rank` in `group`.
@@ -124,11 +125,23 @@ pub trait Transport: Sized {
     /// through the (optional) checkpoint layer.
     fn commit_phase(&mut self, state: Vec<f64>) -> Vec<f64>;
 
+    /// Records entry into a collective on backends that keep a comm
+    /// script (no-op otherwise — the default). The default collective
+    /// implementations call it right after opening their span, mirroring
+    /// the simulator's wrappers, so every recording backend's script
+    /// carries the same [`apsp_simnet::CommEvent::Collective`] entries
+    /// and the protocol linter's collective-order check covers every
+    /// machine.
+    fn record_collective(&mut self, kind: CollectiveKind, group: &[Rank], root: Rank, tag: u64) {
+        let _ = (kind, group, root, tag);
+    }
+
     /// Binomial-tree broadcast of `data` from `root` to the whole group.
     /// The root passes `Some(data)`, everyone else `None`; every member
     /// returns the broadcast payload.
     fn bcast(&mut self, group: &[Rank], root: Rank, tag: u64, data: Option<Vec<f64>>) -> Vec<f64> {
         let mut s = self.span("bcast", tag);
+        s.record_collective(CollectiveKind::Bcast, group, root, tag);
         bcast_tree(&mut *s, group, root, tag, data)
     }
 
@@ -144,6 +157,7 @@ pub trait Transport: Sized {
         combine: impl Fn(&mut Vec<f64>, &[f64]),
     ) -> Option<Vec<f64>> {
         let mut s = self.span("reduce", tag);
+        s.record_collective(CollectiveKind::Reduce, group, root, tag);
         reduce_tree(&mut *s, group, root, tag, contribution, combine)
     }
 
@@ -176,6 +190,7 @@ pub trait Transport: Sized {
         payload: Vec<f64>,
     ) -> Option<Vec<Vec<f64>>> {
         let mut s = self.span("gather", tag);
+        s.record_collective(CollectiveKind::Gather, group, root, tag);
         gather_linear(&mut *s, group, root, tag, payload)
     }
 
@@ -189,6 +204,7 @@ pub trait Transport: Sized {
         payloads: Option<Vec<Vec<f64>>>,
     ) -> Vec<f64> {
         let mut s = self.span("scatter", tag);
+        s.record_collective(CollectiveKind::Scatter, group, root, tag);
         scatter_linear(&mut *s, group, root, tag, payloads)
     }
 
@@ -196,6 +212,7 @@ pub trait Transport: Sized {
     /// zero-word broadcast.
     fn barrier(&mut self, group: &[Rank], tag: u64) {
         let mut s = self.span("barrier", tag);
+        s.record_collective(CollectiveKind::Barrier, group, group[0], tag);
         let this = &mut *s;
         let root = group[0];
         let done = reduce_tree(this, group, root, tag ^ 0xBA55, Vec::new(), |_, _| {});
@@ -207,6 +224,7 @@ pub trait Transport: Sized {
     /// have different lengths (zero-length ones are preserved).
     fn allgather(&mut self, group: &[Rank], tag: u64, payload: Vec<f64>) -> Vec<Vec<f64>> {
         let mut s = self.span("allgather", tag);
+        s.record_collective(CollectiveKind::Allgather, group, group[0], tag);
         let this = &mut *s;
         let me = position(group, this.rank());
         // frame: [index, len, words...] triplets concatenated
@@ -244,6 +262,7 @@ pub trait Transport: Sized {
         combine: impl Fn(&mut Vec<f64>, &[f64]),
     ) -> Vec<f64> {
         let mut s = self.span("allreduce", tag);
+        s.record_collective(CollectiveKind::Allreduce, group, group[0], tag);
         let this = &mut *s;
         let root = group[0];
         let combined = reduce_tree(this, group, root, tag ^ 0xA11E, contribution, combine);

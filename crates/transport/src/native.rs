@@ -28,9 +28,12 @@
 //!   remapped onto a spare physical id, and replays under an
 //!   epoch-salted seed — bit-identically, every time.
 //!
-//! What it does **not** provide: §3.1 cost clocks, span ledgers, comm
-//! scripts, schedule governors. [`crate::Transport::clocks`] returns
-//! zeros and spans are free no-ops. Injection decisions are pure
+//! What it does **not** provide: §3.1 cost clocks, span ledgers,
+//! schedule governors. [`crate::Transport::clocks`] returns zeros and
+//! spans are free no-ops. (Comm *scripts* — the per-rank event logs the
+//! protocol linter consumes — are recorded on request via
+//! [`NativeMachine::run_recorded`], byte-compatible with the
+//! simulator's.) Injection decisions are pure
 //! functions of `(seed, epoch, boundary, src, dst, tag, seq, attempt)`
 //! and sequence numbers are per-channel, so fault trajectories are
 //! deterministic even under real thread scheduling; with an empty plan
@@ -45,13 +48,18 @@ use apsp_simnet::cascade::{
 use apsp_simnet::faults::checksum;
 use apsp_simnet::recovery::Unrecoverable;
 use apsp_simnet::{
-    Clocks, FaultError, FaultPlan, FaultStats, FaultSummary, HangError, Injection, MachineError,
-    ProtocolError, Rank, RankDown, RankStats, RecoveryPolicy, RecoveryReport, RunReport, Snapshot,
-    SnapshotStore,
+    Clocks, CollectiveKind, CommEvent, FaultError, FaultPlan, FaultStats, FaultSummary, HangError,
+    Injection, MachineError, ProtocolError, Rank, RankDown, RankStats, RecoveryPolicy,
+    RecoveryReport, RunReport, ScriptBoard, Snapshot, SnapshotStore,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+
+// Every synchronization primitive goes through the shim (`crate::sync`),
+// never `std::sync`/`std::thread` directly, so `--cfg loom` builds run
+// this exact code under the model checker (srclint's `raw-sync` rule
+// keeps it that way).
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use crate::sync::{thread, Arc, Mutex};
 use std::time::Duration;
 
 /// One message on a native wire: tag, payload, and the constant-size
@@ -235,8 +243,35 @@ impl NativeMachine {
         F: Fn(&mut NativeComm) -> T + Sync,
     {
         let (outs, report, _) =
-            Self::run_inner(p, &f, None, None).unwrap_or_else(|e| panic!("{e}"));
+            Self::run_inner(p, &f, None, None, None).unwrap_or_else(|e| panic!("{e}"));
         (outs, report)
+    }
+
+    /// Like [`NativeMachine::run`], additionally recording every rank's
+    /// comm script — the same per-rank [`CommEvent`] logs the simulator's
+    /// [`apsp_simnet::Machine::run_recorded`] produces, so the protocol
+    /// verifier's FIFO-pairing/tag-freshness/quiescence linter
+    /// (`apsp-verify`) runs against real native executions too. Recording
+    /// observes without perturbing: with no board attached the per-op cost
+    /// is a skipped `Option` check.
+    ///
+    /// # Errors
+    /// Any [`MachineError`] a rank died with (the board is shared, so a
+    /// failing run still surfaces the events recorded before death —
+    /// through the error, not this signature, which drops them; use a
+    /// plain run for forensics on failures).
+    #[allow(clippy::type_complexity)]
+    pub fn run_recorded<T, F>(
+        p: usize,
+        f: F,
+    ) -> Result<(Vec<T>, RunReport, Vec<Vec<CommEvent>>), MachineError>
+    where
+        T: Send,
+        F: Fn(&mut NativeComm) -> T + Sync,
+    {
+        let board = Arc::new(ScriptBoard::new(p));
+        let (outs, report, _) = Self::run_inner(p, &f, None, None, Some(&board))?;
+        Ok((outs, report, board.take()))
     }
 
     /// Like [`NativeMachine::run`], with the deterministic fault layer
@@ -267,7 +302,7 @@ impl NativeMachine {
         F: Fn(&mut NativeComm) -> T + Sync,
     {
         let ctx = NativeFaultPlan::new(plan.clone(), p);
-        let (outs, report, faults) = Self::run_inner(p, &f, Some(&ctx), None)?;
+        let (outs, report, faults) = Self::run_inner(p, &f, Some(&ctx), None, None)?;
         Ok((outs, report, faults.expect("faulty run carries a summary")))
     }
 
@@ -315,7 +350,7 @@ impl NativeMachine {
             }
             let ctx = NativeFaultPlan { plan: plan.clone(), epoch, remap: remap.clone() };
             let rc = RecoveryCtx { store: Arc::clone(&store), resume, every: policy.every };
-            let err = match Self::run_inner(p, &f, Some(&ctx), Some(rc)) {
+            let err = match Self::run_inner(p, &f, Some(&ctx), Some(rc), None) {
                 Ok((outs, report, faults)) => {
                     recovery.snapshots_taken = store.saves();
                     recovery.snapshot_words = store.save_words();
@@ -382,6 +417,7 @@ impl NativeMachine {
         f: &F,
         fault: Option<&NativeFaultPlan>,
         recovery: Option<RecoveryCtx>,
+        scripts: Option<&Arc<ScriptBoard>>,
     ) -> Result<(Vec<T>, RunReport, Option<FaultSummary>), MachineError>
     where
         T: Send,
@@ -416,7 +452,7 @@ impl NativeMachine {
         let mut results: Vec<Option<RankOutcome<T>>> = (0..p).map(|_| None).collect();
         {
             let slots: Vec<_> = results.iter_mut().collect();
-            let scope_outcome = std::thread::scope(|scope| {
+            let scope_outcome = thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(p);
                 let rank_iter = tx_rows.drain(..).zip(rx_rows.drain(..)).zip(slots).enumerate();
                 for (rank, ((tx_row, rx_row), slot)) in rank_iter {
@@ -425,6 +461,7 @@ impl NativeMachine {
                     let watchdog = Arc::clone(&watchdog);
                     let fault = fault.cloned();
                     let recovery = recovery.clone();
+                    let scripts = scripts.map(Arc::clone);
                     handles.push(scope.spawn(move || {
                         let mut comm = NativeComm {
                             rank,
@@ -436,6 +473,7 @@ impl NativeMachine {
                             watchdog_ms,
                             faults: fault.map(|ctx| Box::new(FaultLayer::new(ctx, rank, p))),
                             recovery,
+                            scripts,
                         };
                         let out = f(&mut comm);
                         let stats = comm.faults.take().map(|fl| fl.stats);
@@ -499,6 +537,10 @@ pub struct NativeComm {
     faults: Option<Box<FaultLayer>>,
     /// Present exactly when a recovery supervisor is driving the run.
     recovery: Option<RecoveryCtx>,
+    /// Comm-script recorder, present in recorded runs
+    /// ([`NativeMachine::run_recorded`]) — same board type and event
+    /// conventions as the simulator's recorder.
+    scripts: Option<Arc<ScriptBoard>>,
 }
 
 impl NativeComm {
@@ -613,7 +655,7 @@ impl NativeComm {
             // deterministic unit count still lands in the stats ledger so
             // fault digests match the simulator's exactly
             let backoff = self.faults.as_ref().expect("fault mode").ctx.plan.backoff(attempt);
-            std::thread::sleep(Duration::from_micros(backoff.min(2000)));
+            thread::sleep(Duration::from_micros(backoff.min(2000)));
             let st = self.fstats();
             st.backoff_latency += backoff;
             st.retransmissions += 1;
@@ -736,12 +778,28 @@ impl NativeComm {
     fn fstats(&mut self) -> &mut FaultStats {
         &mut self.faults.as_mut().expect("fault mode").stats
     }
+
+    /// Appends an event to this rank's comm script when one is being
+    /// recorded; the closure receives the committed-boundary count (the
+    /// simulator recorder's exact convention).
+    fn record(&self, ev: impl FnOnce(u64) -> CommEvent) {
+        if let Some(board) = &self.scripts {
+            board.push(self.rank, ev(self.boundary));
+        }
+    }
 }
 
-/// No-op RAII span for the native backend — the guard only forwards to the
-/// communicator; there is no ledger to record into.
+/// RAII span for the native backend. There is no cost ledger to record
+/// into, so outside recorded runs the guard is a free forwarding no-op;
+/// in recorded runs ([`NativeMachine::run_recorded`]) it echoes
+/// `SpanOpen`/`SpanClose` into the comm script exactly like the
+/// simulator's [`apsp_simnet::SpanGuard`], which is what lets the
+/// verifier's span-balance and phase-attribution checks run on native
+/// scripts.
 pub struct NativeSpan<'a> {
     comm: &'a mut NativeComm,
+    /// Span name, `Some` exactly when this run records a comm script.
+    name: Option<&'static str>,
 }
 
 impl std::ops::Deref for NativeSpan<'_> {
@@ -757,6 +815,14 @@ impl std::ops::DerefMut for NativeSpan<'_> {
     }
 }
 
+impl Drop for NativeSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            self.comm.record(|_| CommEvent::SpanClose { name });
+        }
+    }
+}
+
 impl Transport for NativeComm {
     type Span<'s> = NativeSpan<'s>;
 
@@ -768,9 +834,21 @@ impl Transport for NativeComm {
         self.p
     }
 
+    fn record_collective(&mut self, kind: CollectiveKind, group: &[Rank], root: Rank, tag: u64) {
+        self.record(|phase| CommEvent::Collective {
+            kind,
+            group: group.to_vec(),
+            root,
+            tag,
+            phase,
+        });
+    }
+
     fn send(&mut self, dst: Rank, tag: u64, payload: Vec<f64>) {
         assert!(dst < self.p, "rank {dst} out of range (p = {})", self.p);
         assert_ne!(dst, self.rank, "self-send: use local data instead");
+        let words = payload.len();
+        self.record(|phase| CommEvent::Send { dst, tag, words, phase });
         if self.faults.is_some() {
             self.kill_check();
             self.send_faulty(dst, tag, payload);
@@ -787,10 +865,15 @@ impl Transport for NativeComm {
         assert_ne!(src, self.rank, "self-receive: use local data instead");
         if self.faults.is_some() {
             self.kill_check();
-            return self.recv_faulty(src, expected_tag);
+            let payload = self.recv_faulty(src, expected_tag);
+            let words = payload.len();
+            self.record(|phase| CommEvent::Recv { src, tag: expected_tag, words, phase });
+            return payload;
         }
         let wire = self.wire_recv(src, expected_tag);
         self.check_tag(src, expected_tag, wire.tag);
+        let words = wire.payload.len();
+        self.record(|phase| CommEvent::Recv { src, tag: expected_tag, words, phase });
         wire.payload
     }
 
@@ -812,10 +895,12 @@ impl Transport for NativeComm {
                         self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] = None;
                     }
                     self.check_tag(src, expected_tag, wire.tag);
+                    let words = wire.payload.len();
+                    self.record(|phase| CommEvent::Recv { src, tag: expected_tag, words, phase });
                     return (src, wire.payload);
                 }
             }
-            std::thread::sleep(Duration::from_millis(tick));
+            thread::sleep(Duration::from_millis(tick));
             if !registered {
                 // wildcard wait: register blocked-on-self as the marker
                 self.watchdog.blocked.lock().expect("watchdog registry")[self.rank] =
@@ -853,8 +938,14 @@ impl Transport for NativeComm {
         Clocks::default()
     }
 
-    fn span(&mut self, _name: &'static str, _tag: u64) -> NativeSpan<'_> {
-        NativeSpan { comm: self }
+    fn span(&mut self, name: &'static str, _tag: u64) -> NativeSpan<'_> {
+        let name = if self.scripts.is_some() {
+            self.record(|_| CommEvent::SpanOpen { name });
+            Some(name)
+        } else {
+            None
+        };
+        NativeSpan { comm: self, name }
     }
 
     fn phase_live(&self) -> bool {
@@ -866,6 +957,7 @@ impl Transport for NativeComm {
 
     fn commit_phase(&mut self, state: Vec<f64>) -> Vec<f64> {
         self.boundary += 1;
+        self.record(|boundary| CommEvent::Commit { boundary });
         let Some(rc) = self.recovery.clone() else { return state };
         let boundary = self.boundary;
         if boundary < rc.resume {
@@ -909,7 +1001,11 @@ impl Transport for NativeComm {
     }
 }
 
-#[cfg(test)]
+// Gated off under `--cfg loom`: these tests exercise real wall-clock
+// scheduling (100-message FIFO streams, seeded chaos over 80 messages)
+// far past what exhaustive schedule exploration can cover — the loom
+// counterparts live in `tests/loom.rs` with model-sized programs.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

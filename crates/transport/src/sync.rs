@@ -1,0 +1,39 @@
+//! The sync shim: every synchronization primitive the native backend
+//! uses, routed through one module so the whole backend can be compiled
+//! against either real `std` or the `loom` model checker.
+//!
+//! * Default builds re-export `std::sync`/`std::thread` — the shim is
+//!   pure `pub use`, zero-cost, and the sim path never touches it at all
+//!   (the golden transport digest pins that).
+//! * `RUSTFLAGS="--cfg loom"` builds re-export the loom equivalents, so
+//!   `NativeComm`'s teardown ordering, watchdog deadline path, and the
+//!   supervisor's rollback handshake run under exhaustive schedule
+//!   exploration (`crates/transport/tests/loom.rs`).
+//!
+//! Source policy (enforced by `apsp-verify`'s srclint `raw-sync` rule):
+//! no other file under `crates/transport/src/` may name `std::sync` or
+//! `std::thread` directly — this module is the single allowed gateway.
+//!
+//! What the shim covers: channels, mutexes, atomics, spawning/joining,
+//! yields/sleeps. What it does not: `apsp_simnet`'s own primitives (the
+//! `SnapshotStore` and `ScriptBoard` internals stay on std mutexes; their
+//! critical sections contain no scheduling points, so they are atomic
+//! under the model and cannot introduce unexplored interleavings).
+
+#[cfg(loom)]
+pub use loom::sync::atomic;
+#[cfg(loom)]
+pub use loom::sync::mpsc;
+#[cfg(loom)]
+pub use loom::sync::{Arc, Mutex, MutexGuard};
+#[cfg(loom)]
+pub use loom::thread;
+
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+#[cfg(not(loom))]
+pub use std::sync::mpsc;
+#[cfg(not(loom))]
+pub use std::sync::{Arc, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub use std::thread;

@@ -12,6 +12,11 @@
 //! sizes 1, 4, 9 included), roots are random positions, and payloads mix
 //! finite values with `∞` (the solvers' ⊕-identity).
 
+// Not a loom target: p up to 16 with random payloads is far beyond
+// exhaustive schedule exploration (tests/loom.rs covers the model-sized
+// native programs).
+#![cfg(not(loom))]
+
 use apsp_simnet::Machine;
 use apsp_transport::{NativeMachine, Transport};
 use proptest::prelude::*;

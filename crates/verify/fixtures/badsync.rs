@@ -1,0 +1,25 @@
+//! Seeded-bad concurrency fixture: a hand-rolled "fast path" for the
+//! native transport that bypasses the `sync` shim (so `--cfg loom`
+//! builds cannot model it) and opens unsafe windows with no stated
+//! invariant. Linted under the virtual path
+//! `crates/transport/src/badsync.rs`; the audit CI job asserts the
+//! `unsafe-safety` and `raw-sync` rules both fire on it. Never
+//! compiled.
+
+use std::sync::{Arc, Mutex};
+
+pub struct FastLane {
+    cell: std::cell::UnsafeCell<Vec<f64>>,
+    gate: Mutex<()>,
+}
+
+unsafe impl Sync for FastLane {}
+
+pub fn exchange(lane: Arc<FastLane>, payload: Vec<f64>) {
+    let peer = Arc::clone(&lane);
+    let worker = std::thread::spawn(move || {
+        let _held = peer.gate.lock().expect("fast-lane gate is never poisoned");
+        unsafe { (*peer.cell.get()).extend(payload) };
+    });
+    worker.join().expect("fast-lane worker does not panic");
+}

@@ -42,7 +42,7 @@ pub use costcheck::{fit_conformance, fit_loglog, Conformance, CostReport, LogLog
 pub use explore::MAX_EXPLORE_P;
 pub use fixture::{bad_fixture, flood_exchange, racy_fixture};
 pub use lint::lint_scripts;
-pub use srclint::{lint_bad_fixture, lint_sources, SrcReport, SrcViolation};
+pub use srclint::{lint_bad_fixture, lint_bad_sync_fixture, lint_sources, SrcReport, SrcViolation};
 pub use violation::Violation;
 
 use apsp_simnet::{Comm, Machine, MachineError, RunReport};
@@ -171,6 +171,45 @@ where
     reg.counter("apsp_verify_violations_total", "Protocol violations found by the verifier.")
         .add(violations.len() as u64);
     VerifyReport { p, events, schedules_run, choice_points, violations, report }
+}
+
+/// Builds a [`VerifyReport`] from comm scripts recorded *outside* the
+/// simulated machine — layer 1 only. The native backend records the same
+/// logical events ([`apsp_simnet::CommEvent`]) over real channel traffic,
+/// so the static linter's invariants (send/recv pairing, tag freshness,
+/// collective order, checkpoint quiescence, span balance) transfer
+/// verbatim; the layer-2 schedule explorer needs the governed simulator
+/// and is reported as not run (`schedules_run = 0`).
+pub fn lint_only_report(p: usize, scripts: &[Vec<apsp_simnet::CommEvent>]) -> VerifyReport {
+    let _wall = apsp_metrics::time_phase("verify");
+    let events = scripts.iter().map(Vec::len).sum();
+    let violations = lint_scripts(scripts);
+    let reg = apsp_metrics::global();
+    reg.counter("apsp_verify_reports_total", "Verification passes completed.").inc();
+    reg.counter("apsp_verify_violations_total", "Protocol violations found by the verifier.")
+        .add(violations.len() as u64);
+    VerifyReport { p, events, schedules_run: 0, choice_points: 0, violations, report: None }
+}
+
+/// What a recording run hands back on success: per-rank outputs, the run
+/// report, and every rank's comm script — the shape
+/// `NativeMachine::run_recorded` returns.
+pub type RecordedOutcome<T> =
+    Result<(Vec<T>, RunReport, Vec<Vec<apsp_simnet::CommEvent>>), MachineError>;
+
+/// Builds a [`VerifyReport`] from a recorded *native* launch outcome:
+/// a completed run's scripts go through [`lint_only_report`]; a typed
+/// machine failure (hang, rank down, protocol mismatch) becomes an
+/// `Execution` violation, so the verdict stays typed on either path.
+pub fn lint_recorded_outcome<T>(p: usize, outcome: RecordedOutcome<T>) -> VerifyReport {
+    match outcome {
+        Ok((_, _, scripts)) => lint_only_report(p, &scripts),
+        Err(e) => {
+            let mut report = lint_only_report(p, &[]);
+            report.violations.push(Violation::Execution { error: e.to_string() });
+            report
+        }
+    }
 }
 
 /// A deterministic digest for `Vec<f64>` rank outputs (SplitMix64 over

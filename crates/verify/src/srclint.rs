@@ -22,8 +22,19 @@
 //! * **`stdout-print`** — no `println!`/`print!` in library code:
 //!   stdout belongs to the CLI binary; libraries report through
 //!   returned types or the metrics registry.
+//! * **`unsafe-safety`** — every `unsafe` keyword carries a
+//!   `// SAFETY:` justification on the same line or in the comment/
+//!   attribute block directly above it. An unsafe window whose
+//!   invariant is unstated cannot be audited, model-checked, or
+//!   reviewed against the claim it actually makes.
+//! * **`raw-sync`** — no direct `std::sync`/`std::thread` in
+//!   `crates/transport/src/` outside the `sync` shim module: the shim
+//!   is the single gateway that lets `--cfg loom` builds swap every
+//!   primitive for its model-checked twin, and a bypass is invisible
+//!   to the loom suite.
 //!
-//! Lines inside `#[cfg(test)]` modules are skipped (tracked by brace
+//! Lines inside `#[cfg(test)]` modules (including compound gates like
+//! `#[cfg(all(test, not(loom)))]`) are skipped (tracked by brace
 //! depth), string-literal and comment contents never match, and a
 //! deliberate exception carries an `// audit:allow(rule)` marker on the
 //! same line, which this linter treats as sanctioned and the report
@@ -40,7 +51,7 @@ pub struct SrcViolation {
     /// 1-based line number.
     pub line: usize,
     /// Stable rule name (`wall-clock`, `ledger-mutation`, `raw-thread`,
-    /// `unwrap`, `stdout-print`).
+    /// `unwrap`, `stdout-print`, `unsafe-safety`, `raw-sync`).
     pub rule: &'static str,
     /// What the rule protects, phrased for the report.
     pub message: String,
@@ -140,6 +151,14 @@ const LEDGER_ALLOW: [&str; 3] =
 /// of scope by construction.)
 const RAW_THREAD_SCOPE: [&str; 2] = ["crates/core/src/", "crates/minplus/src/"];
 
+/// Crate subtree where `raw-sync` applies: the native transport, whose
+/// every synchronization primitive must route through the loom shim.
+const RAW_SYNC_SCOPE: &str = "crates/transport/src/";
+
+/// The one file `raw-sync` exempts: the shim itself, whose whole job is
+/// naming `std::sync`/`std::thread` once.
+const RAW_SYNC_ALLOW: [&str; 1] = ["crates/transport/src/sync.rs"];
+
 /// Minimum `.expect("…")` message length the repo convention accepts.
 const MIN_EXPECT_MSG: usize = 10;
 
@@ -207,14 +226,25 @@ pub fn lint_bad_fixture() -> Vec<SrcViolation> {
     lint_file("crates/core/src/badsource.rs", include_str!("../fixtures/badsource.rs"))
 }
 
+/// The seeded concurrency fixture (a hand-rolled transport "fast path"
+/// with an unjustified unsafe window and raw `std::thread`/`std::sync`
+/// bypassing the loom shim), linted under a virtual transport-crate
+/// path so the `unsafe-safety` and `raw-sync` rules are in scope. The
+/// audit CI job asserts both fire — proof the concurrency lint is
+/// alive.
+pub fn lint_bad_sync_fixture() -> Vec<SrcViolation> {
+    lint_file("crates/transport/src/badsync.rs", include_str!("../fixtures/badsync.rs"))
+}
+
 fn lint_text(relpath: &str, text: &str) -> (Vec<SrcViolation>, usize) {
     let mut violations = Vec::new();
     let mut allowed = 0usize;
     let masked = mask_lines(text);
+    let raw_lines: Vec<&str> = text.lines().collect();
     // > 0 while inside a `#[cfg(test)]`-gated item's braces
     let mut test_depth = 0i64;
     let mut pending_cfg_test = false;
-    for (idx, raw) in text.lines().enumerate() {
+    for (idx, &raw) in raw_lines.iter().enumerate() {
         let lineno = idx + 1;
         let stripped = masked.get(idx).map(String::as_str).unwrap_or("");
         let trimmed = stripped.trim();
@@ -225,7 +255,7 @@ fn lint_text(relpath: &str, text: &str) -> (Vec<SrcViolation>, usize) {
             }
             continue;
         }
-        if trimmed.contains("#[cfg(test)]") {
+        if is_test_gate(trimmed) {
             pending_cfg_test = true;
             continue;
         }
@@ -245,7 +275,17 @@ fn lint_text(relpath: &str, text: &str) -> (Vec<SrcViolation>, usize) {
             }
             continue;
         }
-        for (rule, fires, message) in rule_hits(relpath, stripped) {
+        let mut hits = rule_hits(relpath, stripped);
+        if has_unsafe_token(stripped) {
+            hits.push((
+                "unsafe-safety",
+                !safety_justified(&raw_lines, idx),
+                "every unsafe window states the invariant that makes it sound in a `// SAFETY:` \
+                 comment (same line or the comment block directly above)"
+                    .to_string(),
+            ));
+        }
+        for (rule, fires, message) in hits {
             if !fires {
                 continue;
             }
@@ -303,6 +343,15 @@ fn rule_hits(relpath: &str, stripped: &str) -> Vec<(&'static str, bool, String)>
                 .to_string(),
         ));
     }
+    if relpath.starts_with(RAW_SYNC_SCOPE) && !RAW_SYNC_ALLOW.contains(&relpath) {
+        hits.push((
+            "raw-sync",
+            stripped.contains("std::sync") || stripped.contains("std::thread"),
+            "the native transport synchronizes through the `sync` shim only; a direct \
+             std::sync/std::thread use is invisible to the loom model checker"
+                .to_string(),
+        ));
+    }
     hits.push((
         "unwrap",
         stripped.contains(".unwrap()"),
@@ -328,6 +377,45 @@ fn rule_hits(relpath: &str, stripped: &str) -> Vec<(&'static str, bool, String)>
             .to_string(),
     ));
     hits
+}
+
+/// `true` when the attribute line gates its item to test builds:
+/// `#[cfg(test)]` itself or a compound `#[cfg(all(test, …))]` (the form
+/// loom-aware crates use, e.g. `#[cfg(all(test, not(loom)))]`). The
+/// `all(` head keeps `#[cfg(not(test))]` — which gates *shipping* code —
+/// out.
+fn is_test_gate(trimmed: &str) -> bool {
+    trimmed.contains("#[cfg(test)]") || trimmed.contains("#[cfg(all(test,")
+}
+
+/// `unsafe` as a whole word in the masked line (never inside an
+/// identifier, string literal, or comment).
+fn has_unsafe_token(stripped: &str) -> bool {
+    stripped.match_indices("unsafe").any(|(i, _)| {
+        let boundary =
+            |b: Option<&u8>| !matches!(b, Some(c) if c.is_ascii_alphanumeric() || *c == b'_');
+        boundary(i.checked_sub(1).and_then(|j| stripped.as_bytes().get(j)))
+            && boundary(stripped.as_bytes().get(i + "unsafe".len()))
+    })
+}
+
+/// `true` when the raw line at `idx` carries a `SAFETY:` marker, or the
+/// contiguous comment/attribute block directly above it does (the
+/// standard placement for `unsafe impl` and multi-line windows).
+fn safety_justified(raw_lines: &[&str], idx: usize) -> bool {
+    if raw_lines[idx].contains("SAFETY:") {
+        return true;
+    }
+    for line in raw_lines[..idx].iter().rev() {
+        let t = line.trim();
+        if !(t.starts_with("//") || t.starts_with("#[")) {
+            return false;
+        }
+        if t.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
 }
 
 /// `true` when `needle` (a `".field ="` pattern) occurs as a plain
@@ -596,6 +684,83 @@ mod tests {
         let thread = "fn f() { std::thread::spawn(|| {}); }\n";
         assert_eq!(lint_file("crates/core/src/fw2d.rs", thread).len(), 1);
         assert!(lint_file("crates/par/src/lib.rs", thread).is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_a_safety_comment() {
+        // bare unsafe: fires in any crate
+        let bare = "fn f(p: *mut u32) { unsafe { *p = 1 } }\n";
+        let hits = lint_file("crates/graph/src/x.rs", bare);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "unsafe-safety");
+        // same-line justification passes
+        let inline = "fn f(p: *mut u32) { unsafe { *p = 1 } } // SAFETY: p is exclusive\n";
+        assert!(lint_file("crates/graph/src/x.rs", inline).is_empty());
+        // a comment block directly above passes — including through
+        // further attributes, the unsafe-impl shape
+        let above = "// SAFETY: no shared mutation; counter hands out unique indices\n\
+                     #[allow(dead_code)]\n\
+                     unsafe impl Sync for Slot {}\n";
+        assert!(lint_file("crates/par/src/x.rs", above).is_empty());
+        // a non-comment line breaks the block: the justification must be
+        // *directly* above
+        let detached = "// SAFETY: stale justification\n\
+                        fn g() {}\n\
+                        fn f(p: *mut u32) { unsafe { *p = 1 } }\n";
+        assert_eq!(lint_file("crates/graph/src/x.rs", detached).len(), 1);
+        // the allow marker sanctions a line like any other rule
+        let allowed = "fn f(p: *mut u32) { unsafe { *p = 1 } } // audit:allow(unsafe-safety)\n";
+        let (violations, allowed_count) = lint_text("crates/graph/src/x.rs", allowed);
+        assert!(violations.is_empty());
+        assert_eq!(allowed_count, 1);
+        // word boundary: identifiers and strings never match
+        let ident = "fn f() { let unsafe_count = 0; let _ = \"unsafe\"; let _ = unsafe_count; }\n";
+        assert!(lint_file("crates/graph/src/x.rs", ident).is_empty());
+    }
+
+    #[test]
+    fn raw_sync_fires_only_in_transport_outside_the_shim() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        let hits = lint_file("crates/transport/src/native.rs", spawn);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "raw-sync");
+        let import = "use std::sync::mpsc::channel;\n";
+        assert_eq!(lint_file("crates/transport/src/lib.rs", import).len(), 1);
+        // the shim itself is the sanctioned gateway
+        assert!(lint_file("crates/transport/src/sync.rs", spawn).is_empty());
+        assert!(lint_file("crates/transport/src/sync.rs", import).is_empty());
+        // other crates are out of scope (par has its own local shim)
+        assert!(lint_file("crates/par/src/lib.rs", import).is_empty());
+    }
+
+    #[test]
+    fn compound_test_gates_skip_their_modules() {
+        // the loom-aware gate `#[cfg(all(test, not(loom)))]` hides its
+        // module exactly like `#[cfg(test)]` does
+        let text = "fn shipping() -> usize { 1 }\n\
+                    #[cfg(all(test, not(loom)))]\n\
+                    mod tests {\n\
+                        fn t() { std::thread::spawn(|| {}).join().unwrap(); }\n\
+                    }\n";
+        assert!(lint_file("crates/transport/src/native.rs", text).is_empty());
+        // but `#[cfg(not(test))]` gates shipping code and must NOT skip
+        let text = "#[cfg(not(test))]\nmod real {\n    fn f() { x.unwrap(); }\n}\n";
+        assert_eq!(lint_file("crates/graph/src/x.rs", text).len(), 1);
+    }
+
+    #[test]
+    fn bad_sync_fixture_fires_both_concurrency_rules() {
+        let violations = lint_bad_sync_fixture();
+        for rule in ["unsafe-safety", "raw-sync"] {
+            assert!(
+                violations.iter().any(|v| v.rule == rule),
+                "fixture did not trip rule {rule}: {violations:?}"
+            );
+        }
+        for v in &violations {
+            assert_eq!(v.file, "crates/transport/src/badsync.rs");
+            assert!(v.line > 0);
+        }
     }
 
     #[test]

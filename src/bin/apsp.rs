@@ -655,7 +655,7 @@ USAGE:
   apsp bench    [--full] [--backend sim|native] [--label NAME] [--out FILE]
                 [--iters N] [--compare BASELINE.json] [--tolerance F]
   apsp verify   --input FILE [--algorithm sparse2d|fw2d|dcapsp|djohnson|bad-fixture]
-                [--height H] [--n-grid N] [--depth D]
+                [--backend sim|native] [--height H] [--n-grid N] [--depth D]
                 [--no-explore] [--max-schedules N]
                 [--sequential-r4] [--compress-empty]
   apsp audit    [--json] [--tolerance F] [--max-p N]
@@ -744,6 +744,9 @@ that replays bit-identically. Exit 0 = clean, 1 = violations (printed).
 --n-grid sets the grid side directly for fw2d/dcapsp/djohnson (default
 (2^H - 1)); --algorithm bad-fixture runs the seeded-bad demo program.
 Recording is zero-cost: a verified schedule's solve is byte-identical.
+--backend native records the same logical comm script over real OS
+threads and runs the layer-1 lint on it (the layer-2 explorer needs the
+governed simulator) — the same invariants, pinned on the real machine.
 
 Static audit: `apsp audit` is the asymptotic gate the envelope tests
 cannot be — it records every solver over a deterministic (n, p, |S|)
@@ -763,11 +766,15 @@ seeded regression fixtures, which must exit 1 — proof both layers fire.
 /// on a clean report, 1 with a readable violation report.
 fn cmd_verify(args: &Args) {
     let algorithm = args.opt("--algorithm").unwrap_or("sparse2d");
+    let backend = backend(args);
     let vopts = VerifyOptions {
         explore: !args.flag("--no-explore"),
         max_schedules: args.num("--max-schedules", 64usize),
     };
     let report = if algorithm == "bad-fixture" {
+        if backend == Backend::Native {
+            die("--algorithm bad-fixture is a simulator demo program; drop --backend native");
+        }
         // the seeded-bad demo program: one bug per verifier layer
         sparse_apsp::verify::verify_program(
             4,
@@ -779,8 +786,8 @@ fn cmd_verify(args: &Args) {
         let g = load_graph(args.get("--input"));
         let height: u32 = args.num("--height", 2);
         let n_grid: usize = args.num("--n-grid", (1usize << height) - 1);
-        match algorithm {
-            "sparse2d" => {
+        match (algorithm, backend) {
+            ("sparse2d", _) => {
                 let config = SparseApspConfig {
                     height,
                     r4: if args.flag("--sequential-r4") {
@@ -789,14 +796,22 @@ fn cmd_verify(args: &Args) {
                         R4Strategy::OneToOne
                     },
                     compress_empty: args.flag("--compress-empty"),
+                    backend,
                     ..Default::default()
                 };
                 SparseApsp::new(config).verify(&g, &vopts)
             }
-            "fw2d" => fw2d_verify(&g, n_grid, &vopts),
-            "dcapsp" => dc_apsp_verify(&g, n_grid, args.num("--depth", 1u32), &vopts),
-            "djohnson" => distributed_johnson_verify(&g, n_grid * n_grid, &vopts),
-            other => die(&format!("unknown algorithm {other}")),
+            ("fw2d", Backend::Sim) => fw2d_verify(&g, n_grid, &vopts),
+            ("fw2d", Backend::Native) => fw2d_native_verify(&g, n_grid),
+            ("dcapsp", Backend::Sim) => {
+                dc_apsp_verify(&g, n_grid, args.num("--depth", 1u32), &vopts)
+            }
+            ("dcapsp", Backend::Native) => {
+                dc_apsp_native_verify(&g, n_grid, args.num("--depth", 1u32))
+            }
+            ("djohnson", Backend::Sim) => distributed_johnson_verify(&g, n_grid * n_grid, &vopts),
+            ("djohnson", Backend::Native) => distributed_johnson_native_verify(&g, n_grid * n_grid),
+            (other, _) => die(&format!("unknown algorithm {other}")),
         }
     };
     println!("{}", report.render());
@@ -830,11 +845,13 @@ fn cmd_audit(args: &Args) {
                 report.is_clean()
             }
             "src" => {
-                let report = sparse_apsp::verify::SrcReport {
-                    files_scanned: 1,
-                    allowed: 0,
-                    violations: sparse_apsp::verify::lint_bad_fixture(),
-                };
+                // both seeded source fixtures: the classic forbidden
+                // patterns plus the concurrency (unsafe-safety/raw-sync)
+                // ones — each must contribute violations
+                let mut violations = sparse_apsp::verify::lint_bad_fixture();
+                violations.extend(sparse_apsp::verify::lint_bad_sync_fixture());
+                let report =
+                    sparse_apsp::verify::SrcReport { files_scanned: 2, allowed: 0, violations };
                 if json {
                     println!("{}", report.to_json());
                 } else {

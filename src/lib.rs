@@ -64,23 +64,25 @@ pub mod prelude {
     pub use apsp_core::bounds;
     pub use apsp_core::dcapsp::{
         cyclic_fw, dc_apsp, dc_apsp_faulty, dc_apsp_native, dc_apsp_native_faulty,
-        dc_apsp_native_recovering, dc_apsp_profiled, dc_apsp_recovering, dc_apsp_verify,
+        dc_apsp_native_recovering, dc_apsp_native_verify, dc_apsp_profiled, dc_apsp_recovering,
+        dc_apsp_verify,
     };
     pub use apsp_core::djohnson::{
         distributed_johnson, distributed_johnson_faulty, distributed_johnson_native,
         distributed_johnson_native_faulty, distributed_johnson_native_recovering,
-        distributed_johnson_recovering, distributed_johnson_verify,
+        distributed_johnson_native_verify, distributed_johnson_recovering,
+        distributed_johnson_verify,
     };
     pub use apsp_core::dnd::{dist_nested_dissection, dist_nested_dissection_profiled};
     pub use apsp_core::driver::Ordering;
     pub use apsp_core::fw2d::{
-        fw2d, fw2d_faulty, fw2d_native, fw2d_native_faulty, fw2d_native_recovering, fw2d_profiled,
-        fw2d_recovering, fw2d_verify,
+        fw2d, fw2d_faulty, fw2d_native, fw2d_native_faulty, fw2d_native_recovering,
+        fw2d_native_verify, fw2d_profiled, fw2d_recovering, fw2d_verify,
     };
     pub use apsp_core::sparse2d::{
         sparse2d, sparse2d_directed, sparse2d_faulty, sparse2d_native, sparse2d_native_directed,
-        sparse2d_native_faulty, sparse2d_native_recovering, sparse2d_profiled, sparse2d_recovering,
-        sparse2d_verify, sparse2d_with, Sparse2dOptions,
+        sparse2d_native_faulty, sparse2d_native_recovering, sparse2d_native_verify,
+        sparse2d_profiled, sparse2d_recovering, sparse2d_verify, sparse2d_with, Sparse2dOptions,
     };
     pub use apsp_core::superfw::{superfw_apsp, superfw_opcount_comparison, superfw_parallel};
     pub use apsp_core::update::{apply_decreases, DecreasedEdge};

@@ -6,7 +6,7 @@
 use std::path::Path;
 
 use sparse_apsp::audit::{audit_cost_model, audit_flood_fixture, AuditOptions};
-use sparse_apsp::verify::{lint_bad_fixture, lint_sources};
+use sparse_apsp::verify::{lint_bad_fixture, lint_bad_sync_fixture, lint_sources};
 
 #[test]
 fn every_solver_conforms_on_the_default_grid() {
@@ -83,6 +83,27 @@ fn bad_source_fixture_fires_every_rule() {
     }
     // every violation carries an exact position and a printable excerpt
     for v in &violations {
+        assert!(v.line > 0 && !v.excerpt.is_empty());
+    }
+}
+
+#[test]
+fn bad_sync_fixture_fires_the_concurrency_rules() {
+    let violations = lint_bad_sync_fixture();
+    for rule in ["unsafe-safety", "raw-sync"] {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "rule {rule} stayed silent on the seeded fixture: {violations:?}"
+        );
+    }
+    // and nothing else fires: the fixture is concurrency-bad, not
+    // kitchen-sink-bad — a stray hit here means a rule's scope leaked
+    assert!(
+        violations.iter().all(|v| v.rule == "unsafe-safety" || v.rule == "raw-sync"),
+        "unexpected rules fired: {violations:?}"
+    );
+    for v in &violations {
+        assert_eq!(v.file, "crates/transport/src/badsync.rs");
         assert!(v.line > 0 && !v.excerpt.is_empty());
     }
 }

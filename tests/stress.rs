@@ -102,17 +102,15 @@ fn superfw_on_4k_vertices() {
 
 // ---- native backend shutdown / drop ordering (fast, not ignored) ----
 
-/// Kernel-reported thread count for this process.
-fn thread_count() -> usize {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("Threads:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .expect("Threads: line in /proc/self/status")
+/// Kernel-reported thread count for this process, or `None` where the
+/// procfs gauge does not exist (non-Linux).
+fn thread_count() -> Option<usize> {
+    std::fs::read_to_string("/proc/self/status").ok().and_then(|s| {
+        s.lines()
+            .find(|l| l.starts_with("Threads:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+    })
 }
 
 #[test]
@@ -122,6 +120,12 @@ fn native_rapid_fire_runs_do_not_leak_threads() {
     // stays flat (generous slack absorbs unrelated harness threads — a
     // genuine leak here would show up as hundreds)
     let before = thread_count();
+    if before.is_none() {
+        eprintln!(
+            "SKIPPED thread-leak gauge: /proc/self/status is unavailable on this \
+             platform; the machine churn below still runs, unleaked-ness unchecked"
+        );
+    }
     for round in 0..120usize {
         let p = 2 + (round % 7);
         let (outs, _) = NativeMachine::run(p, |comm| {
@@ -136,8 +140,9 @@ fn native_rapid_fire_runs_do_not_leak_threads() {
             assert_eq!(v, ((rank + p - 1) % p) as f64, "round {round} rank {rank}");
         }
     }
-    let after = thread_count();
-    assert!(after <= before + 32, "native machines leak threads: {before} -> {after}");
+    if let (Some(before), Some(after)) = (before, thread_count()) {
+        assert!(after <= before + 32, "native machines leak threads: {before} -> {after}");
+    }
 }
 
 #[test]

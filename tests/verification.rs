@@ -14,6 +14,15 @@ fn assert_clean(report: &VerifyReport, what: &str) {
     assert!(report.report.is_some(), "{what}: clean baseline must carry a cost report");
 }
 
+/// A clean native (layer-1 only) verdict: no violations, no cost report
+/// (the native machine has no §3.1 clocks), no schedules explored.
+fn assert_native_clean(report: &VerifyReport, what: &str) {
+    assert!(report.is_clean(), "{what} failed native verification:\n{}", report.render());
+    assert!(report.report.is_none(), "{what}: the native machine has no cost report");
+    assert_eq!(report.schedules_run, 0, "{what}: the explorer needs the simulator");
+    assert!(report.events > 0, "{what}: a native run records its comm script");
+}
+
 /// fw2d on every explorable grid: p = 1, 4, 9, 16.
 #[test]
 fn fw2d_verifies_clean_at_every_grid_size() {
@@ -68,6 +77,50 @@ fn sparse2d_option_variants_verify_clean() {
         let report = SparseApsp::new(config).verify(&g, &VerifyOptions::default());
         assert_clean(&report, &format!("sparse2d r4={r4:?} compress={compress}"));
     }
+}
+
+/// Every solver's *native* recording passes the same layer-1 lint the
+/// simulator's scripts pass: FIFO send/recv pairing, tag freshness,
+/// collective order, checkpoint quiescence and span balance hold over
+/// real OS threads too.
+#[test]
+fn native_recordings_lint_clean_for_every_solver() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 7);
+    assert_native_clean(&fw2d_native_verify(&g, 3), "fw2d native n_grid=3");
+    assert_native_clean(&dc_apsp_native_verify(&g, 3, 1), "dcapsp native n_grid=3 depth=1");
+    assert_native_clean(&distributed_johnson_native_verify(&g, 4), "djohnson native p=4");
+    let config = SparseApspConfig { height: 2, backend: Backend::Native, ..Default::default() };
+    let report = SparseApsp::new(config).verify(&g, &VerifyOptions::default());
+    assert_native_clean(&report, "sparse2d native height=2");
+}
+
+/// The native and simulated recordings of one solver agree on the event
+/// count: the backends record the same logical schedule.
+#[test]
+fn native_and_sim_recordings_have_matching_event_counts() {
+    let g = grid2d(6, 6, WeightKind::Integer { max: 5 }, 8);
+    let sim = fw2d_verify(&g, 3, &VerifyOptions { explore: false, max_schedules: 1 });
+    let native = fw2d_native_verify(&g, 3);
+    assert_clean(&sim, "fw2d sim n_grid=3");
+    assert_native_clean(&native, "fw2d native n_grid=3");
+    assert_eq!(sim.events, native.events, "the two backends record different schedules");
+    assert_eq!(sim.p, native.p);
+}
+
+/// A native run that dies (here: a genuine mutual-wait hang, converted
+/// by the watchdog into the typed HangError) surfaces as a typed
+/// `execution` violation — never a process hang or a silent pass.
+#[test]
+fn native_lint_reports_a_typed_execution_violation_on_failure() {
+    std::env::set_var("APSP_WATCHDOG_MS", "300");
+    let outcome = NativeMachine::run_recorded(2, |comm| {
+        let peer = comm.rank() ^ 1;
+        comm.recv(peer, 42) // both wait: protocol deadlock
+    });
+    let report = sparse_apsp::verify::lint_recorded_outcome(2, outcome);
+    assert!(!report.is_clean(), "a hung run must not verify clean");
+    let kinds: Vec<&str> = report.violations.iter().map(|v| v.kind()).collect();
+    assert!(kinds.contains(&"execution"), "expected a typed execution violation: {kinds:?}");
 }
 
 /// The seeded-bad fixture is caught by both layers with the advertised

@@ -10,23 +10,26 @@ use sparse_apsp::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Kernel-reported thread count for this process (same gauge as
-/// `tests/stress.rs`).
-fn thread_count() -> usize {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("Threads:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .expect("Threads: line in /proc/self/status")
+/// `tests/stress.rs`), or `None` where procfs does not exist (non-Linux).
+fn thread_count() -> Option<usize> {
+    std::fs::read_to_string("/proc/self/status").ok().and_then(|s| {
+        s.lines()
+            .find(|l| l.starts_with("Threads:"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+    })
 }
 
 #[test]
 fn stalled_rank_yields_typed_hang_error_and_leaks_no_threads() {
     std::env::set_var("APSP_WATCHDOG_MS", "300");
     let before = thread_count();
+    if before.is_none() {
+        eprintln!(
+            "SKIPPED thread-leak gauge: /proc/self/status is unavailable on this \
+             platform; the typed-hang assertions below still run"
+        );
+    }
     let started = Instant::now();
 
     // Two ranks, each waiting for a message the other never sends — the
@@ -52,6 +55,7 @@ fn stalled_rank_yields_typed_hang_error_and_leaks_no_threads() {
     assert!(started.elapsed() < Duration::from_secs(30), "watchdog did not fire in time");
 
     // Every rank thread must have been reaped by the scoped join.
-    let after = thread_count();
-    assert!(after <= before + 2, "stalled machine leaked threads: {before} -> {after}");
+    if let (Some(before), Some(after)) = (before, thread_count()) {
+        assert!(after <= before + 2, "stalled machine leaked threads: {before} -> {after}");
+    }
 }
